@@ -1,0 +1,261 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark family
+// per table/figure plus the ablations DESIGN.md calls out. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Absolute times differ from the paper's 1995 SPARCstations by orders of
+// magnitude; EXPERIMENTS.md records the shape comparison.
+package xlp
+
+import (
+	"fmt"
+	"testing"
+
+	"xlp/internal/bddprop"
+	"xlp/internal/bottomup"
+	"xlp/internal/corpus"
+	"xlp/internal/dataflow"
+	"xlp/internal/depthk"
+	"xlp/internal/engine"
+	"xlp/internal/gaia"
+	"xlp/internal/prop"
+	"xlp/internal/strict"
+	"xlp/internal/term"
+)
+
+// BenchmarkTable1Groundness regenerates Table 1: Prop-based groundness
+// analysis of the 12 logic benchmarks on the tabled engine.
+func BenchmarkTable1Groundness(b *testing.B) {
+	for _, p := range corpus.LogicPrograms() {
+		b.Run(p.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a, err := prop.Analyze(p.Source, prop.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(a.TableBytes), "tablebytes")
+			}
+		})
+	}
+}
+
+// BenchmarkTable2XSBvsGAIA regenerates Table 2: the declarative analyzer
+// against the special-purpose abstract interpreter.
+func BenchmarkTable2XSBvsGAIA(b *testing.B) {
+	for _, p := range corpus.LogicPrograms() {
+		b.Run("tabled/"+p.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := prop.Analyze(p.Source, prop.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("special/"+p.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := gaia.Analyze(p.Source); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable3Strictness regenerates Table 3: strictness analysis of
+// the 10 functional benchmarks.
+func BenchmarkTable3Strictness(b *testing.B) {
+	for _, p := range corpus.FuncPrograms() {
+		b.Run(p.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a, err := strict.Analyze(p.Source, strict.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(a.LinesPerSecond(), "lines/s")
+			}
+		})
+	}
+}
+
+// BenchmarkTable4DepthK regenerates Table 4: groundness with term-depth
+// abstraction on the paper's 9-benchmark subset. read is the heavyweight
+// of the table (as in the paper, where it dominates both time and table
+// space).
+func BenchmarkTable4DepthK(b *testing.B) {
+	for _, p := range corpus.DepthKPrograms() {
+		if p.Name == "read" && testing.Short() {
+			continue
+		}
+		b.Run(p.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a, err := depthk.Analyze(p.Source, depthk.Options{K: 1, NoSupplementary: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(a.TableBytes), "tablebytes")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDynamicVsCompiled regenerates the §4 preprocessing
+// claim: assert-style dynamic loading vs full compilation with indexing.
+func BenchmarkAblationDynamicVsCompiled(b *testing.B) {
+	for _, p := range corpus.LogicPrograms() {
+		for _, mode := range []struct {
+			name string
+			m    engine.LoadMode
+		}{{"dynamic", engine.LoadDynamic}, {"compiled", engine.LoadCompiled}} {
+			b.Run(mode.name+"/"+p.Name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := prop.Analyze(p.Source, prop.Options{Mode: mode.m}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationEnumerativeVsBDD regenerates the §4 representation
+// claim: enumerative truth tables vs BDDs.
+func BenchmarkAblationEnumerativeVsBDD(b *testing.B) {
+	for _, p := range corpus.LogicPrograms() {
+		b.Run("enumerative/"+p.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := prop.Analyze(p.Source, prop.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("bdd/"+p.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bddprop.Analyze(p.Source); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSupplementaryTabling regenerates the §4.2 hypothesis:
+// supplementary tabling of long equation bodies.
+func BenchmarkAblationSupplementaryTabling(b *testing.B) {
+	for _, name := range []string{"strassen", "odprove", "pcprove", "fft"} {
+		p, err := corpus.Get(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("plain/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := strict.Analyze(p.Source, strict.Options{NoSupplementary: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("supp/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := strict.Analyze(p.Source, strict.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable7TabledVsBottomUp regenerates the §7 claim: a demand
+// dataflow query evaluated tabled top-down, bottom-up to the full model,
+// and bottom-up after the Magic-sets transformation.
+func BenchmarkTable7TabledVsBottomUp(b *testing.B) {
+	cfg := dataflow.Config{Procs: 8, NodesPerProc: 20, Vars: 5, Seed: 12}
+	src := dataflow.Generate(cfg)
+	query := dataflow.QueryProc(1)
+	b.Run("tabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dataflow.RunTabled(src, query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bottomup-full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dataflow.RunBottomUpFull(src, query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bottomup-magic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dataflow.RunBottomUpMagic(src, query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Micro-benchmarks of the substrates.
+
+func BenchmarkEngineTabledPath(b *testing.B) {
+	var sb []byte
+	for i := 0; i < 64; i++ {
+		sb = append(sb, fmt.Sprintf("edge(n%d, n%d).\n", i, i+1)...)
+		if i%7 == 0 {
+			sb = append(sb, fmt.Sprintf("edge(n%d, n%d).\n", i+1, i/2)...)
+		}
+	}
+	src := string(sb) + `
+		:- table path/2.
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- path(X, Z), edge(Z, Y).
+	`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := engine.New()
+		if err := m.Consult(src); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Query("path(n0, W)"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineUnify(b *testing.B) {
+	mk := func() term.Term {
+		t := term.Term(term.Atom("a"))
+		for i := 0; i < 30; i++ {
+			t = term.Comp("f", t, term.NewVar("X"))
+		}
+		return t
+	}
+	t1, t2 := mk(), mk()
+	var tr term.Trail
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mark := tr.Mark()
+		if !term.Unify(t1, t2, &tr) {
+			b.Fatal("unify failed")
+		}
+		tr.Undo(mark)
+	}
+}
+
+func BenchmarkBottomUpSemiNaive(b *testing.B) {
+	var sb []byte
+	for i := 0; i < 64; i++ {
+		sb = append(sb, fmt.Sprintf("edge(n%d, n%d).\n", i, (i*7+1)%64)...)
+	}
+	src := string(sb) + `
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- edge(X, Z), path(Z, Y).
+	`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := bottomup.New()
+		if err := s.Consult(src); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.SemiNaive(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

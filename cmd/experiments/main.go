@@ -1,0 +1,66 @@
+// Command experiments regenerates the paper's evaluation tables.
+//
+// Usage:
+//
+//	experiments               # run every table, text output
+//	experiments -table 3      # one table
+//	experiments -md           # markdown output (for EXPERIMENTS.md)
+//	experiments -k 2          # depth bound for Table 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xlp/internal/harness"
+)
+
+func main() {
+	table := flag.Int("table", 0, "run a single table (1-8); 0 = all")
+	md := flag.Bool("md", false, "markdown output")
+	k := flag.Int("k", 1, "depth bound for Table 4")
+	flag.Parse()
+
+	runners := map[int]func() (*harness.Table, error){
+		1: harness.Table1,
+		2: harness.Table2,
+		3: harness.Table3,
+		4: func() (*harness.Table, error) { return harness.Table4(*k) },
+		5: harness.Table5,
+		6: harness.Table6,
+		7: harness.Table7,
+		8: harness.Table8,
+	}
+
+	emit := func(t *harness.Table) {
+		if *md {
+			t.Markdown(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+	}
+
+	if *table != 0 {
+		run, ok := runners[*table]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: no table %d\n", *table)
+			os.Exit(2)
+		}
+		t, err := run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		emit(t)
+		return
+	}
+	for i := 1; i <= 8; i++ {
+		t, err := runners[i]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: table %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		emit(t)
+	}
+}

@@ -1,0 +1,127 @@
+// Command groundness analyzes a Prolog program for groundness.
+//
+// Usage:
+//
+//	groundness prog.pl                 # Prop domain, open calls
+//	groundness -entry 'main(X)' prog.pl  # goal-directed (input+output)
+//	groundness -depthk 2 prog.pl       # term-depth abstraction (§5)
+//	groundness -bench qsort            # analyze a corpus benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xlp/internal/corpus"
+	"xlp/internal/depthk"
+	"xlp/internal/engine"
+	"xlp/internal/prop"
+)
+
+func main() {
+	entry := flag.String("entry", "", "entry goal for goal-directed analysis, e.g. 'main(X)'")
+	dk := flag.Int("depthk", 0, "use term-depth abstraction with this bound instead of Prop")
+	benchName := flag.String("bench", "", "analyze a named corpus benchmark instead of a file")
+	compiled := flag.Bool("compiled", false, "use compiled loading")
+	flag.Parse()
+
+	src, name, err := input(*benchName, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	mode := engine.LoadDynamic
+	if *compiled {
+		mode = engine.LoadCompiled
+	}
+
+	if *dk > 0 {
+		a, err := depthk.Analyze(src, depthk.Options{K: *dk, Mode: mode})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: depth-%d groundness (total %v, tables %d bytes)\n",
+			name, *dk, a.Total(), a.TableBytes)
+		for _, ind := range sortedKeysDK(a) {
+			r := a.Results[ind]
+			fmt.Printf("  %-16s ground args: %s\n    patterns: %s\n",
+				ind, boolVec(r.GroundArgs), r.Format())
+		}
+		return
+	}
+
+	opts := prop.Options{Mode: mode}
+	if *entry != "" {
+		opts.Entry = []string{*entry}
+	}
+	a, err := prop.Analyze(src, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: Prop groundness (preproc %v, analysis %v, collection %v, tables %d bytes)\n",
+		name, a.PreprocTime, a.AnalysisTime, a.CollectionTime, a.TableBytes)
+	for _, r := range a.Sorted() {
+		if *entry != "" && !r.Reachable {
+			fmt.Printf("  %-16s unreachable\n", r.Indicator)
+			continue
+		}
+		fmt.Printf("  %-16s success: %s\n", r.Indicator, r.FormatSuccess())
+		fmt.Printf("  %-16s ground args: %s\n", "", boolVec(r.GroundArgs))
+		if len(r.Calls) > 0 {
+			pats := make([]string, len(r.Calls))
+			for i, c := range r.Calls {
+				pats[i] = c.String()
+			}
+			fmt.Printf("  %-16s call patterns: %s\n", "", strings.Join(pats, " "))
+		}
+	}
+}
+
+func input(bench string, args []string) (src, name string, err error) {
+	if bench != "" {
+		p, err := corpus.Get(bench)
+		if err != nil {
+			return "", "", err
+		}
+		return p.Source, bench, nil
+	}
+	if len(args) != 1 {
+		return "", "", fmt.Errorf("usage: groundness [flags] prog.pl (or -bench name)")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return "", "", err
+	}
+	return string(data), args[0], nil
+}
+
+func boolVec(bs []bool) string {
+	parts := make([]string, len(bs))
+	for i, b := range bs {
+		if b {
+			parts[i] = "g"
+		} else {
+			parts[i] = "?"
+		}
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+func sortedKeysDK(a *depthk.Analysis) []string {
+	out := make([]string, 0, len(a.Results))
+	for k := range a.Results {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "groundness: %v\n", err)
+	os.Exit(1)
+}

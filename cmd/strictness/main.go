@@ -1,0 +1,62 @@
+// Command strictness analyzes a lazy functional program for strictness
+// by demand propagation.
+//
+// Usage:
+//
+//	strictness prog.fl
+//	strictness -bench mergesort
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xlp/internal/corpus"
+	"xlp/internal/strict"
+)
+
+func main() {
+	benchName := flag.String("bench", "", "analyze a named corpus benchmark instead of a file")
+	noSupp := flag.Bool("nosupp", false, "disable supplementary tabling")
+	flag.Parse()
+
+	var src, name string
+	if *benchName != "" {
+		p, err := corpus.Get(*benchName)
+		if err != nil {
+			fatal(err)
+		}
+		src, name = p.Source, *benchName
+	} else {
+		if flag.NArg() != 1 {
+			fatal(fmt.Errorf("usage: strictness [flags] prog.fl (or -bench name)"))
+		}
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src, name = string(data), flag.Arg(0)
+	}
+
+	a, err := strict.Analyze(src, strict.Options{NoSupplementary: *noSupp})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: strictness (preproc %v, analysis %v, collection %v, %.0f lines/s, tables %d bytes)\n",
+		name, a.PreprocTime, a.AnalysisTime, a.CollectionTime, a.LinesPerSecond(), a.TableBytes)
+	for _, r := range a.Sorted() {
+		fmt.Printf("  %s\n", r)
+		for i := 0; i < r.Arity; i++ {
+			if r.Strict(i) {
+				fmt.Printf("    strict in argument %d (demand %s under head demand)\n",
+					i+1, r.UnderD[i])
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "strictness: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Command xlp is a small tabled-Prolog runner: it consults the given
+// program files and answers queries, printing the call/answer tables on
+// request.
+//
+// Usage:
+//
+//	xlp [-compiled] [-tables] prog.pl ... -q 'goal(X, Y)'
+//	xlp prog.pl            # read queries from stdin, one per line
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xlp/internal/engine"
+	"xlp/internal/term"
+)
+
+func main() {
+	query := flag.String("q", "", "query to run (default: read queries from stdin)")
+	compiled := flag.Bool("compiled", false, "use compiled loading (first-argument indexing)")
+	dumpTables := flag.Bool("tables", false, "dump call/answer tables after the query")
+	max := flag.Int("n", 0, "stop after n solutions (0 = all)")
+	flag.Parse()
+
+	m := engine.New()
+	if *compiled {
+		m.Mode = engine.LoadCompiled
+	}
+	for _, file := range flag.Args() {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fatal(err)
+		}
+		if err := m.Consult(string(data)); err != nil {
+			fatal(fmt.Errorf("%s: %w", file, err))
+		}
+	}
+
+	run := func(q string) {
+		sols, err := m.Query(q)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return
+		}
+		if len(sols) == 0 {
+			fmt.Println("no.")
+			return
+		}
+		for i, s := range sols {
+			if *max > 0 && i >= *max {
+				fmt.Printf("... (%d more)\n", len(sols)-i)
+				break
+			}
+			fmt.Println(s.String())
+		}
+		fmt.Printf("yes. (%d solutions)\n", len(sols))
+		if *dumpTables {
+			fmt.Print(m.DumpTablesString())
+		}
+	}
+
+	if *query != "" {
+		run(*query)
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("?- ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		line = strings.TrimSuffix(line, ".")
+		if line == "" || line == "halt" {
+			break
+		}
+		run(line)
+		fmt.Print("?- ")
+	}
+	_ = term.Atom("")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "xlp: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module xlp
+
+go 1.22

@@ -1,0 +1,308 @@
+// Package bdd implements reduced ordered binary decision diagrams
+// (Bryant's ROBDDs, reference [6] of the paper), the compact boolean
+// representation used by the BDD-based Prop analyzers the paper compares
+// against ("Many implementations use Bryant's Decision Diagrams to
+// represent boolean formulae compactly", §4). The package provides a
+// manager with a unique table and an operation cache; variables are
+// identified by their index in a fixed global order.
+package bdd
+
+import "fmt"
+
+// Ref is a node reference. False and True are the terminals.
+type Ref int32
+
+// Terminal nodes.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+type node struct {
+	v      int32 // variable index; terminals use a sentinel
+	lo, hi Ref
+}
+
+const termVar = int32(1 << 30) // sentinel variable index for terminals
+
+type uniqueKey struct {
+	v      int32
+	lo, hi Ref
+}
+
+type opKey struct {
+	op   int32
+	a, b Ref
+}
+
+const (
+	opAnd = iota
+	opOr
+	opXnor
+	opExists // b carries the variable index
+	opNot
+)
+
+// Manager owns the node pool and caches.
+type Manager struct {
+	nodes  []node
+	unique map[uniqueKey]Ref
+	cache  map[opKey]Ref
+}
+
+// New returns a manager with the two terminals.
+func New() *Manager {
+	m := &Manager{
+		nodes:  make([]node, 2, 1024),
+		unique: map[uniqueKey]Ref{},
+		cache:  map[opKey]Ref{},
+	}
+	m.nodes[False] = node{v: termVar}
+	m.nodes[True] = node{v: termVar}
+	return m
+}
+
+// Size returns the number of live nodes (including terminals).
+func (m *Manager) Size() int { return len(m.nodes) }
+
+func (m *Manager) mk(v int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	k := uniqueKey{v, lo, hi}
+	if r, ok := m.unique[k]; ok {
+		return r
+	}
+	r := Ref(len(m.nodes))
+	m.nodes = append(m.nodes, node{v: v, lo: lo, hi: hi})
+	m.unique[k] = r
+	return r
+}
+
+// Var returns the BDD for variable i.
+func (m *Manager) Var(i int) Ref {
+	if i < 0 || int32(i) >= termVar {
+		panic(fmt.Sprintf("bdd: bad variable %d", i))
+	}
+	return m.mk(int32(i), False, True)
+}
+
+// NVar returns the BDD for ¬variable i.
+func (m *Manager) NVar(i int) Ref {
+	return m.mk(int32(i), True, False)
+}
+
+func (m *Manager) varOf(r Ref) int32 { return m.nodes[r].v }
+
+// Not returns ¬a.
+func (m *Manager) Not(a Ref) Ref {
+	switch a {
+	case False:
+		return True
+	case True:
+		return False
+	}
+	k := opKey{opNot, a, 0}
+	if r, ok := m.cache[k]; ok {
+		return r
+	}
+	n := m.nodes[a]
+	r := m.mk(n.v, m.Not(n.lo), m.Not(n.hi))
+	m.cache[k] = r
+	return r
+}
+
+// And returns a ∧ b.
+func (m *Manager) And(a, b Ref) Ref { return m.apply(opAnd, a, b) }
+
+// Or returns a ∨ b.
+func (m *Manager) Or(a, b Ref) Ref { return m.apply(opOr, a, b) }
+
+// Xnor returns a ↔ b, the Prop-domain connective.
+func (m *Manager) Xnor(a, b Ref) Ref { return m.apply(opXnor, a, b) }
+
+// Implies returns a → b.
+func (m *Manager) Implies(a, b Ref) Ref { return m.Or(m.Not(a), b) }
+
+func (m *Manager) apply(op int32, a, b Ref) Ref {
+	// terminal cases
+	switch op {
+	case opAnd:
+		if a == False || b == False {
+			return False
+		}
+		if a == True {
+			return b
+		}
+		if b == True {
+			return a
+		}
+		if a == b {
+			return a
+		}
+	case opOr:
+		if a == True || b == True {
+			return True
+		}
+		if a == False {
+			return b
+		}
+		if b == False {
+			return a
+		}
+		if a == b {
+			return a
+		}
+	case opXnor:
+		if a == True {
+			return b
+		}
+		if b == True {
+			return a
+		}
+		if a == False {
+			return m.Not(b)
+		}
+		if b == False {
+			return m.Not(a)
+		}
+		if a == b {
+			return True
+		}
+	}
+	// normalize commutative argument order for cache hits
+	if a > b {
+		a, b = b, a
+	}
+	k := opKey{op, a, b}
+	if r, ok := m.cache[k]; ok {
+		return r
+	}
+	va, vb := m.varOf(a), m.varOf(b)
+	v := va
+	if vb < v {
+		v = vb
+	}
+	al, ah := a, a
+	if va == v {
+		al, ah = m.nodes[a].lo, m.nodes[a].hi
+	}
+	bl, bh := b, b
+	if vb == v {
+		bl, bh = m.nodes[b].lo, m.nodes[b].hi
+	}
+	r := m.mk(v, m.apply(op, al, bl), m.apply(op, ah, bh))
+	m.cache[k] = r
+	return r
+}
+
+// Exists returns ∃x_i. a.
+func (m *Manager) Exists(a Ref, i int) Ref {
+	if a == False || a == True {
+		return a
+	}
+	k := opKey{opExists, a, Ref(i)}
+	if r, ok := m.cache[k]; ok {
+		return r
+	}
+	n := m.nodes[a]
+	var r Ref
+	switch {
+	case n.v == int32(i):
+		r = m.Or(n.lo, n.hi)
+	case n.v > int32(i):
+		r = a // variable does not occur
+	default:
+		r = m.mk(n.v, m.Exists(n.lo, i), m.Exists(n.hi, i))
+	}
+	m.cache[k] = r
+	return r
+}
+
+// Restrict returns a[x_i := val].
+func (m *Manager) Restrict(a Ref, i int, val bool) Ref {
+	if a == False || a == True {
+		return a
+	}
+	n := m.nodes[a]
+	switch {
+	case n.v == int32(i):
+		if val {
+			return n.hi
+		}
+		return n.lo
+	case n.v > int32(i):
+		return a
+	}
+	// no cache: restrict is used rarely; recursion is cheap enough
+	return m.mk(n.v, m.Restrict(n.lo, i, val), m.Restrict(n.hi, i, val))
+}
+
+// Rename substitutes variable oldToNew[i] for variable i (for all
+// entries in the map). The renaming must be order-preserving with
+// respect to the global variable order (monotone), which is how the
+// analyses use it (shifting argument blocks).
+func (m *Manager) Rename(a Ref, oldToNew map[int]int) Ref {
+	if a == False || a == True {
+		return a
+	}
+	n := m.nodes[a]
+	v := int(n.v)
+	if nv, ok := oldToNew[v]; ok {
+		v = nv
+	}
+	return m.mk(int32(v), m.Rename(n.lo, oldToNew), m.Rename(n.hi, oldToNew))
+}
+
+// Eval evaluates the function on an assignment given as a bitmask
+// (bit i = value of variable i).
+func (m *Manager) Eval(a Ref, assign uint) bool {
+	for a != False && a != True {
+		n := m.nodes[a]
+		if assign&(1<<uint(n.v)) != 0 {
+			a = n.hi
+		} else {
+			a = n.lo
+		}
+	}
+	return a == True
+}
+
+// Entails reports whether a → b is a tautology.
+func (m *Manager) Entails(a, b Ref) bool {
+	return m.And(a, m.Not(b)) == False
+}
+
+// CertainlyTrue reports whether variable i is true in every satisfying
+// assignment of a (a entails x_i); false for unsatisfiable a.
+func (m *Manager) CertainlyTrue(a Ref, i int) bool {
+	if a == False {
+		return false
+	}
+	return m.Entails(a, m.Var(i))
+}
+
+// SatCount returns the number of satisfying assignments over n
+// variables.
+func (m *Manager) SatCount(a Ref, n int) int {
+	memo := map[Ref]uint64{}
+	// cnt(r, level) = number of satisfying assignments of the variables
+	// level..n-1, where r's own variable is >= level.
+	var cnt func(r Ref, level int32) uint64
+	cnt = func(r Ref, level int32) uint64 {
+		if r == False {
+			return 0
+		}
+		if r == True {
+			return uint64(1) << uint(int32(n)-level)
+		}
+		nd := m.nodes[r]
+		sub, ok := memo[r] // assignments of vars nd.v..n-1
+		if !ok {
+			sub = cnt(nd.lo, nd.v+1) + cnt(nd.hi, nd.v+1)
+			memo[r] = sub
+		}
+		return sub << uint(nd.v-level)
+	}
+	return int(cnt(a, 0))
+}

@@ -1,0 +1,148 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xlp/internal/boolfn"
+)
+
+func TestTerminals(t *testing.T) {
+	m := New()
+	if m.Not(False) != True || m.Not(True) != False {
+		t.Fatal("Not on terminals")
+	}
+	if m.And(True, False) != False || m.Or(True, False) != True {
+		t.Fatal("And/Or on terminals")
+	}
+	if m.Xnor(True, True) != True || m.Xnor(True, False) != False {
+		t.Fatal("Xnor on terminals")
+	}
+}
+
+func TestHashConsing(t *testing.T) {
+	m := New()
+	a := m.And(m.Var(0), m.Var(1))
+	b := m.And(m.Var(1), m.Var(0))
+	if a != b {
+		t.Fatal("equivalent functions must share a node (canonicity)")
+	}
+	c := m.Or(m.Not(m.Or(m.Not(m.Var(0)), m.Not(m.Var(1)))), False)
+	if a != c {
+		t.Fatal("De Morgan form must normalize to the same node")
+	}
+}
+
+func TestEval(t *testing.T) {
+	m := New()
+	f := m.Xnor(m.Var(0), m.And(m.Var(1), m.Var(2))) // x0 ↔ x1∧x2
+	wantRows := map[uint]bool{0: true, 2: true, 4: true, 6: false,
+		1: false, 3: false, 5: false, 7: true}
+	for assign, want := range wantRows {
+		if got := m.Eval(f, assign); got != want {
+			t.Fatalf("Eval(%03b) = %v, want %v", assign, got, want)
+		}
+	}
+}
+
+func TestExists(t *testing.T) {
+	m := New()
+	f := m.And(m.Var(0), m.Var(1))
+	if m.Exists(f, 0) != m.Var(1) {
+		t.Fatal("∃x0. x0∧x1 should be x1")
+	}
+	if m.Exists(m.Var(2), 0) != m.Var(2) {
+		t.Fatal("quantifying an absent variable is identity")
+	}
+}
+
+func TestRestrictRename(t *testing.T) {
+	m := New()
+	f := m.And(m.Var(0), m.Var(1))
+	if m.Restrict(f, 0, true) != m.Var(1) {
+		t.Fatal("restrict true")
+	}
+	if m.Restrict(f, 0, false) != False {
+		t.Fatal("restrict false")
+	}
+	g := m.Rename(m.And(m.Var(0), m.Var(1)), map[int]int{0: 2, 1: 3})
+	if g != m.And(m.Var(2), m.Var(3)) {
+		t.Fatal("rename")
+	}
+}
+
+func TestCertainlyTrueAndSatCount(t *testing.T) {
+	m := New()
+	f := m.And(m.Var(0), m.Or(m.Var(1), m.Var(2)))
+	if !m.CertainlyTrue(f, 0) {
+		t.Fatal("x0 is certainly true")
+	}
+	if m.CertainlyTrue(f, 1) {
+		t.Fatal("x1 is not certainly true")
+	}
+	if m.CertainlyTrue(False, 0) {
+		t.Fatal("unsat has no certainly-true vars")
+	}
+	if n := m.SatCount(f, 3); n != 3 {
+		t.Fatalf("SatCount = %d, want 3", n)
+	}
+	if n := m.SatCount(True, 4); n != 16 {
+		t.Fatalf("SatCount(True,4) = %d", n)
+	}
+}
+
+// Differential property: random formula trees evaluate identically under
+// the BDD and the truth-table (boolfn) representations — the paper's §4
+// point that the two representations implement the same domain.
+func TestPropMatchesBoolfn(t *testing.T) {
+	type pair struct {
+		b Ref
+		f *boolfn.Fun
+	}
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := New()
+		n := 2 + r.Intn(4)
+		var build func(depth int) pair
+		build = func(depth int) pair {
+			if depth <= 0 || r.Intn(3) == 0 {
+				i := r.Intn(n)
+				return pair{m.Var(i), boolfn.Var(n, i)}
+			}
+			a := build(depth - 1)
+			b := build(depth - 1)
+			switch r.Intn(4) {
+			case 0:
+				return pair{m.And(a.b, b.b), a.f.And(b.f)}
+			case 1:
+				return pair{m.Or(a.b, b.b), a.f.Or(b.f)}
+			case 2:
+				return pair{m.Xnor(a.b, b.b), a.f.Iff(b.f)}
+			default:
+				return pair{m.Not(a.b), a.f.Not()}
+			}
+		}
+		p := build(4)
+		// also exercise quantification
+		i := r.Intn(n)
+		p = pair{m.Exists(p.b, i), p.f.Exists(i)}
+		for row := 0; row < 1<<uint(n); row++ {
+			if m.Eval(p.b, uint(row)) != p.f.Row(uint(row)) {
+				return false
+			}
+		}
+		if m.SatCount(p.b, n) != p.f.Count() {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if m.CertainlyTrue(p.b, v) != p.f.CertainlyGround(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package bddprop
+
+import (
+	"testing"
+
+	"xlp/internal/corpus"
+	"xlp/internal/prop"
+)
+
+func TestAppend(t *testing.T) {
+	a, err := Analyze(`
+		ap([], Ys, Ys).
+		ap([X|Xs], Ys, [X|Zs]) :- ap(Xs, Ys, Zs).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := a.Results["ap/3"]
+	// X∧Y ↔ Z has 4 satisfying rows.
+	if got := a.Manager.SatCount(r.Success, 3); got != 4 {
+		t.Fatalf("ap success rows = %d, want 4", got)
+	}
+	if r.GroundArgs[0] || r.GroundArgs[1] || r.GroundArgs[2] {
+		t.Fatal("append grounds nothing")
+	}
+}
+
+// The BDD-based analyzer and the enumerative declarative analyzer
+// implement the same analysis: success formulas must coincide (the §4
+// comparison).
+func TestAgreesWithPropOnCorpus(t *testing.T) {
+	for _, p := range corpus.LogicPrograms() {
+		if p.Name == "read" || p.Name == "kalah" {
+			// covered by the (slower) full-corpus integration tests
+			continue
+		}
+		b, err := Analyze(p.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		pr, err := prop.Analyze(p.Source, prop.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		for ind, br := range b.Results {
+			prr := pr.Results[ind]
+			if prr == nil {
+				continue
+			}
+			// Compare row by row.
+			for row := 0; row < 1<<uint(br.Arity); row++ {
+				if b.Manager.Eval(br.Success, uint(row)) != prr.Success.Row(uint(row)) {
+					t.Errorf("%s %s row %d: bdd=%v prop=%v", p.Name, ind, row,
+						b.Manager.Eval(br.Success, uint(row)), prr.Success.Row(uint(row)))
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestNodesReported(t *testing.T) {
+	a, err := Analyze(`p(a). q(X) :- p(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Nodes < 2 || a.Iterations < 1 {
+		t.Fatalf("metrics: nodes=%d iters=%d", a.Nodes, a.Iterations)
+	}
+}

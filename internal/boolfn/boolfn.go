@@ -1,0 +1,342 @@
+// Package boolfn implements boolean functions over a fixed variable set,
+// represented as explicit truth tables (bitsets over the 2^n rows). This
+// is the enumerative representation the paper adopts from Codish & Demoen
+// for the Prop domain ("we represent the boolean formulae by their truth
+// tables", §3.1): positions in the bitset are minterm rows, disjunction
+// is bitwise OR, conjunction is bitwise AND.
+//
+// The package is shared by the declarative analyzer's collection phase,
+// the special-purpose GAIA-style analyzer, and the tests that validate
+// the BDD representation against it.
+package boolfn
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// MaxVars bounds the table size (2^MaxVars rows). Analyses over clauses
+// with more variables must split or approximate; the corpus stays well
+// below this.
+const MaxVars = 26
+
+// Fun is a boolean function of n variables. Row r (0 <= r < 2^n) encodes
+// the assignment in which variable i is true iff bit i of r is set; the
+// function's value on that row is bit r of the bitset.
+type Fun struct {
+	n    int
+	bits []uint64
+}
+
+func words(n int) int {
+	rows := 1 << uint(n)
+	return (rows + 63) / 64
+}
+
+// New returns the constant-false function of n variables.
+func New(n int) *Fun {
+	if n < 0 || n > MaxVars {
+		panic(fmt.Sprintf("boolfn: variable count %d out of range", n))
+	}
+	return &Fun{n: n, bits: make([]uint64, words(n))}
+}
+
+// False returns the constant-false function of n variables.
+func False(n int) *Fun { return New(n) }
+
+// True returns the constant-true function of n variables.
+func True(n int) *Fun {
+	f := New(n)
+	for i := range f.bits {
+		f.bits[i] = ^uint64(0)
+	}
+	f.mask()
+	return f
+}
+
+// Var returns the projection function x_i of n variables.
+func Var(n, i int) *Fun {
+	f := New(n)
+	fastVar(f, i)
+	return f
+}
+
+// mask clears bits beyond the 2^n rows.
+func (f *Fun) mask() {
+	rows := 1 << uint(f.n)
+	if rem := rows % 64; rem != 0 {
+		f.bits[len(f.bits)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// N returns the number of variables.
+func (f *Fun) N() int { return f.n }
+
+// Clone returns a copy of f.
+func (f *Fun) Clone() *Fun {
+	g := &Fun{n: f.n, bits: append([]uint64{}, f.bits...)}
+	return g
+}
+
+// SetRow marks assignment row r as true.
+func (f *Fun) SetRow(r uint) {
+	f.bits[r/64] |= 1 << (r % 64)
+}
+
+// Row reports the function's value on assignment row r.
+func (f *Fun) Row(r uint) bool {
+	return f.bits[r/64]&(1<<(r%64)) != 0
+}
+
+// FromRows builds a function true exactly on the given rows.
+func FromRows(n int, rows []uint) *Fun {
+	f := New(n)
+	for _, r := range rows {
+		f.SetRow(r)
+	}
+	return f
+}
+
+func (f *Fun) check(g *Fun) {
+	if f.n != g.n {
+		panic(fmt.Sprintf("boolfn: arity mismatch %d vs %d", f.n, g.n))
+	}
+}
+
+// And returns f ∧ g.
+func (f *Fun) And(g *Fun) *Fun {
+	f.check(g)
+	out := f.Clone()
+	for i := range out.bits {
+		out.bits[i] &= g.bits[i]
+	}
+	return out
+}
+
+// Or returns f ∨ g.
+func (f *Fun) Or(g *Fun) *Fun {
+	f.check(g)
+	out := f.Clone()
+	for i := range out.bits {
+		out.bits[i] |= g.bits[i]
+	}
+	return out
+}
+
+// Not returns ¬f.
+func (f *Fun) Not() *Fun {
+	out := f.Clone()
+	for i := range out.bits {
+		out.bits[i] = ^out.bits[i]
+	}
+	out.mask()
+	return out
+}
+
+// Iff returns f ↔ g, the key connective of the Prop domain.
+func (f *Fun) Iff(g *Fun) *Fun {
+	f.check(g)
+	out := f.Clone()
+	for i := range out.bits {
+		out.bits[i] = ^(out.bits[i] ^ g.bits[i])
+	}
+	out.mask()
+	return out
+}
+
+// Implies returns the function f → g.
+func (f *Fun) Implies(g *Fun) *Fun { return f.Not().Or(g) }
+
+// Entails reports whether f → g is a tautology.
+func (f *Fun) Entails(g *Fun) bool {
+	f.check(g)
+	for i := range f.bits {
+		if f.bits[i]&^g.bits[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether f and g are the same function.
+func (f *Fun) Equal(g *Fun) bool {
+	f.check(g)
+	for i := range f.bits {
+		if f.bits[i] != g.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFalse reports whether f is the constant false.
+func (f *Fun) IsFalse() bool {
+	for _, w := range f.bits {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsTrue reports whether f is the constant true.
+func (f *Fun) IsTrue() bool { return f.Count() == 1<<uint(f.n) }
+
+// Count returns the number of satisfying assignments.
+func (f *Fun) Count() int {
+	n := 0
+	for _, w := range f.bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Exists returns ∃x_i. f (used for projecting out clause-local
+// variables when restricting a description to the head variables).
+func (f *Fun) Exists(i int) *Fun { return fastExists(f, i) }
+
+// Restrict returns f with variable i fixed to the given value; the
+// result still formally ranges over n variables.
+func (f *Fun) Restrict(i int, val bool) *Fun { return fastRestrict(f, i, val) }
+
+// Rename maps f over a variable renaming: out has m variables and
+// out(y) = f(x) where x_i = y_perm[i]. perm must have length f.n and
+// entries < m.
+func (f *Fun) Rename(m int, perm []int) *Fun {
+	if len(perm) != f.n {
+		panic("boolfn: bad renaming length")
+	}
+	out := New(m)
+	for r := 0; r < 1<<uint(m); r++ {
+		var src uint
+		for i, p := range perm {
+			if r&(1<<uint(p)) != 0 {
+				src |= 1 << uint(i)
+			}
+		}
+		if f.Row(src) {
+			out.SetRow(uint(r))
+		}
+	}
+	return out
+}
+
+// CertainlyGround reports whether variable i is true in every satisfying
+// assignment — i.e. the formula entails x_i, the "argument is definitely
+// ground" judgement of groundness analysis. It is false for the
+// unsatisfiable function (no successes: vacuous, but reporting
+// groundness for dead code would be misleading; callers check IsFalse).
+func (f *Fun) CertainlyGround(i int) bool {
+	if f.IsFalse() {
+		return false
+	}
+	for r := 0; r < 1<<uint(f.n); r++ {
+		if f.Row(uint(r)) && r&(1<<uint(i)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the function as a sum of minterms over x0..x{n-1}.
+func (f *Fun) String() string {
+	names := make([]string, f.n)
+	for i := range names {
+		names[i] = fmt.Sprintf("x%d", i)
+	}
+	return f.Format(names)
+}
+
+// Format renders the function with the given variable names: constant
+// true/false, a recognized Prop shape (a conjunction of variables, a
+// two-variable iff, or x_k ↔ ∧ of the others — the forms groundness
+// analysis produces constantly), else a sum of minterms.
+func (f *Fun) Format(names []string) string {
+	if len(names) != f.n {
+		panic("boolfn: bad name list")
+	}
+	if f.IsFalse() {
+		return "false"
+	}
+	if f.IsTrue() {
+		return "true"
+	}
+	if s, ok := f.niceForm(names); ok {
+		return s
+	}
+	var terms []string
+	for r := 0; r < 1<<uint(f.n); r++ {
+		if !f.Row(uint(r)) {
+			continue
+		}
+		var lits []string
+		for i := 0; i < f.n; i++ {
+			if r&(1<<uint(i)) != 0 {
+				lits = append(lits, names[i])
+			} else {
+				lits = append(lits, "~"+names[i])
+			}
+		}
+		terms = append(terms, strings.Join(lits, "&"))
+	}
+	return strings.Join(terms, " | ")
+}
+
+// niceForm tries to recognize the boolean-function shapes groundness
+// analysis produces, returning a readable rendering:
+//
+//   - a conjunction of some variables (ground facts): "A1 & A3"
+//   - an iff between a variable and a conjunction of others, possibly
+//     conjoined with further certainly-true variables: "A1&A2 <-> A3"
+func (f *Fun) niceForm(names []string) (string, bool) {
+	// Which variables are certainly true?
+	var certain []int
+	for i := 0; i < f.n; i++ {
+		if f.CertainlyGround(i) {
+			certain = append(certain, i)
+		}
+	}
+	// Pure conjunction of the certain variables?
+	g := True(f.n)
+	for _, i := range certain {
+		g = g.And(Var(f.n, i))
+	}
+	if len(certain) > 0 && f.Equal(g) {
+		return joinNames(names, certain, "&"), true
+	}
+	// x_k ↔ ∧(subset): try each k against the conjunction of the
+	// variables its truth co-varies with. Candidate subset: vars j != k
+	// such that the formula entails x_k → x_j... cheap approximation:
+	// try subset = all other vars, then all pairs.
+	for k := 0; k < f.n; k++ {
+		others := True(f.n)
+		var idx []int
+		for j := 0; j < f.n; j++ {
+			if j != k {
+				others = others.And(Var(f.n, j))
+				idx = append(idx, j)
+			}
+		}
+		// n == 2 is handled by the symmetric pair loop below.
+		if f.n >= 3 && f.Equal(Var(f.n, k).Iff(others)) {
+			return joinNames(names, idx, "&") + " <-> " + names[k], true
+		}
+	}
+	for i := 0; i < f.n; i++ {
+		for j := i + 1; j < f.n; j++ {
+			if f.Equal(Var(f.n, i).Iff(Var(f.n, j))) {
+				return names[i] + " <-> " + names[j], true
+			}
+		}
+	}
+	return "", false
+}
+
+func joinNames(names []string, idx []int, sep string) string {
+	parts := make([]string, len(idx))
+	for i, j := range idx {
+		parts[i] = names[j]
+	}
+	return strings.Join(parts, sep)
+}

@@ -1,0 +1,213 @@
+package boolfn
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstants(t *testing.T) {
+	f := False(3)
+	if !f.IsFalse() || f.IsTrue() || f.Count() != 0 {
+		t.Fatal("False(3) wrong")
+	}
+	g := True(3)
+	if !g.IsTrue() || g.IsFalse() || g.Count() != 8 {
+		t.Fatal("True(3) wrong")
+	}
+	if False(0).IsTrue() || !True(0).IsTrue() {
+		t.Fatal("0-ary constants wrong")
+	}
+}
+
+func TestVarProjection(t *testing.T) {
+	x1 := Var(3, 1)
+	if x1.Count() != 4 {
+		t.Fatalf("Var count = %d", x1.Count())
+	}
+	for r := 0; r < 8; r++ {
+		want := r&2 != 0
+		if x1.Row(uint(r)) != want {
+			t.Fatalf("row %d = %v", r, x1.Row(uint(r)))
+		}
+	}
+}
+
+func TestConnectives(t *testing.T) {
+	x, y := Var(2, 0), Var(2, 1)
+	and := x.And(y)
+	if and.Count() != 1 || !and.Row(3) {
+		t.Fatal("And wrong")
+	}
+	or := x.Or(y)
+	if or.Count() != 3 || or.Row(0) {
+		t.Fatal("Or wrong")
+	}
+	iff := x.Iff(y)
+	if iff.Count() != 2 || !iff.Row(0) || !iff.Row(3) {
+		t.Fatal("Iff wrong")
+	}
+	imp := x.Implies(y)
+	if imp.Row(1) || !imp.Row(0) || !imp.Row(2) || !imp.Row(3) {
+		t.Fatal("Implies wrong")
+	}
+	if !x.And(y).Entails(x) || x.Entails(y) {
+		t.Fatal("Entails wrong")
+	}
+}
+
+func TestExistsRestrict(t *testing.T) {
+	x, y := Var(2, 0), Var(2, 1)
+	f := x.And(y)
+	ex := f.Exists(0) // ∃x. x∧y  =  y
+	if !ex.Equal(y) {
+		t.Fatalf("Exists = %s", ex)
+	}
+	r := f.Restrict(0, true) // (x∧y)[x=true] = y
+	if !r.Equal(y) {
+		t.Fatalf("Restrict = %s", r)
+	}
+	r0 := f.Restrict(0, false)
+	if !r0.IsFalse() {
+		t.Fatalf("Restrict false = %s", r0)
+	}
+}
+
+func TestRename(t *testing.T) {
+	// f(x0,x1) = x0∧¬x1, renamed into 3 vars with x0->y2, x1->y0.
+	f := Var(2, 0).And(Var(2, 1).Not())
+	g := f.Rename(3, []int{2, 0})
+	want := Var(3, 2).And(Var(3, 0).Not())
+	if !g.Equal(want) {
+		t.Fatalf("Rename = %s, want %s", g, want)
+	}
+}
+
+func TestCertainlyGround(t *testing.T) {
+	// append's success formula: x∧y ↔ z
+	x, y, z := Var(3, 0), Var(3, 1), Var(3, 2)
+	app := x.And(y).Iff(z)
+	if app.CertainlyGround(0) || app.CertainlyGround(2) {
+		t.Fatal("append grounds nothing unconditionally")
+	}
+	withGroundInputs := app.And(x).And(y)
+	if !withGroundInputs.CertainlyGround(2) {
+		t.Fatal("ground inputs must ground the output")
+	}
+	if False(3).CertainlyGround(0) {
+		t.Fatal("unsatisfiable function reports no groundness")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	if got := True(2).Format([]string{"a", "b"}); got != "true" {
+		t.Fatalf("got %q", got)
+	}
+	if got := False(1).Format([]string{"a"}); got != "false" {
+		t.Fatalf("got %q", got)
+	}
+	f := Var(2, 0).And(Var(2, 1).Not())
+	if got := f.Format([]string{"a", "b"}); got != "a&~b" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// brute-force evaluator for validation
+func eval(expr func(assign uint) bool, n int) *Fun {
+	f := New(n)
+	for r := 0; r < 1<<uint(n); r++ {
+		if expr(uint(r)) {
+			f.SetRow(uint(r))
+		}
+	}
+	return f
+}
+
+func TestPropAlgebraLaws(t *testing.T) {
+	randFun := func(r *rand.Rand, n int) *Fun {
+		f := New(n)
+		for i := 0; i < 1<<uint(n); i++ {
+			if r.Intn(2) == 0 {
+				f.SetRow(uint(i))
+			}
+		}
+		return f
+	}
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(4)
+		f := randFun(r, n)
+		g := randFun(r, n)
+		h := randFun(r, n)
+		// De Morgan
+		if !f.And(g).Not().Equal(f.Not().Or(g.Not())) {
+			return false
+		}
+		// distributivity
+		if !f.And(g.Or(h)).Equal(f.And(g).Or(f.And(h))) {
+			return false
+		}
+		// double negation
+		if !f.Not().Not().Equal(f) {
+			return false
+		}
+		// iff via implications
+		if !f.Iff(g).Equal(f.Implies(g).And(g.Implies(f))) {
+			return false
+		}
+		// exists is monotone and an upper bound
+		i := r.Intn(n)
+		if !f.Entails(f.Exists(i)) {
+			return false
+		}
+		// restrict-then-exists identity: ∃i.f == f[i=0] ∨ f[i=1]
+		if !f.Exists(i).Equal(f.Restrict(i, false).Or(f.Restrict(i, true))) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchesBruteForce(t *testing.T) {
+	// x0 ↔ (x1 ∧ x2), the iff/3 relation of the Prop encoding.
+	n := 3
+	got := Var(n, 0).Iff(Var(n, 1).And(Var(n, 2)))
+	want := eval(func(a uint) bool {
+		x0 := a&1 != 0
+		x1 := a&2 != 0
+		x2 := a&4 != 0
+		return x0 == (x1 && x2)
+	}, n)
+	if !got.Equal(want) {
+		t.Fatalf("iff/3 table wrong: %s", got)
+	}
+	if got.Count() != 4 {
+		t.Fatalf("iff/3 has %d rows, want 4 (paper §3.1)", got.Count())
+	}
+}
+
+func TestNiceForms(t *testing.T) {
+	names3 := []string{"A1", "A2", "A3"}
+	app := Var(3, 0).And(Var(3, 1)).Iff(Var(3, 2))
+	if got := app.Format(names3); got != "A1&A2 <-> A3" {
+		t.Fatalf("append form = %q", got)
+	}
+	facts := Var(3, 0).And(Var(3, 2))
+	if got := facts.Format(names3); got != "A1&A3" {
+		t.Fatalf("conjunction form = %q", got)
+	}
+	names2 := []string{"In", "Out"}
+	nrev := Var(2, 0).Iff(Var(2, 1))
+	if got := nrev.Format(names2); got != "In <-> Out" {
+		t.Fatalf("iff form = %q", got)
+	}
+	// Unrecognized shapes still get the minterm rendering.
+	odd := Var(2, 0).Or(Var(2, 1).Not())
+	if got := odd.Format(names2); !strings.Contains(got, "|") {
+		t.Fatalf("fallback form = %q", got)
+	}
+}

@@ -1,0 +1,184 @@
+package boolfn
+
+// Word-level implementations of the quantification and projection
+// operations. Row r of a Fun lives at bit (r % 64) of word (r / 64), so
+// for variable i < 6 the two halves of each row pair are within one
+// word (separated by 1<<i bits), and for i >= 6 they are whole words
+// separated by a stride of 1<<(i-6) words.
+
+// varMask[i] is the repeating 64-bit pattern of rows where bit i of the
+// row index is set, for i in 0..5.
+var varMask = [6]uint64{
+	0xAAAAAAAAAAAAAAAA,
+	0xCCCCCCCCCCCCCCCC,
+	0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00,
+	0xFFFF0000FFFF0000,
+	0xFFFFFFFF00000000,
+}
+
+// fastVar fills f with the projection function x_i.
+func fastVar(f *Fun, i int) {
+	if i < 6 {
+		for j := range f.bits {
+			f.bits[j] = varMask[i]
+		}
+		f.mask()
+		return
+	}
+	stride := 1 << uint(i-6)
+	for j := range f.bits {
+		if j&stride != 0 {
+			f.bits[j] = ^uint64(0)
+		}
+	}
+	f.mask()
+}
+
+// fastExists computes ∃x_i. f into a fresh Fun.
+func fastExists(f *Fun, i int) *Fun {
+	out := New(f.n)
+	if i < 6 {
+		s := uint(1) << uint(i)
+		hi := varMask[i]
+		lo := ^hi
+		for j, w := range f.bits {
+			out.bits[j] = w | ((w & hi) >> s) | ((w & lo) << s)
+		}
+		out.mask()
+		return out
+	}
+	stride := 1 << uint(i-6)
+	for j := range f.bits {
+		out.bits[j] = f.bits[j] | f.bits[j^stride]
+	}
+	out.mask()
+	return out
+}
+
+// fastRestrict computes f[x_i := val] into a fresh Fun (still over n
+// variables; the result is independent of x_i).
+func fastRestrict(f *Fun, i int, val bool) *Fun {
+	out := New(f.n)
+	if i < 6 {
+		s := uint(1) << uint(i)
+		hi := varMask[i]
+		lo := ^hi
+		for j, w := range f.bits {
+			if val {
+				keep := w & hi
+				out.bits[j] = keep | (keep >> s)
+			} else {
+				keep := w & lo
+				out.bits[j] = keep | (keep << s)
+			}
+		}
+		out.mask()
+		return out
+	}
+	stride := 1 << uint(i-6)
+	for j := range f.bits {
+		src := j &^ stride
+		if val {
+			src |= stride
+		}
+		out.bits[j] = f.bits[src]
+	}
+	out.mask()
+	return out
+}
+
+// ExtendBy returns f viewed as a function of n+k variables, independent
+// of the new (top) variables. The bit pattern simply repeats.
+func (f *Fun) ExtendBy(k int) *Fun {
+	if k == 0 {
+		return f.Clone()
+	}
+	n2 := f.n + k
+	if n2 > MaxVars {
+		panic("boolfn: ExtendBy exceeds MaxVars")
+	}
+	out := New(n2)
+	if f.n >= 6 {
+		// Whole-word replication.
+		for j := range out.bits {
+			out.bits[j] = f.bits[j%len(f.bits)]
+		}
+		out.mask()
+		return out
+	}
+	// Build the first word by repeating the 2^n-bit pattern, then
+	// replicate.
+	rows := 1 << uint(f.n)
+	pat := f.bits[0] & ((1 << uint(rows)) - 1)
+	if rows == 64 {
+		pat = f.bits[0]
+	}
+	word := pat
+	for width := rows; width < 64; width *= 2 {
+		word |= word << uint(width)
+	}
+	for j := range out.bits {
+		out.bits[j] = word
+	}
+	out.mask()
+	return out
+}
+
+// Forget existentially quantifies variable i and removes it from the
+// variable set, renumbering variables above i down by one.
+func (f *Fun) Forget(i int) *Fun {
+	q := fastExists(f, i)
+	out := New(f.n - 1)
+	// Keep the rows with bit i = 0, compressing the index.
+	lowMask := (uint(1) << uint(i)) - 1
+	for r := 0; r < 1<<uint(f.n-1); r++ {
+		src := uint(r)&lowMask | (uint(r)&^lowMask)<<1
+		if q.Row(src) {
+			out.SetRow(uint(r))
+		}
+	}
+	return out
+}
+
+// ProjectOnto returns the function of len(positions) variables obtained
+// by existentially quantifying every other variable of f and reading
+// variable j of the result from position positions[j] of f.
+func (f *Fun) ProjectOnto(positions []int) *Fun {
+	out := New(len(positions))
+	for r := 0; r < 1<<uint(f.n); r++ {
+		if !f.Row(uint(r)) {
+			continue
+		}
+		var dst uint
+		for j, p := range positions {
+			if r&(1<<uint(p)) != 0 {
+				dst |= 1 << uint(j)
+			}
+		}
+		out.SetRow(dst)
+	}
+	return out
+}
+
+// Embed returns the function of m variables obtained by reading variable
+// i of f from position positions[i]; all other variables are free. It is
+// the inverse direction of ProjectOnto (a cylindrification).
+func (f *Fun) Embed(m int, positions []int) *Fun {
+	if len(positions) != f.n {
+		panic("boolfn: Embed positions mismatch")
+	}
+	out := New(m)
+	for r := 0; r < 1<<uint(m); r++ {
+		var src uint
+		for i, p := range positions {
+			if r&(1<<uint(p)) != 0 {
+				src |= 1 << uint(i)
+			}
+		}
+		if f.Row(src) {
+			out.SetRow(uint(r))
+		}
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package boolfn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naive reference implementations, kept for differential testing of the
+// word-level versions.
+
+func naiveVar(n, i int) *Fun {
+	f := New(n)
+	for r := 0; r < 1<<uint(n); r++ {
+		if r&(1<<uint(i)) != 0 {
+			f.SetRow(uint(r))
+		}
+	}
+	return f
+}
+
+func naiveExists(f *Fun, i int) *Fun {
+	out := New(f.n)
+	for r := 0; r < 1<<uint(f.n); r++ {
+		if f.Row(uint(r)) {
+			out.SetRow(uint(r))
+			out.SetRow(uint(r) ^ (1 << uint(i)))
+		}
+	}
+	return out
+}
+
+func naiveRestrict(f *Fun, i int, val bool) *Fun {
+	out := New(f.n)
+	bit := uint(1) << uint(i)
+	for r := 0; r < 1<<uint(f.n); r++ {
+		fixed := uint(r)
+		if val {
+			fixed |= bit
+		} else {
+			fixed &^= bit
+		}
+		if f.Row(fixed) {
+			out.SetRow(uint(r))
+		}
+	}
+	return out
+}
+
+func randomFun(r *rand.Rand, n int) *Fun {
+	f := New(n)
+	for i := 0; i < 1<<uint(n); i++ {
+		if r.Intn(2) == 0 {
+			f.SetRow(uint(i))
+		}
+	}
+	return f
+}
+
+func TestPropFastOpsMatchNaive(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(9) // cover both sub-word and multi-word cases
+		f := randomFun(r, n)
+		i := r.Intn(n)
+		if !Var(n, i).Equal(naiveVar(n, i)) {
+			return false
+		}
+		if !f.Exists(i).Equal(naiveExists(f, i)) {
+			return false
+		}
+		if !f.Restrict(i, true).Equal(naiveRestrict(f, i, true)) {
+			return false
+		}
+		if !f.Restrict(i, false).Equal(naiveRestrict(f, i, false)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtendBy(t *testing.T) {
+	// f(x0) = x0 extended by 2: still x0 over 3 vars.
+	f := Var(1, 0).ExtendBy(2)
+	if !f.Equal(Var(3, 0)) {
+		t.Fatalf("ExtendBy: %s", f)
+	}
+	// extension leaves the function independent of the new variables
+	g := Var(2, 1).And(Var(2, 0).Not()).ExtendBy(5)
+	if g.N() != 7 {
+		t.Fatal("wrong arity")
+	}
+	if !g.Exists(6).Equal(g) {
+		t.Fatal("new variable must be unconstrained")
+	}
+	if !Var(6, 3).ExtendBy(3).Equal(Var(9, 3)) {
+		t.Fatal("multi-word extension wrong")
+	}
+}
+
+func TestForget(t *testing.T) {
+	// f(x0,x1,x2) = x0 ∧ x1 ∧ x2; forgetting x1 gives x0 ∧ x1' where
+	// x1' is the renumbered x2.
+	f := True(3).And(Var(3, 0)).And(Var(3, 1)).And(Var(3, 2))
+	g := f.Forget(1)
+	want := Var(2, 0).And(Var(2, 1))
+	if !g.Equal(want) {
+		t.Fatalf("Forget = %s, want %s", g, want)
+	}
+}
+
+func TestProjectEmbedRoundTrip(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		f := randomFun(r, n)
+		// Project onto a random subset, embed back: result must be
+		// entailed by... actually f entails embed(project(f)).
+		k := 1 + r.Intn(n)
+		perm := r.Perm(n)[:k]
+		proj := f.ProjectOnto(perm)
+		emb := proj.Embed(n, perm)
+		return f.Entails(emb)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectOntoIdentity(t *testing.T) {
+	f := Var(3, 0).Iff(Var(3, 1).And(Var(3, 2)))
+	all := f.ProjectOnto([]int{0, 1, 2})
+	if !all.Equal(f) {
+		t.Fatal("identity projection changed the function")
+	}
+	swapped := f.ProjectOnto([]int{2, 1, 0})
+	want := Var(3, 2).Iff(Var(3, 1).And(Var(3, 0)))
+	if !swapped.Equal(want) {
+		t.Fatalf("swapped projection = %s", swapped)
+	}
+}
+
+func naiveSwap(f *Fun, i, j int) *Fun {
+	out := New(f.n)
+	for r := 0; r < 1<<uint(f.n); r++ {
+		if !f.Row(uint(r)) {
+			continue
+		}
+		bi := (r >> uint(i)) & 1
+		bj := (r >> uint(j)) & 1
+		r2 := r &^ (1<<uint(i) | 1<<uint(j))
+		r2 |= bi << uint(j)
+		r2 |= bj << uint(i)
+		out.SetRow(uint(r2))
+	}
+	return out
+}
+
+func TestPropSwapMatchesNaive(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		f := randomFun(r, n)
+		i, j := r.Intn(n), r.Intn(n)
+		return f.SwapVars(i, j).Equal(naiveSwap(f, i, j))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForgetTopMatchesForget(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(9)
+		f := randomFun(r, n)
+		return f.ForgetTop().Equal(f.Forget(n - 1))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmbedTopMatchesEmbed(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(5)
+		m := k + r.Intn(8)
+		f := randomFun(r, k)
+		positions := make([]int, k)
+		for i := range positions {
+			positions[i] = m - k + i
+		}
+		return f.EmbedTop(m).Equal(f.Embed(m, positions))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+package boolfn
+
+// SwapVars returns f with variables i and j exchanged. All three layout
+// cases (both sub-word, both word-level, mixed) are handled with
+// word-parallel delta swaps, so the cost is O(2^n / 64).
+func (f *Fun) SwapVars(i, j int) *Fun {
+	if i == j {
+		return f.Clone()
+	}
+	if i > j {
+		i, j = j, i
+	}
+	out := f.Clone()
+	switch {
+	case j < 6:
+		// Both within a word: classic delta swap on every word.
+		s := uint(1<<uint(j) - 1<<uint(i))
+		mask := varMask[i] & ^varMask[j] // rows with bit i = 1, bit j = 0
+		for k, w := range out.bits {
+			t := ((w >> s) ^ w) & mask
+			out.bits[k] = w ^ t ^ (t << s)
+		}
+	case i >= 6:
+		// Both select whole words: swap word pairs.
+		si := 1 << uint(i-6)
+		sj := 1 << uint(j-6)
+		for k := range out.bits {
+			if k&si != 0 && k&sj == 0 {
+				k2 := k ^ si ^ sj
+				out.bits[k], out.bits[k2] = out.bits[k2], out.bits[k]
+			}
+		}
+	default:
+		// i < 6 <= j: exchange sub-word groups across word pairs.
+		s := uint(1) << uint(i)
+		sj := 1 << uint(j-6)
+		lo := ^varMask[i] // rows with bit i = 0
+		for k := range out.bits {
+			if k&sj != 0 {
+				continue
+			}
+			a := out.bits[k]    // j = 0 words
+			b := out.bits[k|sj] // j = 1 words
+			t := ((a >> s) ^ b) & lo
+			out.bits[k] = a ^ (t << s)
+			out.bits[k|sj] = b ^ t
+		}
+	}
+	return out
+}
+
+// ForgetTop existentially quantifies the top variable (n-1) and drops it:
+// the result has n-1 variables. The top variable splits the bit array in
+// half, so this is a word-level OR.
+func (f *Fun) ForgetTop() *Fun {
+	if f.n == 0 {
+		panic("boolfn: ForgetTop on 0-ary function")
+	}
+	out := New(f.n - 1)
+	if f.n-1 >= 6 {
+		half := len(f.bits) / 2
+		for k := 0; k < half; k++ {
+			out.bits[k] = f.bits[k] | f.bits[k+half]
+		}
+		return out
+	}
+	rows := 1 << uint(f.n-1)
+	w := f.bits[0]
+	out.bits[0] = (w | (w >> uint(rows))) & (1<<uint(rows) - 1)
+	return out
+}
+
+// EmbedTop views f (k variables) as a function of m >= k variables whose
+// TOP k variables are f's variables (in order) and whose lower m-k
+// variables are unconstrained: out(r) = f(r >> (m-k)).
+func (f *Fun) EmbedTop(m int) *Fun {
+	k := f.n
+	if m < k {
+		panic("boolfn: EmbedTop shrinks")
+	}
+	if m == k {
+		return f.Clone()
+	}
+	out := New(m)
+	low := m - k
+	if low >= 6 {
+		blockWords := 1 << uint(low-6)
+		for t := 0; t < 1<<uint(k); t++ {
+			if !f.Row(uint(t)) {
+				continue
+			}
+			base := t * blockWords
+			for w := 0; w < blockWords; w++ {
+				out.bits[base+w] = ^uint64(0)
+			}
+		}
+		out.mask()
+		return out
+	}
+	// Blocks are sub-word runs of 2^low bits.
+	blockBits := uint(1) << uint(low)
+	var run uint64 = 1<<blockBits - 1
+	if blockBits == 64 {
+		run = ^uint64(0)
+	}
+	for t := 0; t < 1<<uint(k); t++ {
+		if !f.Row(uint(t)) {
+			continue
+		}
+		pos := uint(t) * blockBits
+		out.bits[pos/64] |= run << (pos % 64)
+	}
+	out.mask()
+	return out
+}

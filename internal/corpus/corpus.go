@@ -1,0 +1,130 @@
+// Package corpus embeds the benchmark programs for the paper's
+// evaluation: twelve logic programs matching Table 1/2/4's benchmark
+// names and ten functional programs matching Table 3's.
+//
+// The original Aquarius/GAIA and EQUALS benchmark sources are not
+// redistributable here; these are re-written programs with the same
+// names, approximate sizes, and structural character (see DESIGN.md §3
+// for the substitution rationale). They are inputs to the analyses —
+// parsed and abstracted, never executed.
+package corpus
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+//go:embed programs/*.pl programs/*.fl
+var programFS embed.FS
+
+// Kind distinguishes the two benchmark families.
+type Kind int
+
+const (
+	Logic      Kind = iota // Prolog programs (groundness, depth-k)
+	Functional             // functional programs (strictness)
+)
+
+// Program is one benchmark.
+type Program struct {
+	Name   string
+	Kind   Kind
+	Source string
+	Lines  int
+}
+
+// PaperLines records the source sizes the paper reports, for the size
+// columns of the regenerated tables.
+var PaperLines = map[string]int{
+	"cs": 182, "disj": 172, "gabriel": 122, "kalah": 278, "peep": 369,
+	"pg": 53, "plan": 84, "press1": 349, "press2": 351, "qsort": 21,
+	"queens": 33, "read": 443,
+	"eu": 67, "event": 384, "fft": 343, "listcompr": 241,
+	"mergesort": 65, "nq": 90, "odprove": 160, "pcprove": 595,
+	"quicksort": 70, "strassen": 93,
+}
+
+// logicNames in Table 1 order.
+var logicNames = []string{
+	"cs", "disj", "gabriel", "kalah", "peep", "pg",
+	"plan", "press1", "press2", "qsort", "queens", "read",
+}
+
+// depthKNames is the Table 4 subset (the paper omits gabriel, press1
+// and press2 from the depth-k experiment).
+var depthKNames = []string{
+	"cs", "disj", "kalah", "peep", "pg", "plan", "qsort", "queens", "read",
+}
+
+// funcNames in Table 3 order.
+var funcNames = []string{
+	"eu", "event", "fft", "listcompr", "mergesort",
+	"nq", "odprove", "pcprove", "quicksort", "strassen",
+}
+
+func load(name, ext string, kind Kind) Program {
+	data, err := programFS.ReadFile("programs/" + name + ext)
+	if err != nil {
+		panic(fmt.Sprintf("corpus: missing embedded program %s%s: %v", name, ext, err))
+	}
+	src := string(data)
+	return Program{
+		Name:   name,
+		Kind:   kind,
+		Source: src,
+		Lines:  strings.Count(src, "\n") + 1,
+	}
+}
+
+// LogicPrograms returns the Table 1 benchmarks in table order.
+func LogicPrograms() []Program {
+	out := make([]Program, 0, len(logicNames))
+	for _, n := range logicNames {
+		out = append(out, load(n, ".pl", Logic))
+	}
+	return out
+}
+
+// DepthKPrograms returns the Table 4 subset in table order.
+func DepthKPrograms() []Program {
+	out := make([]Program, 0, len(depthKNames))
+	for _, n := range depthKNames {
+		out = append(out, load(n, ".pl", Logic))
+	}
+	return out
+}
+
+// FuncPrograms returns the Table 3 benchmarks in table order.
+func FuncPrograms() []Program {
+	out := make([]Program, 0, len(funcNames))
+	for _, n := range funcNames {
+		out = append(out, load(n, ".fl", Functional))
+	}
+	return out
+}
+
+// Get returns a benchmark by name (either family).
+func Get(name string) (Program, error) {
+	for _, n := range logicNames {
+		if n == name {
+			return load(n, ".pl", Logic), nil
+		}
+	}
+	for _, n := range funcNames {
+		if n == name {
+			return load(n, ".fl", Functional), nil
+		}
+	}
+	return Program{}, fmt.Errorf("corpus: unknown benchmark %q", name)
+}
+
+// Names returns all benchmark names, logic first, each family sorted in
+// table order.
+func Names() []string {
+	out := append([]string{}, logicNames...)
+	return append(out, funcNames...)
+}
+
+var _ = sort.Strings

@@ -1,0 +1,80 @@
+package corpus
+
+import (
+	"testing"
+
+	"xlp/internal/fl"
+	"xlp/internal/prolog"
+)
+
+func TestAllLogicProgramsParse(t *testing.T) {
+	for _, p := range LogicPrograms() {
+		clauses, err := prolog.ParseProgram(p.Source)
+		if err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
+		if len(clauses) < 5 {
+			t.Errorf("%s: only %d clauses", p.Name, len(clauses))
+		}
+	}
+}
+
+func TestAllFuncProgramsParse(t *testing.T) {
+	for _, p := range FuncPrograms() {
+		prog, err := fl.Parse(p.Source)
+		if err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
+		if len(prog.Funcs) < 3 {
+			t.Errorf("%s: only %d functions", p.Name, len(prog.Funcs))
+		}
+	}
+}
+
+func TestSizesRoughlyMatchPaper(t *testing.T) {
+	all := append(LogicPrograms(), FuncPrograms()...)
+	for _, p := range all {
+		want, ok := PaperLines[p.Name]
+		if !ok {
+			t.Errorf("%s: no paper size recorded", p.Name)
+			continue
+		}
+		// Sizes should be within a factor of ~2.5 of the paper's
+		// (these are reconstructions, not the original sources).
+		if p.Lines*5 < want*2 || p.Lines > want*5/2 {
+			t.Errorf("%s: %d lines, paper had %d", p.Name, p.Lines, want)
+		}
+	}
+}
+
+func TestTableMembership(t *testing.T) {
+	if len(LogicPrograms()) != 12 {
+		t.Fatalf("Table 1 has 12 benchmarks, got %d", len(LogicPrograms()))
+	}
+	if len(FuncPrograms()) != 10 {
+		t.Fatalf("Table 3 has 10 benchmarks, got %d", len(FuncPrograms()))
+	}
+	if len(DepthKPrograms()) != 9 {
+		t.Fatalf("Table 4 has 9 benchmarks, got %d", len(DepthKPrograms()))
+	}
+	for _, p := range DepthKPrograms() {
+		switch p.Name {
+		case "gabriel", "press1", "press2":
+			t.Errorf("%s is not in Table 4", p.Name)
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	if _, err := Get("qsort"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Get("pcprove"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Get("nosuch"); err == nil {
+		t.Fatal("Get of unknown benchmark should fail")
+	}
+}

@@ -1,0 +1,217 @@
+% cs -- cutting-stock program (182 lines in the original suite): choose
+% cutting patterns for stock lengths to satisfy demands, tracking waste.
+% Mixed arithmetic, accumulator recursion and a rule base of patterns.
+
+cs(Demands, Plan, Waste) :-
+    stock_length(L),
+    patterns(L, Pats),
+    cover(Demands, Pats, Plan),
+    waste_of(Plan, Pats, Waste).
+
+stock_length(100).
+
+demands([d(20, 4), d(35, 3), d(45, 2), d(55, 1)]).
+
+% A pattern is pat(Id, Cuts, Used) where Cuts is a multiset of piece
+% lengths and Used their total.
+patterns(L, Pats) :-
+    piece_lengths(Ps),
+    gen_patterns(Ps, L, Pats).
+
+piece_lengths([20, 35, 45, 55]).
+
+gen_patterns(Ps, L, Pats) :-
+    gen_pats(Ps, L, [], Pats).
+
+gen_pats([], _, Acc, Acc).
+gen_pats([P|Ps], L, Acc, Pats) :-
+    Max is L // P,
+    expand_piece(P, Max, L, Acc, Acc1),
+    gen_pats(Ps, L, Acc1, Pats).
+
+expand_piece(_, 0, _, Acc, Acc) :- !.
+expand_piece(P, N, L, Acc, Out) :-
+    Used is N * P,
+    Used =< L,
+    N1 is N - 1,
+    expand_piece(P, N1, L, [pat(P, N, Used)|Acc], Out).
+expand_piece(P, N, L, Acc, Out) :-
+    Used is N * P,
+    Used > L,
+    N1 is N - 1,
+    expand_piece(P, N1, L, Acc, Out).
+
+cover([], _, []).
+cover([d(Len, Need)|Ds], Pats, [use(Len, Need, Pat)|Plan]) :-
+    pick_pattern(Len, Pats, Pat),
+    cover(Ds, Pats, Plan).
+
+pick_pattern(Len, [pat(Len, N, U)|_], pat(Len, N, U)).
+pick_pattern(Len, [_|Pats], Pat) :-
+    pick_pattern(Len, Pats, Pat).
+
+waste_of(Plan, _, Waste) :-
+    stock_length(L),
+    waste_acc(Plan, L, 0, Waste).
+
+waste_acc([], _, W, W).
+waste_acc([use(_, Need, pat(_, N, Used))|Plan], L, Acc, W) :-
+    Sheets is (Need + N - 1) // N,
+    WasteHere is Sheets * (L - Used),
+    Acc1 is Acc + WasteHere,
+    waste_acc(Plan, L, Acc1, W).
+
+% Evaluation of candidate plans: cost model with setup and material.
+evaluate(Plan, Cost) :-
+    material_cost(Plan, MC),
+    setup_cost(Plan, SC),
+    Cost is MC + SC.
+
+material_cost([], 0).
+material_cost([use(_, Need, pat(_, N, _))|Plan], C) :-
+    Sheets is (Need + N - 1) // N,
+    material_cost(Plan, C1),
+    C is C1 + Sheets * 7.
+
+setup_cost([], 0).
+setup_cost([_|Plan], C) :-
+    setup_cost(Plan, C1),
+    C is C1 + 11.
+
+% Improvement loop: try swapping patterns to reduce waste.
+improve(Plan, Pats, Best) :-
+    evaluate(Plan, C0),
+    improve_step(Plan, Pats, C0, Plan, Best).
+
+improve_step(_, [], _, Best, Best).
+improve_step(Plan, [P|Ps], C0, CurBest, Best) :-
+    swap_in(Plan, P, Plan1),
+    evaluate(Plan1, C1),
+    ( C1 < C0 ->
+        improve_step(Plan1, Ps, C1, Plan1, Best)
+    ;   improve_step(Plan, Ps, C0, CurBest, Best)
+    ).
+
+swap_in([], _, []).
+swap_in([use(Len, Need, _)|Plan], pat(Len, N, U), [use(Len, Need, pat(Len, N, U))|Plan]) :- !.
+swap_in([U|Plan], P, [U|Plan1]) :-
+    swap_in(Plan, P, Plan1).
+
+% Demand feasibility checks.
+feasible([], _).
+feasible([d(Len, Need)|Ds], Pats) :-
+    Need > 0,
+    has_pattern(Len, Pats),
+    feasible(Ds, Pats).
+
+has_pattern(Len, [pat(Len, _, _)|_]) :- !.
+has_pattern(Len, [_|Pats]) :-
+    has_pattern(Len, Pats).
+
+% Reporting helpers.
+report([], []).
+report([use(Len, Need, pat(_, N, Used))|Plan], [line(Len, Need, Sheets, Waste)|Ls]) :-
+    stock_length(L),
+    Sheets is (Need + N - 1) // N,
+    Waste is Sheets * (L - Used),
+    report(Plan, Ls).
+
+total_sheets([], 0).
+total_sheets([line(_, _, S, _)|Ls], T) :-
+    total_sheets(Ls, T1),
+    T is T1 + S.
+
+total_waste([], 0).
+total_waste([line(_, _, _, W)|Ls], T) :-
+    total_waste(Ls, T1),
+    T is T1 + W.
+
+% Sorting plans by waste (insertion sort on the report lines).
+sort_lines([], []).
+sort_lines([L|Ls], Sorted) :-
+    sort_lines(Ls, Ss),
+    insert_line(L, Ss, Sorted).
+
+insert_line(L, [], [L]).
+insert_line(line(A, B, C, W1), [line(D, E, F, W2)|Ls], Out) :-
+    ( W1 =< W2 ->
+        Out = [line(A, B, C, W1), line(D, E, F, W2)|Ls]
+    ;   Out = [line(D, E, F, W2)|Rest],
+        insert_line(line(A, B, C, W1), Ls, Rest)
+    ).
+
+main(Waste) :-
+    demands(Ds),
+    cs(Ds, Plan, Waste),
+    report(Plan, Lines),
+    sort_lines(Lines, _).
+
+% --- column-generation style pattern search -----------------------------------
+
+knapsack_patterns(L, Ps, Best) :-
+    all_patterns(Ps, L, Cands),
+    best_pattern(Cands, none, 0, Best).
+
+all_patterns([], _, []).
+all_patterns([P|Ps], L, Out) :-
+    Max is L // P,
+    counts_for(P, Max, Cs),
+    all_patterns(Ps, L, Rest),
+    app(Cs, Rest, Out).
+
+counts_for(_, 0, []) :- !.
+counts_for(P, N, [cnt(P, N)|Cs]) :-
+    N1 is N - 1,
+    counts_for(P, N1, Cs).
+
+best_pattern([], Best, _, Best).
+best_pattern([cnt(P, N)|Cs], Cur, CurVal, Best) :-
+    Val is P * N,
+    ( Val > CurVal ->
+        best_pattern(Cs, cnt(P, N), Val, Best)
+    ;   best_pattern(Cs, Cur, CurVal, Best)
+    ).
+
+% --- demand splitting for oversized orders -------------------------------------
+
+split_demand(d(Len, Need), Cap, Parts) :-
+    ( Need =< Cap ->
+        Parts = [d(Len, Need)]
+    ;   Rest is Need - Cap,
+        split_demand(d(Len, Rest), Cap, Ps),
+        Parts = [d(Len, Cap)|Ps]
+    ).
+
+split_all([], _, []).
+split_all([D|Ds], Cap, Out) :-
+    split_demand(D, Cap, Ps),
+    split_all(Ds, Cap, Rest),
+    app(Ps, Rest, Out).
+
+% --- sanity checks over plans ----------------------------------------------------
+
+covers([], _).
+covers([d(Len, Need)|Ds], Plan) :-
+    supplied(Len, Plan, Got),
+    Got >= Need,
+    covers(Ds, Plan).
+
+supplied(_, [], 0).
+supplied(Len, [use(Len, Need, _)|Plan], Got) :- !,
+    supplied(Len, Plan, G1),
+    Got is G1 + Need.
+supplied(Len, [_|Plan], Got) :-
+    supplied(Len, Plan, Got).
+
+within_stock([], _).
+within_stock([use(_, _, pat(_, _, Used))|Plan], L) :-
+    Used =< L,
+    within_stock(Plan, L).
+
+validated_main(Waste) :-
+    demands(Ds),
+    stock_length(L),
+    split_all(Ds, 3, Ds1),
+    cs(Ds1, Plan, Waste),
+    covers(Ds1, Plan),
+    within_stock(Plan, L).

@@ -1,0 +1,161 @@
+% disj -- disjunctive-scheduling program (172 lines in the original
+% suite): schedule tasks on shared machines where each pair of
+% conflicting tasks is ordered one way or the other (the disjunction).
+
+schedule(Tasks, Schedule) :-
+    initial_times(Tasks, Times0),
+    constraints(Tasks, Cs),
+    solve_constraints(Cs, Times0, Times),
+    deadline(D),
+    within_deadline(Times, D),
+    Schedule = Times.
+
+deadline(30).
+
+tasks([t(a, 4), t(b, 3), t(c, 5), t(d, 4), t(e, 2), t(f, 6)]).
+
+machine(a, m1).
+machine(b, m1).
+machine(c, m2).
+machine(d, m2).
+machine(e, m3).
+machine(f, m3).
+
+precedes(a, c).
+precedes(b, d).
+precedes(c, e).
+precedes(d, f).
+
+initial_times([], []).
+initial_times([t(N, _)|Ts], [start(N, 0)|Ss]) :-
+    initial_times(Ts, Ss).
+
+constraints(Tasks, Cs) :-
+    prec_constraints(Tasks, Ps),
+    disj_constraints(Tasks, Ds),
+    app(Ps, Ds, Cs).
+
+prec_constraints(Tasks, Ps) :-
+    findall_prec(Tasks, Tasks, Ps).
+
+findall_prec([], _, []).
+findall_prec([t(N, D)|Ts], All, Out) :-
+    prec_for(N, D, All, Ps),
+    findall_prec(Ts, All, Rest),
+    app(Ps, Rest, Out).
+
+prec_for(_, _, [], []).
+prec_for(N, D, [t(M, _)|Ts], [before(N, D, M)|Ps]) :-
+    precedes(N, M), !,
+    prec_for(N, D, Ts, Ps).
+prec_for(N, D, [_|Ts], Ps) :-
+    prec_for(N, D, Ts, Ps).
+
+disj_constraints(Tasks, Ds) :-
+    pairs(Tasks, Pairs),
+    conflicts(Pairs, Ds).
+
+pairs([], []).
+pairs([T|Ts], Out) :-
+    pair_with(T, Ts, Ps),
+    pairs(Ts, Rest),
+    app(Ps, Rest, Out).
+
+pair_with(_, [], []).
+pair_with(T, [U|Us], [p(T, U)|Ps]) :-
+    pair_with(T, Us, Ps).
+
+conflicts([], []).
+conflicts([p(t(N, DN), t(M, DM))|Ps], [disj(N, DN, M, DM)|Ds]) :-
+    machine(N, Mach),
+    machine(M, Mach), !,
+    conflicts(Ps, Ds).
+conflicts([_|Ps], Ds) :-
+    conflicts(Ps, Ds).
+
+solve_constraints([], Times, Times).
+solve_constraints([before(N, D, M)|Cs], Times0, Times) :-
+    enforce_before(N, D, M, Times0, Times1),
+    solve_constraints(Cs, Times1, Times).
+solve_constraints([disj(N, DN, M, DM)|Cs], Times0, Times) :-
+    ( enforce_before(N, DN, M, Times0, Times1)
+    ; enforce_before(M, DM, N, Times0, Times1)
+    ),
+    solve_constraints(Cs, Times1, Times).
+
+enforce_before(N, D, M, Times0, Times) :-
+    lookup(N, Times0, SN),
+    lookup(M, Times0, SM),
+    Earliest is SN + D,
+    ( SM >= Earliest ->
+        Times = Times0
+    ;   update(M, Earliest, Times0, Times)
+    ).
+
+lookup(N, [start(N, S)|_], S) :- !.
+lookup(N, [_|Ts], S) :-
+    lookup(N, Ts, S).
+
+update(N, S, [start(N, _)|Ts], [start(N, S)|Ts]) :- !.
+update(N, S, [T|Ts], [T|Us]) :-
+    update(N, S, Ts, Us).
+
+within_deadline([], _).
+within_deadline([start(_, S)|Ts], D) :-
+    S =< D,
+    within_deadline(Ts, D).
+
+app([], Ys, Ys).
+app([X|Xs], Ys, [X|Zs]) :-
+    app(Xs, Ys, Zs).
+
+% Makespan and slack computation over a finished schedule.
+makespan(Times, MS) :-
+    tasks(Ts),
+    ends(Ts, Times, Es),
+    max_list(Es, 0, MS).
+
+ends([], _, []).
+ends([t(N, D)|Ts], Times, [E|Es]) :-
+    lookup(N, Times, S),
+    E is S + D,
+    ends(Ts, Times, Es).
+
+max_list([], M, M).
+max_list([X|Xs], M0, M) :-
+    ( X > M0 -> M1 = X ; M1 = M0 ),
+    max_list(Xs, M1, M).
+
+slack(Times, N, Slack) :-
+    deadline(D),
+    tasks(Ts),
+    duration(N, Ts, Dur),
+    lookup(N, Times, S),
+    Slack is D - S - Dur.
+
+duration(N, [t(N, D)|_], D) :- !.
+duration(N, [_|Ts], D) :-
+    duration(N, Ts, D).
+
+% Chronological backtracking search over alternative orderings, counting
+% choices explored.
+search(Best) :-
+    tasks(Ts),
+    schedule(Ts, S1),
+    makespan(S1, M1),
+    better_of(S1, M1, Best).
+
+better_of(S, M, best(S, M)) :-
+    \+ improvable(M).
+better_of(_, M, Best) :-
+    improvable(M),
+    tasks(Ts),
+    schedule(Ts, S2),
+    makespan(S2, M2),
+    M2 < M,
+    better_of(S2, M2, Best).
+
+improvable(M) :- M > 18.
+
+main(Best) :-
+    search(Best).

@@ -1,0 +1,109 @@
+% gabriel -- the "browse" benchmark from the Gabriel suite (122 lines in
+% the original): builds a database of pattern units and repeatedly
+% matches tree patterns with segment variables against it.
+
+browse(R) :-
+    init(100, 10, 4, Symbols),
+    randomize(Symbols, Rs, 21),
+    investigate(Rs, [[a, star(1), b, star(2), c], [star(1), dummy(2)]], R).
+
+init(N, M, Npats, Xs) :-
+    init_1(N, M, M, Npats, Xs).
+
+init_1(0, _, _, _, []) :- !.
+init_1(N, I, M, Npats, [Sym|Xs]) :-
+    fill(I, [], L),
+    get_pats(Npats, Npats, Ppats),
+    J is M - I,
+    fill(J, [pattern(Ppats)|L], Sym),
+    N1 is N - 1,
+    decr_mod(I, M, I1),
+    init_1(N1, I1, M, Npats, Xs).
+
+decr_mod(0, M, M1) :- !, M1 is M - 1.
+decr_mod(I, _, I1) :- I1 is I - 1.
+
+fill(0, L, L) :- !.
+fill(N, L, [dummy([])|Xs]) :-
+    N1 is N - 1,
+    fill(N1, L, Xs).
+
+get_pats(0, _, []) :- !.
+get_pats(N, Npats, [X|Xs]) :-
+    N1 is N - 1,
+    nth_pat(N1, X),
+    get_pats(N1, Npats, Xs).
+
+nth_pat(0, [a, star(1), b, star(2), c]).
+nth_pat(1, [a, star(1), star(2), b, c]).
+nth_pat(2, [a, b, star(1), star(2), c]).
+nth_pat(3, [star(1), a, b, star(2), c]).
+
+randomize([], [], _) :- !.
+randomize(In, [X|Out], Seed) :-
+    length_of(In, Lin),
+    Seed1 is (Seed * 17) mod 251,
+    N is Seed1 mod Lin,
+    split(N, In, X, In1),
+    randomize(In1, Out, Seed1).
+
+split(0, [X|Xs], X, Xs) :- !.
+split(N, [X|Xs], RemovedElt, [X|Ys]) :-
+    N1 is N - 1,
+    split(N1, Xs, RemovedElt, Ys).
+
+length_of([], 0).
+length_of([_|Xs], N) :-
+    length_of(Xs, N1),
+    N is N1 + 1.
+
+investigate([], _, []).
+investigate([U|Units], Patterns, [R|Rs]) :-
+    property(U, pattern, Data),
+    p_investigate(Data, Patterns, R),
+    investigate(Units, Patterns, Rs).
+investigate([U|Units], Patterns, Rs) :-
+    \+ property(U, pattern, _),
+    investigate(Units, Patterns, Rs).
+
+property([Prop|_], P, Val) :-
+    functor_match(Prop, P, Val), !.
+property([_|RProps], P, Val) :-
+    property(RProps, P, Val).
+
+functor_match(pattern(V), pattern, V).
+functor_match(dummy(V), dummy, V).
+
+p_investigate([], _, no_match).
+p_investigate([D|Data], Patterns, R) :-
+    p_match(Patterns, D),
+    R = match(D).
+p_investigate([_|Data], Patterns, R) :-
+    p_investigate(Data, Patterns, R).
+
+p_match([], _) :- fail.
+p_match([P|_], D) :-
+    match(D, P), !.
+p_match([_|Patterns], D) :-
+    p_match(Patterns, D).
+
+match([], []) :- !.
+match([X|PRest], [Y|SRest]) :-
+    X = Y, !,
+    match(PRest, SRest).
+match(List, [Y|Rest]) :-
+    Y = star(_), !,
+    concat(_, SRest, List),
+    match(SRest, Rest).
+match([X|PRest], [Y|SRest]) :-
+    atomic_term(X),
+    atomic_term(Y),
+    X = Y,
+    match(PRest, SRest).
+
+concat([], L, L).
+concat([X|L1], L2, [X|L3]) :-
+    concat(L1, L2, L3).
+
+atomic_term(X) :- atom(X).
+atomic_term(X) :- number(X).

@@ -1,0 +1,184 @@
+% kalah -- the Kalah game player (278 lines in the original suite):
+% alpha-beta search over board positions, move generation by sowing
+% stones, and a static evaluation function.
+
+play(Result) :-
+    initialize(Position),
+    play_loop(Position, computer, Result).
+
+play_loop(Position, Player, Result) :-
+    game_over(Position, Player, Result), !.
+play_loop(Position, Player, Result) :-
+    choose_move(Position, Player, Move),
+    move(Move, Position, Position1),
+    next_player(Player, Player1),
+    play_loop(Position1, Player1, Result).
+
+initialize(board([6, 6, 6, 6, 6, 6], 0, [6, 6, 6, 6, 6, 6], 0)).
+
+next_player(computer, opponent).
+next_player(opponent, computer).
+
+game_over(board(Hs, K1, Ys, K2), _, Result) :-
+    zero_row(Hs),
+    Total is K1 + K2,
+    decide(K1, K2, Total, Result).
+game_over(board(Hs, K1, Ys, K2), _, Result) :-
+    zero_row(Ys),
+    Total is K1 + K2,
+    decide(K1, K2, Total, Result).
+
+decide(K1, K2, _, computer_wins) :- K1 > K2.
+decide(K1, K2, _, opponent_wins) :- K1 < K2.
+decide(K1, K2, _, draw) :- K1 =:= K2.
+
+zero_row([0, 0, 0, 0, 0, 0]).
+
+choose_move(Position, computer, Move) :-
+    lookahead(Depth),
+    alpha_beta(Depth, Position, -1000, 1000, Move, _).
+choose_move(Position, opponent, Move) :-
+    legal_moves(Position, Moves),
+    first_move(Moves, Move).
+
+lookahead(3).
+
+first_move([M|_], M).
+
+% Alpha-beta search.
+alpha_beta(0, Position, _, _, no_move, Value) :-
+    value(Position, Value).
+alpha_beta(D, Position, Alpha, Beta, Move, Value) :-
+    D > 0,
+    legal_moves(Position, Moves),
+    Moves = [_|_], !,
+    Alpha1 is -Beta,
+    Beta1 is -Alpha,
+    D1 is D - 1,
+    best_move(Moves, Position, D1, Alpha1, Beta1, no_move, Move, Value).
+alpha_beta(D, Position, _, _, no_move, Value) :-
+    D > 0,
+    value(Position, Value).
+
+best_move([], _, _, Alpha, _, Best, Best, Alpha).
+best_move([M|Ms], Position, D, Alpha, Beta, Cur, Best, Value) :-
+    move(M, Position, Position1),
+    swap_sides(Position1, Position2),
+    alpha_beta(D, Position2, Alpha, Beta, _, V1),
+    V is -V1,
+    cutoff(M, V, Ms, Position, D, Alpha, Beta, Cur, Best, Value).
+
+cutoff(M, V, _, _, _, _, Beta, _, M, V) :-
+    V >= Beta, !.
+cutoff(M, V, Ms, Position, D, Alpha, Beta, _, Best, Value) :-
+    V > Alpha, !,
+    best_move(Ms, Position, D, V, Beta, M, Best, Value).
+cutoff(_, _, Ms, Position, D, Alpha, Beta, Cur, Best, Value) :-
+    best_move(Ms, Position, D, Alpha, Beta, Cur, Best, Value).
+
+% Move generation: any non-empty house may be sown.
+legal_moves(board(Hs, _, _, _), Moves) :-
+    moves_from(Hs, 1, Moves).
+
+moves_from([], _, []).
+moves_from([H|Hs], N, [m(N, H)|Ms]) :-
+    H > 0, !,
+    N1 is N + 1,
+    moves_from(Hs, N1, Ms).
+moves_from([_|Hs], N, Ms) :-
+    N1 is N + 1,
+    moves_from(Hs, N1, Ms).
+
+% Sowing: distribute the stones counterclockwise, capturing when the
+% last stone lands in an empty own house opposite a non-empty house.
+move(m(N, Stones), board(Hs, K, Ys, L), board(Hs2, K2, Ys2, L)) :-
+    pick_up(N, Hs, Hs1),
+    sow(Stones, N, Hs1, K, Ys, Hs2, K1, Ys2),
+    capture(N, Stones, Hs2, Ys2, Extra),
+    K2 is K1 + Extra.
+move(no_move, Board, Board).
+
+pick_up(1, [_|Hs], [0|Hs]) :- !.
+pick_up(N, [H|Hs], [H|Hs1]) :-
+    N1 is N - 1,
+    pick_up(N1, Hs, Hs1).
+
+sow(0, _, Hs, K, Ys, Hs, K, Ys) :- !.
+sow(Stones, Pos, Hs, K, Ys, Hs2, K2, Ys2) :-
+    Pos1 is Pos + 1,
+    ( Pos1 =< 6 ->
+        drop_at(Pos1, Hs, Hs1),
+        Stones1 is Stones - 1,
+        sow(Stones1, Pos1, Hs1, K, Ys, Hs2, K2, Ys2)
+    ; Pos1 =:= 7 ->
+        K1 is K + 1,
+        Stones1 is Stones - 1,
+        sow(Stones1, 0, Hs, K1, Ys, Hs2, K2, Ys2)
+    ;   Hs2 = Hs, K2 = K, Ys2 = Ys
+    ).
+
+drop_at(1, [H|Hs], [H1|Hs]) :- !, H1 is H + 1.
+drop_at(N, [H|Hs], [H|Hs1]) :-
+    N1 is N - 1,
+    drop_at(N1, Hs, Hs1).
+
+capture(N, Stones, Hs, Ys, Extra) :-
+    Landing is N + Stones,
+    Landing =< 6,
+    house_val(Landing, Hs, 1),
+    Opposite is 7 - Landing,
+    house_val(Opposite, Ys, OppStones),
+    OppStones > 0, !,
+    Extra is OppStones + 1.
+capture(_, _, _, _, 0).
+
+house_val(1, [H|_], H) :- !.
+house_val(N, [_|Hs], V) :-
+    N1 is N - 1,
+    house_val(N1, Hs, V).
+
+swap_sides(board(Hs, K, Ys, L), board(Ys, L, Hs, K)).
+
+% Static evaluation: kalah difference plus weighted house advantage.
+value(board(Hs, K, Ys, L), Value) :-
+    row_sum(Hs, SH),
+    row_sum(Ys, SY),
+    Value is 4 * (K - L) + (SH - SY).
+
+row_sum([], 0).
+row_sum([H|Hs], S) :-
+    row_sum(Hs, S1),
+    S is S1 + H.
+
+% Opening book: canned replies for the first moves.
+book(board([6, 6, 6, 6, 6, 6], 0, [6, 6, 6, 6, 6, 6], 0), m(3, 6)).
+book(board([6, 6, 0, 7, 7, 7], 1, [6, 6, 6, 6, 6, 6], 0), m(6, 7)).
+
+choose_with_book(Position, Move) :-
+    book(Position, Move), !.
+choose_with_book(Position, Move) :-
+    choose_move(Position, computer, Move).
+
+% Position display helpers (analyzed, never run).
+show(board(Hs, K, Ys, L)) :-
+    write(Ys), nl,
+    write(L), write(' '), write(K), nl,
+    write(Hs), nl.
+
+show_move(m(N, S)) :-
+    write(house(N)), write(' stones '), write(S), nl.
+
+% Tournament driver: play a fixed number of games, tallying results.
+tournament(0, W, L, D, result(W, L, D)) :- !.
+tournament(N, W, L, D, R) :-
+    play(Outcome),
+    tally(Outcome, W, L, D, W1, L1, D1),
+    N1 is N - 1,
+    tournament(N1, W1, L1, D1, R).
+
+tally(computer_wins, W, L, D, W1, L, D) :- W1 is W + 1.
+tally(opponent_wins, W, L, D, W, L1, D) :- L1 is L + 1.
+tally(draw, W, L, D, W, L, D1) :- D1 is D + 1.
+
+main(R) :-
+    tournament(4, 0, 0, 0, R).

@@ -1,0 +1,324 @@
+% peep -- peephole optimizer for a register-transfer intermediate code
+% (369 lines in the original suite, from SB-Prolog): a long rule base of
+% instruction-sequence rewrites applied to fixpoint over code lists.
+
+peep(Code, Optimized) :-
+    peep_pass(Code, Code1, Changed),
+    ( Changed = yes ->
+        peep(Code1, Optimized)
+    ;   Optimized = Code1
+    ).
+
+peep_pass([], [], no).
+peep_pass(Code, Optimized, yes) :-
+    rewrite(Code, Code1), !,
+    peep_pass(Code1, Optimized, _).
+peep_pass([I|Code], [I|Optimized], Changed) :-
+    peep_pass(Code, Optimized, Changed).
+
+% --- rewrite rules: redundant moves -------------------------------------
+
+rewrite([move(R, R)|Rest], Rest).
+rewrite([move(A, B), move(B, A)|Rest], [move(A, B)|Rest]).
+rewrite([move(A, B), move(A, B)|Rest], [move(A, B)|Rest]).
+rewrite([move(A, B), move(C, B)|Rest], [move(C, B)|Rest]) :-
+    A \== C,
+    no_use(B, A).
+
+% --- rewrite rules: push/pop pairs ---------------------------------------
+
+rewrite([push(R), pop(R)|Rest], Rest).
+rewrite([pop(R), push(R)|Rest], Rest).
+rewrite([push(A), pop(B)|Rest], [move(A, B)|Rest]) :-
+    A \== B.
+
+% --- rewrite rules: arithmetic identities --------------------------------
+
+rewrite([addi(_, 0)|Rest], Rest).
+rewrite([subi(_, 0)|Rest], Rest).
+rewrite([muli(R, 1)|Rest], Rest) :- register(R).
+rewrite([muli(R, 0)|Rest], [loadi(R, 0)|Rest]).
+rewrite([muli(R, 2)|Rest], [shl(R, 1)|Rest]).
+rewrite([muli(R, 4)|Rest], [shl(R, 2)|Rest]).
+rewrite([muli(R, 8)|Rest], [shl(R, 3)|Rest]).
+rewrite([divi(R, 1)|Rest], Rest) :- register(R).
+rewrite([divi(R, 2)|Rest], [shr(R, 1)|Rest]).
+rewrite([addi(R, A), addi(R, B)|Rest], [addi(R, C)|Rest]) :-
+    C is A + B.
+rewrite([subi(R, A), subi(R, B)|Rest], [subi(R, C)|Rest]) :-
+    C is A + B.
+rewrite([addi(R, A), subi(R, B)|Rest], [addi(R, C)|Rest]) :-
+    A >= B,
+    C is A - B.
+rewrite([shl(R, A), shl(R, B)|Rest], [shl(R, C)|Rest]) :-
+    C is A + B.
+
+% --- rewrite rules: loads and stores -------------------------------------
+
+rewrite([store(R, Addr), load(R, Addr)|Rest], [store(R, Addr)|Rest]).
+rewrite([load(R, Addr), load(R, Addr)|Rest], [load(R, Addr)|Rest]).
+rewrite([store(R, Addr), store(S, Addr)|Rest], [store(S, Addr)|Rest]) :-
+    R \== S.
+rewrite([loadi(R, _), loadi(R, N)|Rest], [loadi(R, N)|Rest]).
+rewrite([load(R, _), loadi(R, N)|Rest], [loadi(R, N)|Rest]).
+rewrite([loadi(R, 0)|Rest], [clear(R)|Rest]).
+
+% --- rewrite rules: jumps and labels -------------------------------------
+
+rewrite([jump(L), label(L)|Rest], [label(L)|Rest]).
+rewrite([jump(L1), jump(_)|Rest], [jump(L1)|Rest]).
+rewrite([jumpz(R, L), jump(L)|Rest], [jump(L)|Rest]) :- register(R).
+rewrite([jump(L)|Rest], [jump(L)|Cleaned]) :-
+    strip_to_label(Rest, Cleaned),
+    Rest \== Cleaned.
+rewrite([cmp(A, B), jumpz(C, L1), jump(L2), label(L1)|Rest],
+        [cmp(A, B), jumpnz(C, L2), label(L1)|Rest]).
+rewrite([test(R), jumpnz(R, L1), jump(L2), label(L1)|Rest],
+        [test(R), jumpz(R, L2), label(L1)|Rest]).
+
+strip_to_label([], []).
+strip_to_label([label(L)|Rest], [label(L)|Rest]) :- !.
+strip_to_label([_|Rest], Cleaned) :-
+    strip_to_label(Rest, Cleaned).
+
+% --- rewrite rules: condition codes ---------------------------------------
+
+rewrite([cmp(A, B), cmp(A, B)|Rest], [cmp(A, B)|Rest]).
+rewrite([test(R), test(R)|Rest], [test(R)|Rest]).
+rewrite([clear(R), test(R), jumpz(R, L)|Rest], [clear(R), jump(L)|Rest]).
+rewrite([loadi(R, N), test(R), jumpz(R, _)|Rest], [loadi(R, N)|Rest]) :-
+    N =\= 0.
+
+% --- dataflow side conditions ---------------------------------------------
+
+no_use(_, _).
+
+register(r0).
+register(r1).
+register(r2).
+register(r3).
+register(r4).
+register(r5).
+register(r6).
+register(r7).
+
+% --- instruction classification (used by the scheduler below) -------------
+
+class(move(_, _), data).
+class(load(_, _), memory).
+class(loadi(_, _), data).
+class(store(_, _), memory).
+class(push(_), stack).
+class(pop(_), stack).
+class(addi(_, _), alu).
+class(subi(_, _), alu).
+class(muli(_, _), alu).
+class(divi(_, _), alu).
+class(shl(_, _), alu).
+class(shr(_, _), alu).
+class(cmp(_, _), cc).
+class(test(_), cc).
+class(clear(_), data).
+class(jump(_), control).
+class(jumpz(_, _), control).
+class(jumpnz(_, _), control).
+class(label(_), control).
+
+defs(move(_, B), B).
+defs(load(R, _), R).
+defs(loadi(R, _), R).
+defs(pop(R), R).
+defs(addi(R, _), R).
+defs(subi(R, _), R).
+defs(muli(R, _), R).
+defs(divi(R, _), R).
+defs(shl(R, _), R).
+defs(shr(R, _), R).
+defs(clear(R), R).
+
+uses(move(A, _), A).
+uses(store(R, _), R).
+uses(push(R), R).
+uses(cmp(A, _), A).
+uses(cmp(_, B), B).
+uses(test(R), R).
+uses(jumpz(R, _), R).
+uses(jumpnz(R, _), R).
+
+% --- local scheduler: hoist independent memory ops past ALU ops -----------
+
+schedule([], []).
+schedule([A, B|Rest], [B, A|Out]) :-
+    class(A, alu),
+    class(B, memory),
+    independent(A, B), !,
+    schedule(Rest, Out).
+schedule([I|Rest], [I|Out]) :-
+    schedule(Rest, Out).
+
+independent(A, B) :-
+    \+ conflict(A, B).
+
+conflict(A, B) :-
+    defs(A, R),
+    uses(B, R).
+conflict(A, B) :-
+    uses(A, R),
+    defs(B, R).
+conflict(A, B) :-
+    defs(A, R),
+    defs(B, R).
+
+% --- dead-code elimination over basic blocks -------------------------------
+
+elim_dead(Code, Out) :-
+    live_out(Live),
+    elim(Code, Live, Out).
+
+live_out([r0]).
+
+elim([], _, []).
+elim([I|Rest], Live, Out) :-
+    defs(I, R),
+    \+ member_reg(R, Live),
+    pure(I), !,
+    elim(Rest, Live, Out).
+elim([I|Rest], Live, [I|Out]) :-
+    update_live(I, Live, Live1),
+    elim(Rest, Live1, Out).
+
+pure(move(_, _)).
+pure(loadi(_, _)).
+pure(addi(_, _)).
+pure(subi(_, _)).
+pure(shl(_, _)).
+pure(shr(_, _)).
+pure(clear(_)).
+
+update_live(I, Live, [R|Live]) :-
+    uses(I, R),
+    \+ member_reg(R, Live), !.
+update_live(_, Live, Live).
+
+member_reg(R, [R|_]) :- !.
+member_reg(R, [_|Rs]) :-
+    member_reg(R, Rs).
+
+% --- driver ----------------------------------------------------------------
+
+optimize(Code, Out) :-
+    peep(Code, C1),
+    schedule(C1, C2),
+    elim_dead(C2, Out).
+
+example([move(r1, r1), push(r2), pop(r2), loadi(r3, 0),
+         addi(r4, 0), muli(r5, 2), jump(l1), move(r6, r7), label(l1),
+         store(r1, 100), load(r1, 100), cmp(r1, r2),
+         jumpz(r1, l2), jump(l3), label(l2), test(r4), label(l3)]).
+
+main(Out) :-
+    example(Code),
+    optimize(Code, Out).
+
+% --- addressing-mode normalization: a second rewriting pass ----------------
+
+norm_addr([], []).
+norm_addr([I|Is], [J|Js]) :-
+    norm_instr(I, J),
+    norm_addr(Is, Js).
+
+norm_instr(load(R, indexed(B, 0)), load(R, indirect(B))) :- !.
+norm_instr(store(R, indexed(B, 0)), store(R, indirect(B))) :- !.
+norm_instr(load(R, indexed(B, D)), load(R, based(B, D))) :-
+    D > 0, D < 4096, !.
+norm_instr(store(R, indexed(B, D)), store(R, based(B, D))) :-
+    D > 0, D < 4096, !.
+norm_instr(lea(R, indexed(B, D)), addi3(R, B, D)) :- !.
+norm_instr(I, I).
+
+% --- strength reduction over loop bodies -----------------------------------
+
+reduce_loop(Body, Out) :-
+    find_induction(Body, Var, Step),
+    rewrite_uses(Body, Var, Step, Out).
+reduce_loop(Body, Body) :-
+    \+ find_induction(Body, _, _).
+
+find_induction([addi(R, S)|_], R, S).
+find_induction([_|Is], R, S) :-
+    find_induction(Is, R, S).
+
+rewrite_uses([], _, _, []).
+rewrite_uses([muli(R, K)|Is], R, S, [addi(R, KS)|Os]) :- !,
+    KS is K * S,
+    rewrite_uses(Is, R, S, Os).
+rewrite_uses([I|Is], R, S, [I|Os]) :-
+    rewrite_uses(Is, R, S, Os).
+
+% --- common-subexpression table over a window -------------------------------
+
+cse(Code, Out) :-
+    cse_walk(Code, [], Out).
+
+cse_walk([], _, []).
+cse_walk([I|Is], Seen, [move(Src, Dst)|Os]) :-
+    defs(I, Dst),
+    expr_of(I, E),
+    lookup_expr(E, Seen, Src), !,
+    cse_walk(Is, Seen, Os).
+cse_walk([I|Is], Seen, [I|Os]) :-
+    defs(I, Dst),
+    expr_of(I, E), !,
+    cse_walk(Is, [avail(E, Dst)|Seen], Os).
+cse_walk([I|Is], Seen, [I|Os]) :-
+    cse_walk(Is, Seen, Os).
+
+expr_of(addi(R, K), plusc(R, K)).
+expr_of(subi(R, K), minusc(R, K)).
+expr_of(muli(R, K), timesc(R, K)).
+expr_of(shl(R, K), shlc(R, K)).
+
+lookup_expr(E, [avail(E, R)|_], R) :- !.
+lookup_expr(E, [_|Seen], R) :-
+    lookup_expr(E, Seen, R).
+
+% --- peephole window statistics ---------------------------------------------
+
+count_class([], _, 0).
+count_class([I|Is], C, N) :-
+    class(I, C), !,
+    count_class(Is, C, N1),
+    N is N1 + 1.
+count_class([_|Is], C, N) :-
+    count_class(Is, C, N).
+
+profile(Code, prof(A, M, D, CT)) :-
+    count_class(Code, alu, A),
+    count_class(Code, memory, M),
+    count_class(Code, data, D),
+    count_class(Code, control, CT).
+
+window(Code, N, Win) :-
+    take_n(N, Code, Win).
+
+take_n(0, _, []) :- !.
+take_n(_, [], []).
+take_n(N, [I|Is], [I|Ws]) :-
+    N1 is N - 1,
+    take_n(N1, Is, Ws).
+
+% --- full pipeline with statistics -------------------------------------------
+
+optimize_all(Code, Out, Before, After) :-
+    profile(Code, Before),
+    peep(Code, C1),
+    norm_addr(C1, C2),
+    reduce_loop(C2, C3),
+    cse(C3, C4),
+    schedule(C4, C5),
+    elim_dead(C5, Out),
+    profile(Out, After).
+
+main2(Out, B, A) :-
+    example(Code),
+    optimize_all(Code, Out, B, A).

@@ -1,0 +1,47 @@
+% pg -- a small program-graph puzzle (53 lines in the original suite):
+% place numbered pegs on a cross-shaped board so that every line sums to
+% the same total. Deterministic arithmetic plus shallow backtracking.
+
+pg(Solution) :-
+    pegs(Pegs),
+    solve(Pegs, [], Solution),
+    check(Solution).
+
+pegs([1, 2, 3, 4, 5, 6, 7, 8]).
+
+solve([], Placed, Placed).
+solve(Pegs, Placed, Solution) :-
+    choose(Pegs, Rest, Peg),
+    compatible(Peg, Placed),
+    solve(Rest, [Peg|Placed], Solution).
+
+choose([X|Xs], Xs, X).
+choose([Y|Ys], [Y|Zs], X) :-
+    choose(Ys, Zs, X).
+
+compatible(_, []).
+compatible(Peg, [Last|_]) :-
+    Diff is Peg - Last,
+    ok_diff(Diff).
+
+ok_diff(D) :- D > 1.
+ok_diff(D) :- D < -1.
+
+check([A, B, C, D, E, F, G, H]) :-
+    S1 is A + B + C,
+    S2 is C + D + E,
+    S3 is E + F + G,
+    S4 is G + H + A,
+    S1 =:= S2,
+    S2 =:= S3,
+    S3 =:= S4.
+
+sum([], 0).
+sum([X|Xs], S) :-
+    sum(Xs, S1),
+    S is S1 + X.
+
+len([], 0).
+len([_|Xs], N) :-
+    len(Xs, N1),
+    N is N1 + 1.

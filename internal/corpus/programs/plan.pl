@@ -1,0 +1,89 @@
+% plan -- blocks-world planner (84 lines in the original suite):
+% means-ends analysis with a transform/achieve loop over a small state
+% representation. Exercises deep recursion through data structures.
+
+plan(State, Goal, Plan) :-
+    transform(State, Goal, [State], Plan).
+
+transform(State, Goal, _, []) :-
+    satisfied(State, Goal).
+transform(State, Goal, Visited, [Action|Actions]) :-
+    choose_goal(Goal, State, G),
+    achieves(Action, G),
+    preconds(Action, Conds),
+    holds_all(Conds, State),
+    apply_action(State, Action, NewState),
+    new_state(NewState, Visited),
+    transform(NewState, Goal, [NewState|Visited], Actions).
+
+satisfied(_, []).
+satisfied(State, [G|Gs]) :-
+    holds(G, State),
+    satisfied(State, Gs).
+
+choose_goal([G|_], State, G) :-
+    \+ holds(G, State).
+choose_goal([G|Gs], State, G1) :-
+    holds(G, State),
+    choose_goal(Gs, State, G1).
+
+achieves(stack(X, Y), on(X, Y)).
+achieves(unstack(X, Y), clear(Y)) :-
+    block(X),
+    block(Y).
+achieves(pickup(X), holding(X)).
+achieves(putdown(X), ontable(X)).
+
+preconds(stack(X, Y), [holding(X), clear(Y)]).
+preconds(unstack(X, Y), [on(X, Y), clear(X), handempty]).
+preconds(pickup(X), [ontable(X), clear(X), handempty]).
+preconds(putdown(X), [holding(X)]).
+
+holds_all([], _).
+holds_all([C|Cs], State) :-
+    holds(C, State),
+    holds_all(Cs, State).
+
+holds(Fact, State) :-
+    member(Fact, State).
+
+apply_action(State, Action, NewState) :-
+    dels(Action, DelList),
+    adds(Action, AddList),
+    remove_all(DelList, State, Mid),
+    add_all(AddList, Mid, NewState).
+
+dels(stack(X, Y), [holding(X), clear(Y)]).
+dels(unstack(X, Y), [on(X, Y), clear(X), handempty]).
+dels(pickup(X), [ontable(X), clear(X), handempty]).
+dels(putdown(X), [holding(X)]).
+
+adds(stack(X, Y), [on(X, Y), clear(X), handempty]).
+adds(unstack(X, Y), [holding(X), clear(Y)]).
+adds(pickup(X), [holding(X)]).
+adds(putdown(X), [ontable(X), clear(X), handempty]).
+
+remove_all([], State, State).
+remove_all([X|Xs], State, Out) :-
+    delete_one(X, State, Mid),
+    remove_all(Xs, Mid, Out).
+
+delete_one(_, [], []).
+delete_one(X, [X|Rest], Rest) :- !.
+delete_one(X, [Y|Rest], [Y|Out]) :-
+    delete_one(X, Rest, Out).
+
+add_all([], State, State).
+add_all([X|Xs], State, [X|Out]) :-
+    add_all(Xs, State, Out).
+
+new_state(State, Visited) :-
+    \+ member(State, Visited).
+
+member(X, [X|_]).
+member(X, [_|Ys]) :-
+    member(X, Ys).
+
+block(a).
+block(b).
+block(c).

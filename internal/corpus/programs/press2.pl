@@ -1,0 +1,313 @@
+% press2 -- the second PRESS variant of the suite (351 lines in the
+% original): same solver as press1, but the top level dispatches through
+% an explicit method table and records the method used, which changes
+% the call patterns the analysis sees.
+
+solve_equation(Equation, X, Solution) :-
+    method(Method),
+    applicable(Method, Equation, X),
+    apply_method(Method, Equation, X, Solution).
+
+method(isolation).
+method(polynomial).
+method(homogenization).
+
+applicable(isolation, Equation, X) :-
+    single_occurrence(X, Equation).
+applicable(polynomial, Lhs = Rhs, X) :-
+    is_polynomial(Lhs, X),
+    is_polynomial(Rhs, X).
+applicable(homogenization, Equation, X) :-
+    offenders(Equation, X, Offenders),
+    multiple(Offenders).
+
+apply_method(isolation, A = B, X, Solution) :-
+    position(X, A = B, [Side|Position]),
+    maneuver_sides(Side, A = B, Equation),
+    isolate(Position, Equation, Solution).
+apply_method(polynomial, Lhs = Rhs, X, Solution) :-
+    polynomial_normal_form(Lhs - Rhs, X, PolyForm),
+    solve_polynomial_equation(PolyForm, X, Solution).
+apply_method(homogenization, Equation, X, Solution) :-
+    offenders(Equation, X, Offenders),
+    homogenize(Equation, X, Offenders, Equation1, X1),
+    solve_equation(Equation1, X1, Solution1),
+    solve_equation(Solution1, X, Solution).
+
+% --- isolation -------------------------------------------------------------
+
+maneuver_sides(1, Lhs = Rhs, Lhs = Rhs) :- !.
+maneuver_sides(2, Lhs = Rhs, Rhs = Lhs).
+
+isolate([], Equation, Equation).
+isolate([N|Position], Equation, IsolatedEquation) :-
+    isolax(N, Equation, Equation1),
+    isolate(Position, Equation1, IsolatedEquation).
+
+isolax(1, Term1 + Term2 = Rhs, Term1 = Rhs - Term2).
+isolax(2, Term1 + Term2 = Rhs, Term2 = Rhs - Term1).
+isolax(1, Term1 - Term2 = Rhs, Term1 = Rhs + Term2).
+isolax(2, Term1 - Term2 = Rhs, Term2 = Term1 - Rhs).
+isolax(1, -Term1 = Rhs, Term1 = -Rhs).
+isolax(1, Term1 * Term2 = Rhs, Term1 = Rhs / Term2) :-
+    nonzero(Term2).
+isolax(2, Term1 * Term2 = Rhs, Term2 = Rhs / Term1) :-
+    nonzero(Term1).
+isolax(1, Term1 / Term2 = Rhs, Term1 = Rhs * Term2) :-
+    nonzero(Term2).
+isolax(2, Term1 / Term2 = Rhs, Term2 = Term1 / Rhs) :-
+    nonzero(Rhs).
+isolax(1, Term1 ^ Term2 = Rhs, Term1 = Rhs ^ (1 / Term2)) :-
+    nonzero(Term2).
+isolax(2, Term1 ^ Term2 = Rhs, Term2 = log(Rhs) / log(Term1)) :-
+    positive(Term1).
+isolax(1, sin(U) = V, U = arcsin(V)).
+isolax(1, cos(U) = V, U = arccos(V)).
+isolax(1, tan(U) = V, U = arctan(V)).
+isolax(1, exp(U) = V, U = log(V)) :-
+    positive(V).
+isolax(1, log(U) = V, U = exp(V)).
+
+nonzero(Term) :-
+    \+ zero_term(Term).
+
+zero_term(0).
+
+positive(Term) :-
+    number(Term), !,
+    Term > 0.
+positive(exp(_)).
+positive(_ ^ 2).
+
+% --- occurrence analysis -----------------------------------------------------
+
+single_occurrence(Subterm, Term) :-
+    occurrence(Subterm, Term, 1).
+
+occurrence(Subterm, Term, Times) :-
+    count_occ(Subterm, Term, 0, Times).
+
+count_occ(Subterm, Subterm, N, N1) :- !,
+    N1 is N + 1.
+count_occ(Subterm, Term, N, NOut) :-
+    compound(Term), !,
+    Term =.. [_|Args],
+    count_list(Subterm, Args, N, NOut).
+count_occ(_, _, N, N).
+
+count_list(_, [], N, N).
+count_list(Subterm, [Arg|Args], N, NOut) :-
+    count_occ(Subterm, Arg, N, N1),
+    count_list(Subterm, Args, N1, NOut).
+
+position(Term, Term, []) :- !.
+position(Sub, Term, Path) :-
+    compound(Term),
+    Term =.. [_|Args],
+    position_in_args(Sub, Args, 1, Path).
+
+position_in_args(Sub, [Arg|_], N, [N|Path]) :-
+    position(Sub, Arg, Path), !.
+position_in_args(Sub, [_|Args], N, Path) :-
+    N1 is N + 1,
+    position_in_args(Sub, Args, N1, Path).
+
+% --- polynomial methods -------------------------------------------------------
+
+is_polynomial(X, X) :- !.
+is_polynomial(Term, _) :-
+    number(Term), !.
+is_polynomial(Term1 + Term2, X) :- !,
+    is_polynomial(Term1, X),
+    is_polynomial(Term2, X).
+is_polynomial(Term1 - Term2, X) :- !,
+    is_polynomial(Term1, X),
+    is_polynomial(Term2, X).
+is_polynomial(Term1 * Term2, X) :- !,
+    is_polynomial(Term1, X),
+    is_polynomial(Term2, X).
+is_polynomial(Term1 / Term2, X) :- !,
+    is_polynomial(Term1, X),
+    number(Term2).
+is_polynomial(Term ^ N, X) :- !,
+    is_polynomial(Term, X),
+    number(N).
+
+% A normal form is a list of coeff(Coefficient, Power) in falling powers.
+polynomial_normal_form(Polynomial, X, NormalForm) :-
+    polynomial_form(Polynomial, X, PolyForm),
+    remove_zero_terms(PolyForm, NormalForm).
+
+polynomial_form(X, X, [coeff(1, 1)]) :- !.
+polynomial_form(X ^ N, X, [coeff(1, N)]) :- !.
+polynomial_form(Term1 + Term2, X, PolyForm) :- !,
+    polynomial_form(Term1, X, PolyForm1),
+    polynomial_form(Term2, X, PolyForm2),
+    add_polynomials(PolyForm1, PolyForm2, PolyForm).
+polynomial_form(Term1 - Term2, X, PolyForm) :- !,
+    polynomial_form(Term1, X, PolyForm1),
+    polynomial_form(Term2, X, PolyForm2),
+    negate_poly(PolyForm2, PolyForm2N),
+    add_polynomials(PolyForm1, PolyForm2N, PolyForm).
+polynomial_form(Term1 * Term2, X, PolyForm) :- !,
+    polynomial_form(Term1, X, PolyForm1),
+    polynomial_form(Term2, X, PolyForm2),
+    multiply_polynomials(PolyForm1, PolyForm2, PolyForm).
+polynomial_form(Term, _, [coeff(Term, 0)]) :-
+    number(Term).
+
+add_polynomials([], Poly, Poly) :- !.
+add_polynomials(Poly, [], Poly) :- !.
+add_polynomials([coeff(A, N)|Poly1], [coeff(B, M)|Poly2], Out) :-
+    ( N =:= M ->
+        C is A + B,
+        add_polynomials(Poly1, Poly2, Rest),
+        Out = [coeff(C, N)|Rest]
+    ; N > M ->
+        add_polynomials(Poly1, [coeff(B, M)|Poly2], Rest),
+        Out = [coeff(A, N)|Rest]
+    ;   add_polynomials([coeff(A, N)|Poly1], Poly2, Rest),
+        Out = [coeff(B, M)|Rest]
+    ).
+
+negate_poly([], []).
+negate_poly([coeff(A, N)|Poly], [coeff(B, N)|Out]) :-
+    B is -A,
+    negate_poly(Poly, Out).
+
+multiply_polynomials([], _, []).
+multiply_polynomials([Mono|Poly1], Poly2, Out) :-
+    multiply_single(Mono, Poly2, P1),
+    multiply_polynomials(Poly1, Poly2, P2),
+    add_polynomials(P1, P2, Out).
+
+multiply_single(_, [], []).
+multiply_single(coeff(A, N), [coeff(B, M)|Poly], [coeff(C, K)|Out]) :-
+    C is A * B,
+    K is N + M,
+    multiply_single(coeff(A, N), Poly, Out).
+
+remove_zero_terms([], []).
+remove_zero_terms([coeff(0, _)|Poly], Out) :- !,
+    remove_zero_terms(Poly, Out).
+remove_zero_terms([C|Poly], [C|Out]) :-
+    remove_zero_terms(Poly, Out).
+
+% Solve linear and quadratic normal forms.
+solve_polynomial_equation(PolyEquation, X, X = Solution) :-
+    linear(PolyEquation), !,
+    pad(PolyEquation, [coeff(A, 1), coeff(B, 0)]),
+    Solution = -B / A.
+solve_polynomial_equation(PolyEquation, X, Solution) :-
+    quadratic(PolyEquation),
+    pad(PolyEquation, [coeff(A, 2), coeff(B, 1), coeff(C, 0)]),
+    discriminant(A, B, C, Discriminant),
+    root(X, A, B, C, Discriminant, Solution).
+
+linear([coeff(_, 1)|_]).
+quadratic([coeff(_, 2)|_]).
+
+pad([coeff(C, N)|Poly], [coeff(C, N)|Out]) :- !,
+    N1 is N - 1,
+    pad_from(N1, Poly, Out).
+pad_from(-1, [], []) :- !.
+pad_from(N, [coeff(C, N)|Poly], [coeff(C, N)|Out]) :- !,
+    N1 is N - 1,
+    pad_from(N1, Poly, Out).
+pad_from(N, Poly, [coeff(0, N)|Out]) :-
+    N1 is N - 1,
+    pad_from(N1, Poly, Out).
+
+discriminant(A, B, C, D) :-
+    D is B * B - 4 * A * C.
+
+root(X, A, B, _, 0, X = -B / (2 * A)) :- !.
+root(X, A, B, _, D, X = (-B + sqrt(D)) / (2 * A)) :-
+    D > 0.
+root(X, A, B, _, D, X = (-B - sqrt(D)) / (2 * A)) :-
+    D > 0.
+
+% --- homogenization ------------------------------------------------------------
+
+offenders(Equation, X, Offenders) :-
+    parse_offenders(Equation, X, [], Offenders).
+
+parse_offenders(X, X, Acc, Acc) :- !.
+parse_offenders(Term, X, Acc, Out) :-
+    compound(Term),
+    contains(X, Term), !,
+    Term =.. [_|Args],
+    offender_args(Args, X, Acc, Out0),
+    note_offender(Term, X, Out0, Out).
+parse_offenders(_, _, Acc, Acc).
+
+offender_args([], _, Acc, Acc).
+offender_args([Arg|Args], X, Acc, Out) :-
+    parse_offenders(Arg, X, Acc, Acc1),
+    offender_args(Args, X, Acc1, Out).
+
+note_offender(Term, X, Acc, [Term|Acc]) :-
+    hard_subterm(Term, X), !.
+note_offender(_, _, Acc, Acc).
+
+hard_subterm(exp(T), X) :- contains(X, T).
+hard_subterm(log(T), X) :- contains(X, T).
+hard_subterm(sin(T), X) :- contains(X, T).
+hard_subterm(cos(T), X) :- contains(X, T).
+hard_subterm(_ ^ T, X) :- contains(X, T).
+
+contains(X, X) :- !.
+contains(X, Term) :-
+    compound(Term),
+    Term =.. [_|Args],
+    contains_list(X, Args).
+
+contains_list(X, [Arg|_]) :-
+    contains(X, Arg), !.
+contains_list(X, [_|Args]) :-
+    contains_list(X, Args).
+
+multiple([_, _|_]).
+
+homogenize(Equation, X, Offenders, Equation1, X1) :-
+    reduced_term(X, Offenders, Type, X1),
+    rewrite_all(Equation, X, Offenders, Type, X1, Equation1).
+
+reduced_term(X, Offenders, exponential, exp(X)) :-
+    all_exponential(Offenders, X), !.
+reduced_term(_, [Off|_], generic, Off).
+
+all_exponential([], _).
+all_exponential([exp(T)|Offs], X) :-
+    contains(X, T),
+    all_exponential(Offs, X).
+
+rewrite_all(Term, _, _, _, _, Term) :-
+    atomic(Term), !.
+rewrite_all(Term, X, Offenders, Type, X1, X1) :-
+    member_chk(Term, Offenders), !.
+rewrite_all(Term, X, Offenders, Type, X1, Term1) :-
+    Term =.. [F|Args],
+    rewrite_args(Args, X, Offenders, Type, X1, Args1),
+    Term1 =.. [F|Args1].
+
+rewrite_args([], _, _, _, _, []).
+rewrite_args([A|As], X, Offenders, Type, X1, [B|Bs]) :-
+    rewrite_all(A, X, Offenders, Type, X1, B),
+    rewrite_args(As, X, Offenders, Type, X1, Bs).
+
+member_chk(X, [X|_]) :- !.
+member_chk(X, [_|Ys]) :-
+    member_chk(X, Ys).
+
+% --- test equations --------------------------------------------------------------
+
+test_equation(1, x + 3 = 7, x).
+test_equation(2, 2 * x + 3 = 9, x).
+test_equation(3, x ^ 2 - 5 * x + 6 = 0, x).
+test_equation(4, exp(2 * x) - 3 * exp(x) + 2 = 0, x).
+test_equation(5, sin(x) = 1 / 2, x).
+
+main(N, S) :-
+    test_equation(N, E, X),
+    solve_equation(E, X, S).

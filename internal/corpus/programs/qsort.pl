@@ -1,0 +1,21 @@
+% qsort -- quicksort with difference-free list append (21 lines in the
+% original GAIA suite; classic deterministic list benchmark).
+
+qsort([], []).
+qsort([X|Xs], Sorted) :-
+    partition(Xs, X, Littles, Bigs),
+    qsort(Littles, Ls),
+    qsort(Bigs, Bs),
+    append(Ls, [X|Bs], Sorted).
+
+partition([], _, [], []).
+partition([Y|Ys], X, [Y|Ls], Bs) :-
+    Y =< X,
+    partition(Ys, X, Ls, Bs).
+partition([Y|Ys], X, Ls, [Y|Bs]) :-
+    Y > X,
+    partition(Ys, X, Ls, Bs).
+
+append([], Ys, Ys).
+append([X|Xs], Ys, [X|Zs]) :-
+    append(Xs, Ys, Zs).

@@ -1,0 +1,32 @@
+% queens -- N-queens with generate-and-test over permutations (33 lines
+% in the original suite).
+
+queens(N, Qs) :-
+    range(1, N, Ns),
+    queens_1(Ns, [], Qs).
+
+queens_1([], Qs, Qs).
+queens_1(UnplacedQs, SafeQs, Qs) :-
+    select(UnplacedQs, UnplacedQs1, Q),
+    not_attack(SafeQs, Q),
+    queens_1(UnplacedQs1, [Q|SafeQs], Qs).
+
+not_attack(Xs, X) :-
+    not_attack_1(Xs, X, 1).
+
+not_attack_1([], _, _).
+not_attack_1([Y|Ys], X, N) :-
+    X =\= Y + N,
+    X =\= Y - N,
+    N1 is N + 1,
+    not_attack_1(Ys, X, N1).
+
+select([X|Xs], Xs, X).
+select([Y|Ys], [Y|Zs], X) :-
+    select(Ys, Zs, X).
+
+range(N, N, [N]) :- !.
+range(M, N, [M|Ns]) :-
+    M < N,
+    M1 is M + 1,
+    range(M1, N, Ns).

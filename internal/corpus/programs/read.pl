@@ -1,0 +1,348 @@
+% read -- a Prolog tokenizer and operator-precedence reader written in
+% Prolog (443 lines in the original suite, after O'Keefe and Warren's
+% read.pl). Input is a list of character codes; output is a term. This
+% is the largest benchmark: long deterministic clauses over lists, a
+% character-classification rule base and a precedence-climbing parser.
+
+read_term(Codes, Term) :-
+    tokenize(Codes, Tokens),
+    parse(Tokens, Term).
+
+% ======================== tokenizer =======================================
+
+tokenize([], []).
+tokenize([C|Cs], Tokens) :-
+    layout_char(C), !,
+    tokenize(Cs, Tokens).
+tokenize([0'%|Cs], Tokens) :- !,
+    skip_line(Cs, Cs1),
+    tokenize(Cs1, Tokens).
+tokenize([C|Cs], [Token|Tokens]) :-
+    token_start(C, Cs, Token, Rest),
+    tokenize(Rest, Tokens).
+
+skip_line([], []).
+skip_line([0'\n|Cs], Cs) :- !.
+skip_line([_|Cs], Rest) :-
+    skip_line(Cs, Rest).
+
+token_start(C, Cs, atom(Name), Rest) :-
+    lower_case(C), !,
+    take_alnum(Cs, Chars, Rest),
+    name_of([C|Chars], Name).
+token_start(C, Cs, var(Name), Rest) :-
+    var_start(C), !,
+    take_alnum(Cs, Chars, Rest),
+    name_of([C|Chars], Name).
+token_start(C, Cs, integer(N), Rest) :-
+    digit(C), !,
+    take_digits(Cs, Ds, Rest),
+    number_of([C|Ds], 0, N).
+token_start(0'', Cs, atom(Name), Rest) :- !,
+    quoted_chars(Cs, Chars, Rest),
+    name_of(Chars, Name).
+token_start(0'(, Cs, punct(lparen), Cs) :- !.
+token_start(0'), Cs, punct(rparen), Cs) :- !.
+token_start(0'[, Cs, punct(lbracket), Cs) :- !.
+token_start(0'], Cs, punct(rbracket), Cs) :- !.
+token_start(0'{, Cs, punct(lbrace), Cs) :- !.
+token_start(0'}, Cs, punct(rbrace), Cs) :- !.
+token_start(0',, Cs, punct(comma), Cs) :- !.
+token_start(0'|, Cs, punct(bar), Cs) :- !.
+token_start(0'!, Cs, atom(!), Cs) :- !.
+token_start(0';, Cs, atom(;), Cs) :- !.
+token_start(0'., [], end, []) :- !.
+token_start(0'., [C|Cs], Token, Rest) :-
+    layout_char(C), !,
+    Token = end,
+    Rest = Cs.
+token_start(C, Cs, atom(Name), Rest) :-
+    symbol_char(C),
+    take_symbols(Cs, Chars, Rest),
+    name_of([C|Chars], Name).
+
+take_alnum([C|Cs], [C|Chars], Rest) :-
+    alnum(C), !,
+    take_alnum(Cs, Chars, Rest).
+take_alnum(Cs, [], Cs).
+
+take_digits([C|Cs], [C|Ds], Rest) :-
+    digit(C), !,
+    take_digits(Cs, Ds, Rest).
+take_digits(Cs, [], Cs).
+
+take_symbols([C|Cs], [C|Chars], Rest) :-
+    symbol_char(C), !,
+    take_symbols(Cs, Chars, Rest).
+take_symbols(Cs, [], Cs).
+
+quoted_chars([0'', 0''|Cs], [0''|Chars], Rest) :- !,
+    quoted_chars(Cs, Chars, Rest).
+quoted_chars([0''|Cs], [], Cs) :- !.
+quoted_chars([C|Cs], [C|Chars], Rest) :-
+    quoted_chars(Cs, Chars, Rest).
+
+number_of([], N, N).
+number_of([D|Ds], Acc, N) :-
+    Acc1 is Acc * 10 + D - 0'0,
+    number_of(Ds, Acc1, N).
+
+name_of(Chars, Name) :-
+    atom_codes(Name, Chars).
+
+% --- character classification ----------------------------------------------
+
+layout_char(0' ).
+layout_char(0'\t).
+layout_char(0'\n).
+
+lower_case(C) :- C >= 0'a, C =< 0'z.
+upper_case(C) :- C >= 0'A, C =< 0'Z.
+digit(C) :- C >= 0'0, C =< 0'9.
+
+var_start(C) :- upper_case(C).
+var_start(0'_).
+
+alnum(C) :- lower_case(C).
+alnum(C) :- upper_case(C).
+alnum(C) :- digit(C).
+alnum(0'_).
+
+symbol_char(0'+).
+symbol_char(0'-).
+symbol_char(0'*).
+symbol_char(0'/).
+symbol_char(0'\\).
+symbol_char(0'^).
+symbol_char(0'<).
+symbol_char(0'>).
+symbol_char(0'=).
+symbol_char(0'~).
+symbol_char(0':).
+symbol_char(0'.).
+symbol_char(0'?).
+symbol_char(0'@).
+symbol_char(0'#).
+symbol_char(0'&).
+
+% ======================== operator table ====================================
+
+prefix_op(:-, 1200, 1199).
+prefix_op(?-, 1200, 1199).
+prefix_op(\+, 900, 900).
+prefix_op(-, 200, 200).
+prefix_op(+, 200, 200).
+
+infix_op(:-, 1200, 1199, 1199).
+infix_op(-->, 1200, 1199, 1199).
+infix_op(;, 1100, 1099, 1100).
+infix_op(->, 1050, 1049, 1050).
+infix_op(',', 1000, 999, 1000).
+infix_op(=, 700, 699, 699).
+infix_op(\=, 700, 699, 699).
+infix_op(==, 700, 699, 699).
+infix_op(\==, 700, 699, 699).
+infix_op(is, 700, 699, 699).
+infix_op(<, 700, 699, 699).
+infix_op(>, 700, 699, 699).
+infix_op(=<, 700, 699, 699).
+infix_op(>=, 700, 699, 699).
+infix_op(=.., 700, 699, 699).
+infix_op(+, 500, 500, 499).
+infix_op(-, 500, 500, 499).
+infix_op(*, 400, 400, 399).
+infix_op(/, 400, 400, 399).
+infix_op(//, 400, 400, 399).
+infix_op(mod, 400, 400, 399).
+infix_op(^, 200, 199, 200).
+
+% ======================== parser ===========================================
+
+parse(Tokens, Term) :-
+    parse_expr(1200, Tokens, Term, Rest),
+    expect_end(Rest).
+
+expect_end([end]).
+expect_end([]).
+
+parse_expr(MaxPrec, Tokens, Term, Rest) :-
+    parse_primary(MaxPrec, Tokens, Left, LeftPrec, Rest0),
+    parse_infix(MaxPrec, LeftPrec, Left, Rest0, Term, Rest).
+
+parse_infix(MaxPrec, LeftPrec, Left, [atom(Op)|Tokens], Term, Rest) :-
+    infix_op(Op, Prec, LMax, RMax),
+    Prec =< MaxPrec,
+    LeftPrec =< LMax, !,
+    parse_expr(RMax, Tokens, Right, Rest0),
+    NewLeft =.. [Op, Left, Right],
+    parse_infix(MaxPrec, Prec, NewLeft, Rest0, Term, Rest).
+parse_infix(MaxPrec, LeftPrec, Left, [punct(comma)|Tokens], Term, Rest) :-
+    infix_op(',', Prec, LMax, RMax),
+    Prec =< MaxPrec,
+    LeftPrec =< LMax, !,
+    parse_expr(RMax, Tokens, Right, Rest0),
+    parse_infix(MaxPrec, Prec, ','(Left, Right), Rest0, Term, Rest).
+parse_infix(_, _, Term, Rest, Term, Rest).
+
+parse_primary(_, [integer(N)|Rest], N, 0, Rest) :- !.
+parse_primary(_, [var(Name)|Rest], var_ref(Name), 0, Rest) :- !.
+parse_primary(_, [punct(lparen)|Tokens], Term, 0, Rest) :- !,
+    parse_expr(1200, Tokens, Term, Rest0),
+    expect(punct(rparen), Rest0, Rest).
+parse_primary(_, [punct(lbracket)|Tokens], Term, 0, Rest) :- !,
+    parse_list(Tokens, Term, Rest).
+parse_primary(_, [punct(lbrace), punct(rbrace)|Rest], curly_empty, 0, Rest) :- !.
+parse_primary(_, [punct(lbrace)|Tokens], curly(Term), 0, Rest) :- !,
+    parse_expr(1200, Tokens, Term, Rest0),
+    expect(punct(rbrace), Rest0, Rest).
+parse_primary(_, [atom(Name), punct(lparen)|Tokens], Term, 0, Rest) :- !,
+    parse_args(Tokens, Args, Rest),
+    Term =.. [Name|Args].
+parse_primary(MaxPrec, [atom(Op)|Tokens], Term, Prec, Rest) :-
+    prefix_op(Op, Prec, ArgPrec),
+    Prec =< MaxPrec,
+    can_start_term(Tokens), !,
+    parse_expr(ArgPrec, Tokens, Arg, Rest),
+    Term =.. [Op, Arg].
+parse_primary(_, [atom(Name)|Rest], Name, 0, Rest).
+
+can_start_term([integer(_)|_]).
+can_start_term([var(_)|_]).
+can_start_term([atom(_)|_]).
+can_start_term([punct(lparen)|_]).
+can_start_term([punct(lbracket)|_]).
+can_start_term([punct(lbrace)|_]).
+
+parse_args(Tokens, [Arg|Args], Rest) :-
+    parse_expr(999, Tokens, Arg, Rest0),
+    parse_args_rest(Rest0, Args, Rest).
+
+parse_args_rest([punct(comma)|Tokens], [Arg|Args], Rest) :- !,
+    parse_expr(999, Tokens, Arg, Rest0),
+    parse_args_rest(Rest0, Args, Rest).
+parse_args_rest([punct(rparen)|Rest], [], Rest).
+
+parse_list([punct(rbracket)|Rest], [], Rest) :- !.
+parse_list(Tokens, [Elem|Elems], Rest) :-
+    parse_expr(999, Tokens, Elem, Rest0),
+    parse_list_rest(Rest0, Elems, Rest).
+
+parse_list_rest([punct(comma)|Tokens], [Elem|Elems], Rest) :- !,
+    parse_expr(999, Tokens, Elem, Rest0),
+    parse_list_rest(Rest0, Elems, Rest).
+parse_list_rest([punct(bar)|Tokens], Tail, Rest) :- !,
+    parse_expr(999, Tokens, Tail, Rest0),
+    expect(punct(rbracket), Rest0, Rest).
+parse_list_rest([punct(rbracket)|Rest], [], Rest).
+
+expect(Token, [Token|Rest], Rest).
+
+% ======================== variable resolution ===============================
+
+% Replace var_ref(Name) placeholders by shared variables, building the
+% name->variable association list the reader returns.
+
+resolve_vars(Term, Resolved, Bindings) :-
+    resolve(Term, Resolved, [], Bindings).
+
+resolve(var_ref('_'), _, Bs, Bs) :- !.
+resolve(var_ref(Name), Var, Bs0, Bs) :- !,
+    lookup_var(Name, Bs0, Var, Bs).
+resolve(Term, Resolved, Bs0, Bs) :-
+    compound(Term), !,
+    Term =.. [F|Args],
+    resolve_args(Args, RArgs, Bs0, Bs),
+    Resolved =.. [F|RArgs].
+resolve(Term, Term, Bs, Bs).
+
+resolve_args([], [], Bs, Bs).
+resolve_args([A|As], [R|Rs], Bs0, Bs) :-
+    resolve(A, R, Bs0, Bs1),
+    resolve_args(As, Rs, Bs1, Bs).
+
+lookup_var(Name, [Name = Var|Bs], Var, [Name = Var|Bs]) :- !.
+lookup_var(Name, [B|Bs0], Var, [B|Bs]) :-
+    lookup_var(Name, Bs0, Var, Bs).
+lookup_var(Name, [], Var, [Name = Var]).
+
+% ======================== pretty printer (write back) ========================
+
+write_term_codes(Term, Codes) :-
+    wt(Term, 1200, Codes, []).
+
+wt(Term, _, Codes, Tail) :-
+    number(Term), !,
+    number_to_codes(Term, Codes, Tail).
+wt(Term, _, Codes, Tail) :-
+    atom(Term), !,
+    atom_to_codes(Term, Codes, Tail).
+wt(Term, MaxPrec, Codes, Tail) :-
+    Term =.. [Op, L, R],
+    infix_op(Op, Prec, LMax, RMax), !,
+    open_if_needed(Prec, MaxPrec, Codes, C1),
+    wt(L, LMax, C1, C2),
+    atom_to_codes(Op, C2, C3),
+    wt(R, RMax, C3, C4),
+    close_if_needed(Prec, MaxPrec, C4, Tail).
+wt(Term, _, Codes, Tail) :-
+    Term =.. [F|Args],
+    atom_to_codes(F, Codes, C1),
+    C1 = [0'(|C2],
+    wt_args(Args, C2, C3),
+    C3 = [0')|Tail].
+
+wt_args([A], Codes, Tail) :- !,
+    wt(A, 999, Codes, Tail).
+wt_args([A|As], Codes, Tail) :-
+    wt(A, 999, Codes, C1),
+    C1 = [0',|C2],
+    wt_args(As, C2, Tail).
+
+open_if_needed(Prec, MaxPrec, [0'(|Codes], Codes) :-
+    Prec > MaxPrec, !.
+open_if_needed(_, _, Codes, Codes).
+
+close_if_needed(Prec, MaxPrec, [0')|Codes], Codes) :-
+    Prec > MaxPrec, !.
+close_if_needed(_, _, Codes, Codes).
+
+number_to_codes(N, Codes, Tail) :-
+    N < 0, !,
+    M is -N,
+    Codes = [0'-|C1],
+    number_to_codes(M, C1, Tail).
+number_to_codes(N, Codes, Tail) :-
+    N < 10, !,
+    D is N + 0'0,
+    Codes = [D|Tail].
+number_to_codes(N, Codes, Tail) :-
+    Q is N // 10,
+    R is N mod 10,
+    number_to_codes(Q, Codes, C1),
+    D is R + 0'0,
+    C1 = [D|Tail].
+
+atom_to_codes(A, Codes, Tail) :-
+    atom_codes(A, Cs),
+    append_codes(Cs, Tail, Codes).
+
+append_codes([], Tail, Tail).
+append_codes([C|Cs], Tail, [C|Out]) :-
+    append_codes(Cs, Tail, Out).
+
+% ======================== top level ==========================================
+
+read_and_resolve(Codes, Term, Bindings) :-
+    read_term(Codes, Raw),
+    resolve_vars(Raw, Term, Bindings).
+
+round_trip(Codes, Out) :-
+    read_term(Codes, Term),
+    write_term_codes(Term, Out).
+
+main(Term) :-
+    example_input(Codes),
+    read_and_resolve(Codes, Term, _).
+
+example_input(Codes) :-
+    atom_codes('f(X, g(Y)) :- h(X), Y is X + 1. ', Codes).

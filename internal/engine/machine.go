@@ -1,0 +1,502 @@
+// Package engine implements a tabled logic-programming engine in the
+// spirit of the XSB system used by the paper: SLD resolution for
+// non-tabled predicates, variant-based tabling for tabled predicates,
+// dynamic clause loading ("assert") and a compiled mode with
+// first-argument indexing.
+//
+// Completeness. For tabled predicates the engine computes the full set of
+// answers of the minimal model restricted to the call, terminating
+// whenever the set of reachable subgoals and answers is finite (as in all
+// finite-domain analyses of the paper). Where XSB suspends and resumes
+// consumers (CHAT), this engine re-runs producers to a fixpoint governed
+// by an SCC discipline (see table.go); the result is the same call and
+// answer tables, possibly with more recomputation. Iteration counts are
+// exposed in Stats so the cost of that substitution is visible.
+//
+// The Machine is not safe for concurrent use.
+package engine
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xlp/internal/prolog"
+	"xlp/internal/term"
+)
+
+// LoadMode selects how consulted clauses are prepared, mirroring the
+// paper's §4 preprocessing tradeoff.
+type LoadMode int
+
+const (
+	// LoadDynamic stores clauses as parsed (XSB's assert + call/1 path):
+	// minimal preprocessing, linear clause scan at call time.
+	LoadDynamic LoadMode = iota
+	// LoadCompiled additionally normalizes clause bodies and builds a
+	// first-argument index per predicate: more preprocessing, faster
+	// resolution.
+	LoadCompiled
+)
+
+// Limits bound engine resources so runaway programs fail cleanly.
+type Limits struct {
+	// MaxDepth bounds non-tabled resolution depth (0 = default 1e6).
+	MaxDepth int
+	// MaxAnswers bounds the total number of tabled answers (0 = default 10e6).
+	MaxAnswers int
+	// MaxSubgoals bounds the number of distinct tabled calls (0 = default 1e6).
+	MaxSubgoals int
+}
+
+func (l Limits) maxDepth() int {
+	if l.MaxDepth <= 0 {
+		return 1_000_000
+	}
+	return l.MaxDepth
+}
+
+func (l Limits) maxAnswers() int {
+	if l.MaxAnswers <= 0 {
+		return 10_000_000
+	}
+	return l.MaxAnswers
+}
+
+func (l Limits) maxSubgoals() int {
+	if l.MaxSubgoals <= 0 {
+		return 1_000_000
+	}
+	return l.MaxSubgoals
+}
+
+// Stats accumulates evaluation counters.
+type Stats struct {
+	Resolutions    int // clause head unification attempts
+	BuiltinCalls   int
+	Subgoals       int // distinct tabled calls
+	Answers        int // distinct tabled answers
+	ProducerRuns   int // producer (re-)activations
+	ProducerPasses int // full clause passes inside producers
+	TableBytes     int // canonical bytes of calls + answers (paper's "table space")
+}
+
+// Clause is a stored program clause with flattened body. The skeleton
+// fields are a compiled form in which variables are replaced by indexed
+// term.Ref placeholders, making per-resolution renaming a map-free copy.
+type Clause struct {
+	Head term.Term
+	Body []term.Term
+	Nth  int // source position, for deterministic ordering
+
+	skelHead term.Term
+	skelBody []term.Term
+	nvars    int
+}
+
+// compile builds the renaming skeleton; called once when the clause is
+// stored.
+func (cl *Clause) compile() {
+	idx := map[*term.Var]int{}
+	cl.skelHead = term.CompileSkeleton(cl.Head, idx)
+	cl.skelBody = make([]term.Term, len(cl.Body))
+	for i, g := range cl.Body {
+		cl.skelBody[i] = term.CompileSkeleton(g, idx)
+	}
+	cl.nvars = len(idx)
+}
+
+// Pred holds the clauses and properties of one predicate.
+type Pred struct {
+	Indicator string
+	Tabled    bool
+	Clauses   []*Clause
+
+	indexed  bool
+	index    map[string][]*Clause // principal-functor key of first arg
+	varFirst []*Clause            // clauses whose first head arg is a variable
+}
+
+// Builtin is the implementation of a built-in predicate. It must call k
+// for every solution (with bindings trailed on m.trail) and propagate k's
+// "stop" result; it must leave the trail balanced for failed attempts.
+type Builtin func(m *Machine, args []term.Term, k func() bool) bool
+
+// Machine is a logic program plus its evaluation state.
+type Machine struct {
+	Mode   LoadMode
+	Limits Limits
+	Out    io.Writer // target of write/1 etc.; defaults to os.Stdout
+
+	// AnswerAbstraction, if set, maps a tabled answer instance to its
+	// abstract form before recording. Analyses over non-enumerative
+	// domains (the paper's §5 depth-k abstraction) use it to keep the
+	// answer tables finite.
+	AnswerAbstraction func(ans term.Term) term.Term
+	// AbstractUnify, if set, replaces plain unification when matching a
+	// tabled call against recorded answers (needed when answers contain
+	// abstract constants such as γ that denote term sets).
+	AbstractUnify func(a, b term.Term, tr *term.Trail) bool
+
+	preds    map[pkey]*Pred
+	builtins map[pkey]Builtin
+	trail    term.Trail
+
+	tables     map[string]*subgoal
+	stack      []*subgoal // active producers
+	complStack []*subgoal // completion stack
+	nextDfn    int
+	stats      Stats
+	depth      int
+}
+
+// New returns an empty machine in dynamic load mode.
+func New() *Machine {
+	m := &Machine{
+		preds:    map[pkey]*Pred{},
+		builtins: map[pkey]Builtin{},
+		tables:   map[string]*subgoal{},
+		Out:      os.Stdout,
+	}
+	registerBuiltins(m)
+	return m
+}
+
+// Stats returns a copy of the evaluation counters.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// ResetTables discards all tabled calls and answers (keeping the
+// program), so a fresh query re-derives everything.
+func (m *Machine) ResetTables() {
+	m.tables = map[string]*subgoal{}
+	m.stack = nil
+	m.complStack = nil
+	m.nextDfn = 0
+	m.stats = Stats{}
+}
+
+// pkey is the allocation-free predicate table key.
+type pkey struct {
+	name  string
+	arity int
+}
+
+func (k pkey) String() string { return fmt.Sprintf("%s/%d", k.name, k.arity) }
+
+// parsePkey splits an indicator string "name/arity".
+func parsePkey(indicator string) pkey {
+	i := strings.LastIndexByte(indicator, '/')
+	if i < 0 {
+		return pkey{name: indicator}
+	}
+	n, err := strconv.Atoi(indicator[i+1:])
+	if err != nil {
+		return pkey{name: indicator}
+	}
+	return pkey{name: indicator[:i], arity: n}
+}
+
+// Pred returns the predicate entry for an indicator ("name/arity"),
+// creating it if needed.
+func (m *Machine) Pred(indicator string) *Pred {
+	return m.pred(parsePkey(indicator))
+}
+
+func (m *Machine) pred(k pkey) *Pred {
+	p, ok := m.preds[k]
+	if !ok {
+		p = &Pred{Indicator: k.String()}
+		m.preds[k] = p
+	}
+	return p
+}
+
+// HasPred reports whether any clauses or declarations exist for indicator.
+func (m *Machine) HasPred(indicator string) bool {
+	_, ok := m.preds[parsePkey(indicator)]
+	return ok
+}
+
+// Table marks the given predicate indicators as tabled.
+func (m *Machine) Table(indicators ...string) {
+	for _, ind := range indicators {
+		m.Pred(ind).Tabled = true
+	}
+}
+
+// TableAll marks every currently-defined predicate as tabled.
+func (m *Machine) TableAll() {
+	for _, p := range m.preds {
+		p.Tabled = true
+	}
+}
+
+// Predicates returns the sorted indicators of all defined predicates.
+func (m *Machine) Predicates() []string {
+	out := make([]string, 0, len(m.preds))
+	for k := range m.preds {
+		out = append(out, k.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Assert adds a clause (head :- body) at the end of its predicate,
+// honoring the machine's load mode. This is the engine's analogue of
+// XSB's assert, the "dynamic compilation" the paper relies on for low
+// preprocessing cost.
+func (m *Machine) Assert(clause term.Term) error {
+	head, body := prolog.SplitClause(clause)
+	if head == nil {
+		return m.directive(body)
+	}
+	name, hargs, ok := term.FunctorArity(head)
+	if !ok {
+		return fmt.Errorf("engine: cannot assert clause with non-callable head %v", head)
+	}
+	k := pkey{name: name, arity: len(hargs)}
+	if _, isBuiltin := m.builtins[k]; isBuiltin {
+		return fmt.Errorf("engine: cannot redefine builtin %s", k)
+	}
+	p := m.pred(k)
+	cl := &Clause{Head: head, Body: prolog.Conjuncts(body), Nth: len(p.Clauses)}
+	cl.compile()
+	p.Clauses = append(p.Clauses, cl)
+	if m.Mode == LoadCompiled {
+		p.addToIndex(cl)
+	}
+	return nil
+}
+
+// Consult parses src as a Prolog program and loads every clause,
+// processing ':- table p/n' (and ignoring other) directives.
+func (m *Machine) Consult(src string) error {
+	clauses, err := prolog.ParseProgram(src)
+	if err != nil {
+		return err
+	}
+	return m.ConsultTerms(clauses)
+}
+
+// ConsultTerms loads pre-parsed clauses.
+func (m *Machine) ConsultTerms(clauses []term.Term) error {
+	for _, c := range clauses {
+		if err := m.Assert(c); err != nil {
+			return err
+		}
+	}
+	if m.Mode == LoadCompiled {
+		m.buildIndexes()
+	}
+	return nil
+}
+
+// directive interprets a ':- Goal' directive at load time. 'table'
+// declarations configure tabling; dynamic/discontiguous are accepted and
+// ignored; anything else is an error (we do not run goals at load time).
+func (m *Machine) directive(goal term.Term) error {
+	f, args, ok := term.FunctorArity(goal)
+	if !ok {
+		return fmt.Errorf("engine: bad directive %v", goal)
+	}
+	switch f {
+	case "table":
+		for _, spec := range splitCommaList(args[0]) {
+			ind, err := parseIndicator(spec)
+			if err != nil {
+				return err
+			}
+			m.Table(ind)
+		}
+		return nil
+	case "dynamic", "discontiguous", "multifile", "mode":
+		return nil
+	}
+	return fmt.Errorf("engine: unsupported directive :- %v", goal)
+}
+
+func splitCommaList(t term.Term) []term.Term {
+	if c, ok := term.Deref(t).(*term.Compound); ok && c.Functor == "," && len(c.Args) == 2 {
+		return append(splitCommaList(c.Args[0]), splitCommaList(c.Args[1])...)
+	}
+	return []term.Term{t}
+}
+
+func parseIndicator(t term.Term) (string, error) {
+	c, ok := term.Deref(t).(*term.Compound)
+	if !ok || c.Functor != "/" || len(c.Args) != 2 {
+		return "", fmt.Errorf("engine: bad predicate indicator %v", t)
+	}
+	name, ok1 := term.Deref(c.Args[0]).(term.Atom)
+	arity, ok2 := term.Deref(c.Args[1]).(term.Int)
+	if !ok1 || !ok2 || arity < 0 {
+		return "", fmt.Errorf("engine: bad predicate indicator %v", t)
+	}
+	return fmt.Sprintf("%s/%d", name, arity), nil
+}
+
+// buildIndexes (re)builds first-argument indexes for every predicate.
+// This is the "full compilation" preprocessing step of the paper's §4
+// comparison; its cost is charged to preprocessing time by the harness.
+func (m *Machine) buildIndexes() {
+	for _, p := range m.preds {
+		p.indexed = true
+		p.index = map[string][]*Clause{}
+		p.varFirst = nil
+		for _, cl := range p.Clauses {
+			p.addToIndex(cl)
+		}
+	}
+}
+
+func (p *Pred) addToIndex(cl *Clause) {
+	if !p.indexed {
+		p.indexed = true
+		p.index = map[string][]*Clause{}
+	}
+	key, isVar := firstArgKey(cl.Head)
+	if isVar {
+		p.varFirst = append(p.varFirst, cl)
+		// A clause with variable first argument matches every call; it
+		// must appear in every bucket. Buckets created later copy
+		// varFirst, existing buckets get it appended here.
+		for k := range p.index {
+			p.index[k] = insertOrdered(p.index[k], cl)
+		}
+		return
+	}
+	if _, ok := p.index[key]; !ok {
+		p.index[key] = append([]*Clause{}, p.varFirst...)
+	}
+	p.index[key] = insertOrdered(p.index[key], cl)
+}
+
+func insertOrdered(cls []*Clause, cl *Clause) []*Clause {
+	cls = append(cls, cl)
+	for i := len(cls) - 1; i > 0 && cls[i-1].Nth > cls[i].Nth; i-- {
+		cls[i-1], cls[i] = cls[i], cls[i-1]
+	}
+	return cls
+}
+
+// firstArgKey returns the index key of a clause head's first argument.
+func firstArgKey(head term.Term) (key string, isVar bool) {
+	_, args, _ := term.FunctorArity(head)
+	if len(args) == 0 {
+		return "$noargs", false
+	}
+	switch a := term.Deref(args[0]).(type) {
+	case *term.Var:
+		return "", true
+	case term.Atom:
+		return "a:" + string(a), false
+	case term.Int:
+		return fmt.Sprintf("i:%d", a), false
+	case *term.Compound:
+		return fmt.Sprintf("s:%s/%d", a.Functor, len(a.Args)), false
+	}
+	return "$other", false
+}
+
+// clausesFor returns the candidate clauses for a call, using the
+// first-argument index when available.
+func (p *Pred) clausesFor(goal term.Term) []*Clause {
+	if !p.indexed {
+		return p.Clauses
+	}
+	key, isVar := firstArgKey(goal)
+	if isVar {
+		return p.Clauses
+	}
+	if cls, ok := p.index[key]; ok {
+		return cls
+	}
+	return p.varFirst
+}
+
+// engineError carries an evaluation error out of deep recursion.
+type engineError struct{ err error }
+
+func (m *Machine) throwf(format string, args ...any) {
+	panic(engineError{fmt.Errorf("engine: "+format, args...)})
+}
+
+// Solve proves goal, invoking yield for each solution with bindings in
+// place. If yield returns true the search stops early. The trail is
+// fully unwound before Solve returns, so bindings must be snapshotted
+// (term.Resolve + term.Rename) inside yield if they are to be kept.
+func (m *Machine) Solve(goal term.Term, yield func() bool) (err error) {
+	mark := m.trail.Mark()
+	defer func() {
+		m.trail.Undo(mark)
+		if r := recover(); r != nil {
+			if ee, ok := r.(engineError); ok {
+				err = ee.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	m.depth = 0
+	m.solve(goal, yield)
+	return nil
+}
+
+// Query parses goalSrc, proves it, and returns snapshots of the goal
+// instance for every solution (in derivation order, duplicates included
+// for non-tabled predicates).
+func (m *Machine) Query(goalSrc string) ([]term.Term, error) {
+	goal, _, err := prolog.ParseTerm(goalSrc)
+	if err != nil {
+		return nil, err
+	}
+	var out []term.Term
+	err = m.Solve(goal, func() bool {
+		out = append(out, term.Rename(term.Resolve(goal), nil))
+		return false
+	})
+	return out, err
+}
+
+// QueryFirst returns the first solution of goalSrc, or ok=false.
+func (m *Machine) QueryFirst(goalSrc string) (term.Term, bool, error) {
+	goal, _, err := prolog.ParseTerm(goalSrc)
+	if err != nil {
+		return nil, false, err
+	}
+	var out term.Term
+	err = m.Solve(goal, func() bool {
+		out = term.Rename(term.Resolve(goal), nil)
+		return true
+	})
+	return out, out != nil, err
+}
+
+// ProgramString renders the loaded program back as Prolog text (used in
+// tests and by the preprocessing cost accounting).
+func (m *Machine) ProgramString() string {
+	var sb strings.Builder
+	for _, ind := range m.Predicates() {
+		p := m.preds[parsePkey(ind)]
+		if p.Tabled {
+			fmt.Fprintf(&sb, ":- table %s.\n", ind)
+		}
+		for _, cl := range p.Clauses {
+			sb.WriteString(cl.Head.String())
+			if len(cl.Body) != 1 || cl.Body[0].String() != "true" {
+				sb.WriteString(" :- ")
+				for i, g := range cl.Body {
+					if i > 0 {
+						sb.WriteString(", ")
+					}
+					sb.WriteString(g.String())
+				}
+			}
+			sb.WriteString(".\n")
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,332 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+
+	"xlp/internal/term"
+)
+
+// subgoal is one entry in the call table: a tabled call (up to variance)
+// together with its answers and fixpoint bookkeeping.
+//
+// Completion discipline. Subgoals are numbered by creation order (dfn).
+// While a subgoal's producer runs it is "active". A producer pass that
+// reaches an active subgoal records a dependency by lowering the
+// caller's minlink; a pass that reaches an inactive incomplete subgoal
+// re-enters its producer (it may have new answers to derive now that
+// older tables have grown). A producer iterates until a full pass over
+// its clauses adds no answer anywhere in the machine. On exit, a subgoal
+// whose minlink reaches below its own dfn is left incomplete and
+// propagates the link to its parent; a subgoal whose minlink equals its
+// dfn is an SCC leader and completes every incomplete subgoal created
+// since it (all of which belong to its region — had any of them depended
+// below the leader, the link would have propagated to the leader and it
+// would not be a leader).
+type subgoal struct {
+	key  string
+	goal term.Term // detached copy of the call
+	pred *Pred
+
+	answers    []term.Term // detached instances of goal, insertion order
+	answersGnd []bool      // per-answer: ground (no rename needed on use)
+	answerKeys map[string]struct{}
+
+	complete     bool
+	active       bool
+	dfn          int
+	minlink      int
+	onComplStack bool
+	// watchers are the subgoals that have consumed answers from this
+	// table; when this table grows they (transitively) become dirty.
+	watchers map[*subgoal]struct{}
+	// dirty marks that some (transitive) dependency's table has grown
+	// since this subgoal's producer last reached its local fixpoint.
+	// Only dirty subgoals are re-entered; without this, chains of
+	// interdependent subgoals re-run each other quadratically or worse.
+	dirty bool
+	// sawIncomplete records whether the current producer pass consumed
+	// any incomplete table. A pass that read only complete tables has
+	// enumerated every derivation against fixed inputs, so no
+	// confirmation pass is needed.
+	sawIncomplete bool
+}
+
+// solveTabled resolves a call to a tabled predicate through the table.
+func (m *Machine) solveTabled(p *Pred, goal term.Term, k func() bool) bool {
+	key := term.Canonical(goal)
+	sg, ok := m.tables[key]
+	if !ok {
+		if len(m.tables) >= m.Limits.maxSubgoals() {
+			m.throwf("subgoal limit exceeded (%d)", m.Limits.maxSubgoals())
+		}
+		sg = &subgoal{
+			key:        key,
+			goal:       term.Rename(term.Resolve(goal), nil),
+			pred:       p,
+			answerKeys: map[string]struct{}{},
+		}
+		m.tables[key] = sg
+		m.stats.Subgoals++
+		m.stats.TableBytes += len(key)
+		m.runProducer(sg)
+	} else if !sg.complete && !sg.active && sg.dirty {
+		// Incomplete, not on the producer stack, and some dependency's
+		// table has grown since its last local fixpoint: re-enter.
+		m.runProducer(sg)
+	}
+	if !sg.complete {
+		if parent := m.curProducer(); parent != nil {
+			// Record the SCC dependency so no ancestor completes before
+			// this subgoal's region does. An active subgoal links by its
+			// own dfn; an inactive incomplete one by its discovered
+			// minlink (it depends on something older still).
+			link := sg.dfn
+			if !sg.active && sg.minlink < link {
+				link = sg.minlink
+			}
+			if link < parent.minlink {
+				parent.minlink = link
+			}
+			// And subscribe the consumer for dirtiness propagation.
+			if sg.watchers == nil {
+				sg.watchers = map[*subgoal]struct{}{}
+			}
+			sg.watchers[parent] = struct{}{}
+			parent.sawIncomplete = true
+		}
+	}
+	unify := term.Unify
+	if m.AbstractUnify != nil {
+		unify = m.AbstractUnify
+	}
+	for i := 0; i < len(sg.answers); i++ {
+		ans := sg.answers[i]
+		if !sg.answersGnd[i] {
+			// Answers with residual variables must be used via a fresh
+			// renaming; ground answers (the common case) unify directly.
+			ans = term.Rename(ans, nil)
+		}
+		mark := m.trail.Mark()
+		if unify(goal, ans, &m.trail) {
+			if k() {
+				m.trail.Undo(mark)
+				return true
+			}
+		}
+		m.trail.Undo(mark)
+	}
+	return false
+}
+
+func (m *Machine) curProducer() *subgoal {
+	if len(m.stack) == 0 {
+		return nil
+	}
+	return m.stack[len(m.stack)-1]
+}
+
+// runProducer derives answers for sg by resolving its call against the
+// predicate's clauses, iterating until a full pass adds no answer
+// anywhere in the machine.
+func (m *Machine) runProducer(sg *subgoal) {
+	m.stats.ProducerRuns++
+	if sg.dfn == 0 {
+		m.nextDfn++
+		sg.dfn = m.nextDfn
+	}
+	sg.minlink = sg.dfn
+	sg.active = true
+	m.stack = append(m.stack, sg)
+	if !sg.onComplStack {
+		sg.onComplStack = true
+		m.complStack = append(m.complStack, sg)
+	}
+
+	for {
+		// Local pass loop: resolve the call against the clauses until
+		// neither this table nor a consumed dependency changes.
+		for {
+			m.stats.ProducerPasses++
+			ownBefore := len(sg.answers)
+			sg.dirty = false
+			sg.sawIncomplete = false
+			for _, cl := range sg.pred.clausesFor(sg.goal) {
+				m.stats.Resolutions++
+				mark := m.trail.Mark()
+				head, body := renameClause(cl)
+				if term.Unify(sg.goal, head, &m.trail) {
+					// nil cut barrier: cut may not cross a table boundary.
+					m.solveGoals(body, nil, func() bool {
+						m.addAnswer(sg, sg.goal)
+						return false
+					})
+				}
+				m.trail.Undo(mark)
+			}
+			// Re-pass only if something could change the outcome: a
+			// pass that consumed no incomplete table is final, and
+			// otherwise a pass that neither gained answers nor saw a
+			// dependency grow is a fixpoint.
+			if !sg.sawIncomplete {
+				break
+			}
+			if len(sg.answers) == ownBefore && !sg.dirty {
+				break
+			}
+		}
+		if sg.minlink != sg.dfn {
+			// Not an SCC leader: leave the region's stale members to
+			// the leader's flush loop below.
+			break
+		}
+		// Leader: dirtiness is propagated one dependency edge at a time
+		// (an answer marks only its table's direct consumers), so before
+		// completing, re-run any stale member of the region; its new
+		// answers may dirty others (or this leader), in which case we
+		// go around again. Re-running a member can complete nested
+		// regions and pop the completion stack, so restart the scan
+		// after every flush rather than holding an index across it.
+		flushed := false
+	rescan:
+		for {
+			for i := len(m.complStack) - 1; i >= 0; i-- {
+				mem := m.complStack[i]
+				if mem.dfn < sg.dfn {
+					break
+				}
+				if mem != sg && mem.dirty && !mem.active {
+					m.runProducer(mem)
+					flushed = true
+					continue rescan
+				}
+			}
+			break
+		}
+		if !flushed && !sg.dirty {
+			break
+		}
+	}
+	sg.dirty = false
+
+	m.stack = m.stack[:len(m.stack)-1]
+	sg.active = false
+	if sg.minlink == sg.dfn {
+		// Leader: complete the whole region created since sg.
+		for len(m.complStack) > 0 {
+			top := m.complStack[len(m.complStack)-1]
+			if top.dfn < sg.dfn {
+				break
+			}
+			top.complete = true
+			top.onComplStack = false
+			m.complStack = m.complStack[:len(m.complStack)-1]
+		}
+		return
+	}
+	if parent := m.curProducer(); parent != nil && sg.minlink < parent.minlink {
+		parent.minlink = sg.minlink
+	}
+}
+
+// markWatchersDirty marks the direct consumers of sg's table as needing
+// a producer re-run. Propagation is deliberately one edge deep: a
+// consumer only becomes stale once its direct dependency actually gains
+// answers, which its own re-run then signals onward. (Transitive marking
+// would re-run whole SCCs for every answer.) The leader's flush loop in
+// runProducer guarantees stale members are re-run before completion.
+func markWatchersDirty(sg *subgoal) {
+	for w := range sg.watchers {
+		if !w.complete {
+			w.dirty = true
+		}
+	}
+}
+
+// addAnswer records the current instance of the subgoal's call as an
+// answer if it is not a variant of an existing answer (the paper's §2
+// footnote: "only unique answers are entered in the table, and
+// duplicates are filtered out using variant checks").
+func (m *Machine) addAnswer(sg *subgoal, inst term.Term) {
+	if m.AnswerAbstraction != nil {
+		inst = m.AnswerAbstraction(term.Resolve(inst))
+	}
+	key := term.Canonical(inst)
+	if _, dup := sg.answerKeys[key]; dup {
+		return
+	}
+	if m.stats.Answers >= m.Limits.maxAnswers() {
+		m.throwf("answer limit exceeded (%d)", m.Limits.maxAnswers())
+	}
+	sg.answerKeys[key] = struct{}{}
+	detached := term.Rename(term.Resolve(inst), nil)
+	sg.answers = append(sg.answers, detached)
+	sg.answersGnd = append(sg.answersGnd, term.IsGround(detached))
+	m.stats.Answers++
+	m.stats.TableBytes += len(key)
+	markWatchersDirty(sg)
+}
+
+// TableDump is a snapshot of one call-table entry, used by the analyses'
+// collection phase: the recorded call gives the input (call) pattern and
+// the answers give the output (success) patterns — the paper's "since
+// the calls are anyway recorded, we do not have to pay an additional
+// price for obtaining input modes".
+type TableDump struct {
+	Call     term.Term
+	Answers  []term.Term
+	Complete bool
+}
+
+// Tables returns snapshots of all call-table entries for the predicate
+// with the given indicator ("name/arity"), sorted by call key. With an
+// empty indicator it returns every entry.
+func (m *Machine) Tables(indicator string) []TableDump {
+	var keys []string
+	for key, sg := range m.tables {
+		if indicator == "" || sg.pred.Indicator == indicator {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]TableDump, 0, len(keys))
+	for _, key := range keys {
+		sg := m.tables[key]
+		dump := TableDump{
+			Call:     sg.goal,
+			Answers:  append([]term.Term{}, sg.answers...),
+			Complete: sg.complete,
+		}
+		out = append(out, dump)
+	}
+	return out
+}
+
+// TableSpace returns the canonical-bytes measure of the call and answer
+// tables, the analogue of the paper's "Table space (bytes)" column.
+func (m *Machine) TableSpace() int { return m.stats.TableBytes }
+
+// DumpTablesString renders all tables for debugging and the cmd/xlp tool.
+func (m *Machine) DumpTablesString() string {
+	var sb strings.Builder
+	var keys []string
+	for key := range m.tables {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		sg := m.tables[key]
+		sb.WriteString(sg.goal.String())
+		if sg.complete {
+			sb.WriteString("  [complete]\n")
+		} else {
+			sb.WriteString("  [incomplete]\n")
+		}
+		for _, a := range sg.answers {
+			sb.WriteString("  ")
+			sb.WriteString(a.String())
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,213 @@
+// Package fl implements the frontend for a small first-order lazy
+// functional language in the style of EQUALS (the paper's §3.2 source
+// language): a program is a set of equations
+//
+//	f(p1, ..., pn) = expr.
+//
+// where the pi are constructor patterns and expr is built from
+// variables, integer literals, constructor and function applications,
+// arithmetic/comparison primitives, and if(Cond, Then, Else).
+//
+// The surface syntax reuses Prolog term notation (parsed with the
+// internal/prolog reader), so programs read like
+//
+//	ap(nil, Ys) = Ys.
+//	ap(cons(X, Xs), Ys) = cons(X, ap(Xs, Ys)).
+package fl
+
+import (
+	"fmt"
+	"sort"
+
+	"xlp/internal/prolog"
+	"xlp/internal/term"
+)
+
+// Equation is one defining equation of a function.
+type Equation struct {
+	Patterns []term.Term // argument patterns
+	Rhs      term.Term
+}
+
+// Func is a function with all its equations.
+type Func struct {
+	Name      string
+	Arity     int
+	Equations []*Equation
+}
+
+// Indicator returns "name/arity".
+func (f *Func) Indicator() string { return fmt.Sprintf("%s/%d", f.Name, f.Arity) }
+
+// Program is a parsed functional program.
+type Program struct {
+	Funcs map[string]*Func // keyed by indicator
+	// Constructors maps constructor indicators (name/arity) seen in
+	// patterns or expressions to their arity.
+	Constructors map[string]int
+	// Order lists function indicators in definition order.
+	Order []string
+	// Lines is the number of source lines (for the paper's lines/sec
+	// throughput metric).
+	Lines int
+}
+
+// Primops are the built-in strict primitives (all demand full evaluation
+// of both operands).
+var Primops = map[string]bool{
+	"+/2": true, "-/2": true, "*/2": true, "//2": true, "///2": true,
+	"mod/2": true, "</2": true, ">/2": true, "=</2": true, ">=/2": true,
+	"=:=/2": true, "=\\=/2": true, "min/2": true, "max/2": true,
+	"-/1": true, "abs/1": true,
+}
+
+// Parse parses a functional program.
+func Parse(src string) (*Program, error) {
+	clauses, err := prolog.ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{
+		Funcs:        map[string]*Func{},
+		Constructors: map[string]int{},
+	}
+	p.Lines = countLines(src)
+
+	// Pass 1: which names are functions?
+	type rawEq struct {
+		lhs, rhs term.Term
+	}
+	var eqs []rawEq
+	for _, c := range clauses {
+		eq, ok := term.Deref(c).(*term.Compound)
+		if !ok || eq.Functor != "=" || len(eq.Args) != 2 {
+			return nil, fmt.Errorf("fl: not an equation: %v", c)
+		}
+		lhs := term.Deref(eq.Args[0])
+		name, args, ok := term.FunctorArity(lhs)
+		if !ok {
+			return nil, fmt.Errorf("fl: bad equation left-hand side: %v", lhs)
+		}
+		ind := fmt.Sprintf("%s/%d", name, len(args))
+		if Primops[ind] {
+			return nil, fmt.Errorf("fl: cannot redefine primitive %s", ind)
+		}
+		f, exists := p.Funcs[ind]
+		if !exists {
+			f = &Func{Name: name, Arity: len(args)}
+			p.Funcs[ind] = f
+			p.Order = append(p.Order, ind)
+		}
+		eqs = append(eqs, rawEq{lhs: lhs, rhs: eq.Args[1]})
+	}
+
+	// Pass 2: build equations, classify constructors, validate.
+	for _, e := range eqs {
+		name, args, _ := term.FunctorArity(e.lhs)
+		ind := fmt.Sprintf("%s/%d", name, len(args))
+		f := p.Funcs[ind]
+		eq := &Equation{Patterns: args, Rhs: e.rhs}
+		for _, pat := range args {
+			if err := p.checkPattern(pat); err != nil {
+				return nil, fmt.Errorf("fl: in %s: %v", ind, err)
+			}
+		}
+		if err := p.checkExpr(e.rhs); err != nil {
+			return nil, fmt.Errorf("fl: in %s: %v", ind, err)
+		}
+		f.Equations = append(f.Equations, eq)
+	}
+	return p, nil
+}
+
+func countLines(src string) int {
+	n := 1
+	for i := 0; i < len(src); i++ {
+		if src[i] == '\n' {
+			n++
+		}
+	}
+	return n
+}
+
+// IsFunc reports whether an indicator names a defined function.
+func (p *Program) IsFunc(ind string) bool {
+	_, ok := p.Funcs[ind]
+	return ok
+}
+
+// checkPattern validates a pattern: variables, integers, and
+// constructor applications only (no function calls, no primops).
+func (p *Program) checkPattern(t term.Term) error {
+	switch t := term.Deref(t).(type) {
+	case *term.Var, term.Int:
+		return nil
+	case term.Atom:
+		ind := string(t) + "/0"
+		if p.IsFunc(ind) {
+			return fmt.Errorf("function %s used in pattern", ind)
+		}
+		p.Constructors[ind] = 0
+		return nil
+	case *term.Compound:
+		ind := fmt.Sprintf("%s/%d", t.Functor, len(t.Args))
+		if p.IsFunc(ind) || Primops[ind] || t.Functor == "if" {
+			return fmt.Errorf("non-constructor %s used in pattern", ind)
+		}
+		p.Constructors[ind] = len(t.Args)
+		for _, a := range t.Args {
+			if err := p.checkPattern(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("bad pattern %v", t)
+}
+
+// checkExpr validates an expression and records constructors.
+func (p *Program) checkExpr(t term.Term) error {
+	switch t := term.Deref(t).(type) {
+	case *term.Var, term.Int:
+		return nil
+	case term.Atom:
+		ind := string(t) + "/0"
+		if !p.IsFunc(ind) {
+			p.Constructors[ind] = 0
+		}
+		return nil
+	case *term.Compound:
+		ind := fmt.Sprintf("%s/%d", t.Functor, len(t.Args))
+		if t.Functor == "if" && len(t.Args) == 3 {
+			// conditional
+		} else if !p.IsFunc(ind) && !Primops[ind] {
+			p.Constructors[ind] = len(t.Args)
+		}
+		for _, a := range t.Args {
+			if err := p.checkExpr(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("bad expression %v", t)
+}
+
+// SortedFuncs returns functions in definition order.
+func (p *Program) SortedFuncs() []*Func {
+	out := make([]*Func, 0, len(p.Order))
+	for _, ind := range p.Order {
+		out = append(out, p.Funcs[ind])
+	}
+	return out
+}
+
+// SortedConstructors returns constructor indicators sorted.
+func (p *Program) SortedConstructors() []string {
+	out := make([]string, 0, len(p.Constructors))
+	for ind := range p.Constructors {
+		out = append(out, ind)
+	}
+	sort.Strings(out)
+	return out
+}

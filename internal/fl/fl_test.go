@@ -1,0 +1,121 @@
+package fl
+
+import (
+	"testing"
+)
+
+func TestParseBasics(t *testing.T) {
+	p, err := Parse(`
+		ap(nil, Ys) = Ys.
+		ap(cons(X, Xs), Ys) = cons(X, ap(Xs, Ys)).
+		len(nil) = 0.
+		len(cons(X, Xs)) = 1 + len(Xs).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(p.Funcs))
+	}
+	ap := p.Funcs["ap/2"]
+	if ap == nil || len(ap.Equations) != 2 || ap.Arity != 2 {
+		t.Fatalf("ap = %+v", ap)
+	}
+	if _, ok := p.Constructors["cons/2"]; !ok {
+		t.Fatal("cons/2 not recorded as constructor")
+	}
+	if _, ok := p.Constructors["nil/0"]; !ok {
+		t.Fatal("nil/0 not recorded as constructor")
+	}
+	if p.IsFunc("cons/2") {
+		t.Fatal("cons misclassified as function")
+	}
+}
+
+func TestFunctionsBeforeUse(t *testing.T) {
+	// Forward references must work (two-pass classification).
+	p, err := Parse(`
+		f(X) = g(X).
+		g(X) = X.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsFunc("g/1") {
+		t.Fatal("g should be a function")
+	}
+	if len(p.Constructors) != 0 {
+		t.Fatalf("no constructors expected, got %v", p.Constructors)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		`f(X).`,                  // not an equation
+		`f(g(X)) = X. g(Y) = Y.`, // function symbol in pattern
+		`f(X + 1) = X.`,          // primop in pattern
+		`+(A, B) = A.`,           // redefining a primitive
+		`f(if(A, B, C)) = A.`,    // 'if' in pattern
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestZeroArityFunctions(t *testing.T) {
+	p, err := Parse(`
+		limit = 100.
+		twice = limit + limit.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsFunc("limit/0") || !p.IsFunc("twice/0") {
+		t.Fatalf("0-arity functions: %v", p.Order)
+	}
+}
+
+func TestOrderPreserved(t *testing.T) {
+	p, err := Parse(`
+		b(X) = X.
+		a(X) = X.
+		c(X) = X.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"b/1", "a/1", "c/1"}
+	for i, ind := range p.Order {
+		if ind != want[i] {
+			t.Fatalf("order = %v", p.Order)
+		}
+	}
+	fs := p.SortedFuncs()
+	if fs[0].Name != "b" {
+		t.Fatalf("SortedFuncs order wrong")
+	}
+}
+
+func TestConditionalAndPrimops(t *testing.T) {
+	p, err := Parse(`
+		maxi(X, Y) = if(X < Y, Y, X).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Constructors) != 0 {
+		t.Fatalf("if/comparison misclassified: %v", p.Constructors)
+	}
+}
+
+func TestLinesCounted(t *testing.T) {
+	p, err := Parse("f(X) = X.\ng(X) = X.\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lines < 2 {
+		t.Fatalf("lines = %d", p.Lines)
+	}
+}

@@ -1,0 +1,135 @@
+package gaia
+
+import (
+	"testing"
+
+	"xlp/internal/boolfn"
+	"xlp/internal/prop"
+)
+
+func TestAppendMatchesPaper(t *testing.T) {
+	a, err := Analyze(`
+		ap([], Ys, Ys).
+		ap([X|Xs], Ys, [X|Zs]) :- ap(Xs, Ys, Zs).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := a.Results["ap/3"]
+	want := boolfn.Var(3, 0).And(boolfn.Var(3, 1)).Iff(boolfn.Var(3, 2))
+	if !r.Success.Equal(want) {
+		t.Fatalf("ap = %s, want X∧Y↔Z", r.Success)
+	}
+}
+
+func TestFactsAndArithmetic(t *testing.T) {
+	a, err := Analyze(`
+		p(a, b).
+		inc(X, Y) :- Y is X + 1.
+		len([], 0).
+		len([_|T], N) :- len(T, M), N is M + 1.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Results["p/2"].GroundArgs[0] || !a.Results["p/2"].GroundArgs[1] {
+		t.Fatal("p ground args wrong")
+	}
+	if !a.Results["inc/2"].GroundArgs[0] || !a.Results["inc/2"].GroundArgs[1] {
+		t.Fatal("inc ground args wrong")
+	}
+	ln := a.Results["len/2"]
+	if ln.GroundArgs[0] || !ln.GroundArgs[1] {
+		t.Fatalf("len ground args wrong: %v", ln.GroundArgs)
+	}
+}
+
+func TestUndefinedCalleeFails(t *testing.T) {
+	a, err := Analyze(`p(X) :- missing(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Results["p/1"].Success.IsFalse() {
+		t.Fatal("calls to undefined predicates must fail")
+	}
+}
+
+func TestEnvLimit(t *testing.T) {
+	// A clause with too many variables must be rejected cleanly.
+	src := "p("
+	for i := 0; i < 25; i++ {
+		if i > 0 {
+			src += ","
+		}
+		src += "X" + string(rune('A'+i%26)) + "1"
+	}
+	// build p(XA1, XB1, ...) with 25 distinct vars => 50 env vars
+	src = `p(X1,X2,X3,X4,X5,X6,X7,X8,X9,X10,X11,X12,X13,X14,X15,X16,X17,X18,X19,X20,X21,X22,X23).`
+	if _, err := Analyze(src); err == nil {
+		t.Fatal("expected env-size error")
+	}
+}
+
+// The paper's Table 2 point: the declarative analyzer and the special-
+// purpose analyzer implement the same analysis, so "the results obtained
+// on the two systems are identical". Check formula-for-formula equality.
+func TestAgreesWithDeclarativeAnalyzer(t *testing.T) {
+	srcs := []string{
+		`
+		ap([], Ys, Ys).
+		ap([X|Xs], Ys, [X|Zs]) :- ap(Xs, Ys, Zs).
+		`,
+		`
+		nrev([], []).
+		nrev([X|Xs], R) :- nrev(Xs, R1), ap(R1, [X], R).
+		ap([], Ys, Ys).
+		ap([X|Xs], Ys, [X|Zs]) :- ap(Xs, Ys, Zs).
+		`,
+		`
+		qs([], []).
+		qs([X|Xs], S) :- part(Xs, X, L, G), qs(L, SL), qs(G, SG), ap(SL, [X|SG], S).
+		part([], _, [], []).
+		part([Y|Ys], X, [Y|L], G) :- Y =< X, part(Ys, X, L, G).
+		part([Y|Ys], X, L, [Y|G]) :- Y > X, part(Ys, X, L, G).
+		ap([], Ys, Ys).
+		ap([X|Xs], Ys, [X|Zs]) :- ap(Xs, Ys, Zs).
+		`,
+		`
+		even([]).
+		even([_|T]) :- odd(T).
+		odd([_|T]) :- even(T).
+		`,
+		`
+		flat(leaf(X), [X]).
+		flat(node(L, R), F) :- flat(L, FL), flat(R, FR), ap(FL, FR, F).
+		ap([], Ys, Ys).
+		ap([X|Xs], Ys, [X|Zs]) :- ap(Xs, Ys, Zs).
+		`,
+		`
+		d(x, 1).
+		d(C, 0) :- number(C).
+		d(plus(A, B), plus(DA, DB)) :- d(A, DA), d(B, DB).
+		d(times(A, B), plus(times(A, DB), times(DA, B))) :- d(A, DA), d(B, DB).
+		`,
+	}
+	for i, src := range srcs {
+		g, err := Analyze(src)
+		if err != nil {
+			t.Fatalf("program %d: gaia: %v", i, err)
+		}
+		p, err := prop.Analyze(src, prop.Options{})
+		if err != nil {
+			t.Fatalf("program %d: prop: %v", i, err)
+		}
+		for ind, pr := range p.Results {
+			gr := g.Results[ind]
+			if gr == nil {
+				t.Fatalf("program %d: gaia missing %s", i, ind)
+			}
+			if !gr.Success.Equal(pr.Success) {
+				t.Errorf("program %d, %s: gaia %s != prop %s",
+					i, ind, gr.Success, pr.FormatSuccess())
+			}
+		}
+	}
+}

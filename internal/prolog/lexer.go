@@ -1,0 +1,370 @@
+// Package prolog implements a reader (tokenizer + operator-precedence
+// parser) for an ISO-style subset of Prolog, sufficient for the analysis
+// benchmark programs: clauses, directives, lists, curly terms, operators,
+// quoted atoms, integers, and both comment styles.
+package prolog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokAtom
+	tokVar
+	tokInt
+	tokPunct // ( ) [ ] { } , |
+	tokEnd   // clause-terminating '.'
+	tokStr   // "double quoted"
+)
+
+type token struct {
+	kind    tokenKind
+	text    string
+	ival    int64
+	functor bool // atom immediately followed by '(' (no intervening space)
+	line    int
+	col     int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "<eof>"
+	case tokEnd:
+		return "."
+	default:
+		return t.text
+	}
+}
+
+// SyntaxError reports a syntax error with source position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("prolog: syntax error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	line   int
+	col    int
+	peeked *token
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *lexer) errf(format string, args ...any) *SyntaxError {
+	return &SyntaxError{Line: lx.line, Col: lx.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peekRune() (byte, bool) {
+	if lx.pos >= len(lx.src) {
+		return 0, false
+	}
+	return lx.src[lx.pos], true
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipLayout() error {
+	for {
+		c, ok := lx.peekRune()
+		if !ok {
+			return nil
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '%':
+			for {
+				c, ok := lx.peekRune()
+				if !ok || c == '\n' {
+					break
+				}
+				_ = c
+				lx.advance()
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			startLine, startCol := lx.line, lx.col
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.pos < len(lx.src) {
+				if lx.src[lx.pos] == '*' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return &SyntaxError{Line: startLine, Col: startCol, Msg: "unterminated block comment"}
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func (lx *lexer) peek() (token, error) {
+	if lx.peeked == nil {
+		t, err := lx.lex()
+		if err != nil {
+			return token{}, err
+		}
+		lx.peeked = &t
+	}
+	return *lx.peeked, nil
+}
+
+func (lx *lexer) next() (token, error) {
+	if lx.peeked != nil {
+		t := *lx.peeked
+		lx.peeked = nil
+		return t, nil
+	}
+	return lx.lex()
+}
+
+func isSoloPunct(c byte) bool {
+	switch c {
+	case '(', ')', '[', ']', '{', '}', ',', '|':
+		return true
+	}
+	return false
+}
+
+func isSymbolChar(c byte) bool {
+	return strings.IndexByte("+-*/\\^<>=~:.?@#&$", c) >= 0
+}
+
+func isAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+func (lx *lexer) lex() (token, error) {
+	if err := lx.skipLayout(); err != nil {
+		return token{}, err
+	}
+	line, col := lx.line, lx.col
+	c, ok := lx.peekRune()
+	if !ok {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	switch {
+	case c >= '0' && c <= '9':
+		return lx.lexNumber(line, col)
+	case c >= 'a' && c <= 'z':
+		start := lx.pos
+		for {
+			c, ok := lx.peekRune()
+			if !ok || !isAlnum(c) {
+				break
+			}
+			_ = c
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		return lx.atomToken(text, line, col), nil
+	case c >= 'A' && c <= 'Z' || c == '_':
+		start := lx.pos
+		for {
+			c, ok := lx.peekRune()
+			if !ok || !isAlnum(c) {
+				break
+			}
+			_ = c
+			lx.advance()
+		}
+		return token{kind: tokVar, text: lx.src[start:lx.pos], line: line, col: col}, nil
+	case c == '\'':
+		return lx.lexQuoted(line, col)
+	case c == '"':
+		return lx.lexString(line, col)
+	case c == '!' || c == ';':
+		lx.advance()
+		return lx.atomToken(string(c), line, col), nil
+	case isSoloPunct(c):
+		lx.advance()
+		return token{kind: tokPunct, text: string(c), line: line, col: col}, nil
+	case isSymbolChar(c):
+		start := lx.pos
+		for {
+			c, ok := lx.peekRune()
+			if !ok || !isSymbolChar(c) {
+				break
+			}
+			_ = c
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		// A solitary '.' followed by layout or EOF ends a clause.
+		if text == "." {
+			c, ok := lx.peekRune()
+			if !ok || c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '%' {
+				return token{kind: tokEnd, text: ".", line: line, col: col}, nil
+			}
+		}
+		return lx.atomToken(text, line, col), nil
+	default:
+		if unicode.IsPrint(rune(c)) {
+			return token{}, lx.errf("unexpected character %q", c)
+		}
+		return token{}, lx.errf("unexpected byte 0x%02x", c)
+	}
+}
+
+func (lx *lexer) atomToken(text string, line, col int) token {
+	t := token{kind: tokAtom, text: text, line: line, col: col}
+	if c, ok := lx.peekRune(); ok && c == '(' {
+		t.functor = true
+	}
+	return t
+}
+
+func (lx *lexer) lexNumber(line, col int) (token, error) {
+	start := lx.pos
+	// 0' char code
+	if lx.src[lx.pos] == '0' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '\'' {
+		lx.advance()
+		lx.advance()
+		if lx.pos >= len(lx.src) {
+			return token{}, lx.errf("unterminated character code")
+		}
+		ch := lx.advance()
+		if ch == '\\' {
+			esc, err := lx.lexEscape()
+			if err != nil {
+				return token{}, err
+			}
+			ch = esc
+		}
+		return token{kind: tokInt, text: lx.src[start:lx.pos], ival: int64(ch), line: line, col: col}, nil
+	}
+	var v int64
+	for {
+		c, ok := lx.peekRune()
+		if !ok || c < '0' || c > '9' {
+			break
+		}
+		v = v*10 + int64(c-'0')
+		lx.advance()
+	}
+	return token{kind: tokInt, text: lx.src[start:lx.pos], ival: v, line: line, col: col}, nil
+}
+
+func (lx *lexer) lexEscape() (byte, error) {
+	if lx.pos >= len(lx.src) {
+		return 0, lx.errf("unterminated escape")
+	}
+	c := lx.advance()
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case 'a':
+		return 7, nil
+	case 'b':
+		return 8, nil
+	case 'f':
+		return 12, nil
+	case 'v':
+		return 11, nil
+	case '\\', '\'', '"', '`':
+		return c, nil
+	case '0':
+		return 0, nil
+	default:
+		return 0, lx.errf("unknown escape \\%c", c)
+	}
+}
+
+func (lx *lexer) lexQuoted(line, col int) (token, error) {
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if lx.pos >= len(lx.src) {
+			return token{}, &SyntaxError{Line: line, Col: col, Msg: "unterminated quoted atom"}
+		}
+		c := lx.advance()
+		switch c {
+		case '\'':
+			if nc, ok := lx.peekRune(); ok && nc == '\'' {
+				lx.advance()
+				sb.WriteByte('\'')
+				continue
+			}
+			t := token{kind: tokAtom, text: sb.String(), line: line, col: col}
+			if c, ok := lx.peekRune(); ok && c == '(' {
+				t.functor = true
+			}
+			return t, nil
+		case '\\':
+			// line continuation
+			if nc, ok := lx.peekRune(); ok && nc == '\n' {
+				lx.advance()
+				continue
+			}
+			esc, err := lx.lexEscape()
+			if err != nil {
+				return token{}, err
+			}
+			sb.WriteByte(esc)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+}
+
+func (lx *lexer) lexString(line, col int) (token, error) {
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if lx.pos >= len(lx.src) {
+			return token{}, &SyntaxError{Line: line, Col: col, Msg: "unterminated string"}
+		}
+		c := lx.advance()
+		switch c {
+		case '"':
+			if nc, ok := lx.peekRune(); ok && nc == '"' {
+				lx.advance()
+				sb.WriteByte('"')
+				continue
+			}
+			return token{kind: tokStr, text: sb.String(), line: line, col: col}, nil
+		case '\\':
+			esc, err := lx.lexEscape()
+			if err != nil {
+				return token{}, err
+			}
+			sb.WriteByte(esc)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+}

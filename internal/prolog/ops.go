@@ -1,0 +1,115 @@
+package prolog
+
+// opType is a standard Prolog operator type.
+type opType int
+
+const (
+	xfx opType = iota
+	xfy
+	yfx
+	fy
+	fx
+	xf
+	yf
+)
+
+type opDef struct {
+	prec int
+	typ  opType
+}
+
+// opTable holds prefix and infix/postfix operator definitions. An atom may
+// be both a prefix and an infix operator (e.g. '-').
+type opTable struct {
+	prefix map[string]opDef
+	infix  map[string]opDef // includes postfix, distinguished by typ
+}
+
+// defaultOps returns the standard operator table (ISO core plus the usual
+// extras found in XSB/SICStus that the benchmark programs use).
+func defaultOps() *opTable {
+	t := &opTable{prefix: map[string]opDef{}, infix: map[string]opDef{}}
+	in := func(p int, ty opType, names ...string) {
+		for _, n := range names {
+			t.infix[n] = opDef{p, ty}
+		}
+	}
+	pre := func(p int, ty opType, names ...string) {
+		for _, n := range names {
+			t.prefix[n] = opDef{p, ty}
+		}
+	}
+	in(1200, xfx, ":-", "-->")
+	pre(1200, fx, ":-", "?-")
+	pre(1150, fx, "dynamic", "discontiguous", "multifile", "table",
+		"module", "public", "meta_predicate", "mode")
+	in(1100, xfy, ";")
+	in(1050, xfy, "->")
+	in(1000, xfy, ",")
+	pre(900, fy, "\\+")
+	in(700, xfx, "=", "\\=", "==", "\\==", "@<", "@>", "@=<", "@>=",
+		"is", "=..", "=:=", "=\\=", "<", ">", "=<", ">=")
+	in(500, yfx, "+", "-", "/\\", "\\/", "xor")
+	in(400, yfx, "*", "/", "//", "mod", "rem", "<<", ">>")
+	in(200, xfx, "**")
+	in(200, xfy, "^")
+	pre(200, fy, "-", "+", "\\")
+	in(100, yfx, "@")
+	in(50, xfx, "$")
+	return t
+}
+
+// maxArgPrec is the maximum operator priority allowed inside argument
+// lists and list elements (everything below ',').
+const maxArgPrec = 999
+
+func (ot *opTable) prefixOp(name string) (opDef, bool) {
+	d, ok := ot.prefix[name]
+	return d, ok
+}
+
+func (ot *opTable) infixOp(name string) (opDef, bool) {
+	d, ok := ot.infix[name]
+	if !ok {
+		return opDef{}, false
+	}
+	switch d.typ {
+	case xfx, xfy, yfx:
+		return d, true
+	}
+	return opDef{}, false
+}
+
+func (ot *opTable) postfixOp(name string) (opDef, bool) {
+	d, ok := ot.infix[name]
+	if !ok {
+		return opDef{}, false
+	}
+	switch d.typ {
+	case xf, yf:
+		return d, true
+	}
+	return opDef{}, false
+}
+
+// argPrec returns the maximum priorities allowed for the left and right
+// arguments of an operator definition.
+func (d opDef) argPrec() (left, right int) {
+	switch d.typ {
+	case xfx:
+		return d.prec - 1, d.prec - 1
+	case xfy:
+		return d.prec - 1, d.prec
+	case yfx:
+		return d.prec, d.prec - 1
+	case fy:
+		return 0, d.prec
+	case fx:
+		return 0, d.prec - 1
+	case yf:
+		return d.prec, 0
+	case xf:
+		return d.prec - 1, 0
+	}
+	return 0, 0
+}

@@ -1,0 +1,418 @@
+package prolog
+
+import (
+	"fmt"
+	"io"
+
+	"xlp/internal/term"
+)
+
+// Reader reads a sequence of Prolog clauses from a source string.
+// Variable scope is one clause: within a clause, occurrences of the same
+// name denote the same variable; '_' is always fresh.
+type Reader struct {
+	lx   *lexer
+	ops  *opTable
+	vars map[string]*term.Var
+}
+
+// NewReader returns a Reader over src using the standard operator table.
+func NewReader(src string) *Reader {
+	return &Reader{lx: newLexer(src), ops: defaultOps()}
+}
+
+// ReadClause reads the next clause (a term terminated by '.'). At end of
+// input it returns io.EOF.
+func (r *Reader) ReadClause() (term.Term, error) {
+	tok, err := r.lx.peek()
+	if err != nil {
+		return nil, err
+	}
+	if tok.kind == tokEOF {
+		return nil, io.EOF
+	}
+	r.vars = map[string]*term.Var{}
+	t, _, err := r.parse(1200)
+	if err != nil {
+		return nil, err
+	}
+	end, err := r.lx.next()
+	if err != nil {
+		return nil, err
+	}
+	if end.kind != tokEnd {
+		return nil, &SyntaxError{Line: end.line, Col: end.col,
+			Msg: fmt.Sprintf("expected '.' after clause, found %q", end.String())}
+	}
+	return t, nil
+}
+
+// Vars returns the named variables of the most recently read clause.
+func (r *Reader) Vars() map[string]*term.Var { return r.vars }
+
+// ParseTerm parses a single term (without the trailing '.') and returns
+// it along with its named variables.
+func ParseTerm(src string) (term.Term, map[string]*term.Var, error) {
+	r := NewReader(src)
+	r.vars = map[string]*term.Var{}
+	t, _, err := r.parse(1200)
+	if err != nil {
+		return nil, nil, err
+	}
+	tok, err := r.lx.next()
+	if err != nil {
+		return nil, nil, err
+	}
+	if tok.kind != tokEOF && tok.kind != tokEnd {
+		return nil, nil, &SyntaxError{Line: tok.line, Col: tok.col,
+			Msg: fmt.Sprintf("unexpected input after term: %q", tok.String())}
+	}
+	return t, r.vars, nil
+}
+
+// ParseProgram parses all clauses in src.
+func ParseProgram(src string) ([]term.Term, error) {
+	r := NewReader(src)
+	var out []term.Term
+	for {
+		c, err := r.ReadClause()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+}
+
+func (r *Reader) variable(name string) *term.Var {
+	if name == "_" {
+		return term.NewVar("_")
+	}
+	if v, ok := r.vars[name]; ok {
+		return v
+	}
+	v := term.NewVar(name)
+	r.vars[name] = v
+	return v
+}
+
+// parse parses a term whose priority is at most maxPrec, returning the
+// term and its priority.
+func (r *Reader) parse(maxPrec int) (term.Term, int, error) {
+	left, leftPrec, err := r.parsePrimary(maxPrec)
+	if err != nil {
+		return nil, 0, err
+	}
+	return r.parseInfix(left, leftPrec, maxPrec)
+}
+
+func (r *Reader) parseInfix(left term.Term, leftPrec, maxPrec int) (term.Term, int, error) {
+	for {
+		tok, err := r.lx.peek()
+		if err != nil {
+			return nil, 0, err
+		}
+		var name string
+		switch {
+		case tok.kind == tokAtom:
+			name = tok.text
+		case tok.kind == tokPunct && tok.text == ",":
+			name = ","
+		case tok.kind == tokPunct && tok.text == "|":
+			// '|' used as an infix alternative separator (treated as ';').
+			name = "|"
+		default:
+			return left, leftPrec, nil
+		}
+		opName := name
+		var d opDef
+		var ok bool
+		if name == "|" {
+			// '|' outside a list acts as the disjunction operator.
+			opName, d, ok = ";", opDef{prec: 1100, typ: xfy}, true
+		} else {
+			d, ok = r.ops.infixOp(name)
+		}
+		if ok && d.prec <= maxPrec {
+			lmax, rmax := d.argPrec()
+			if leftPrec > lmax {
+				return left, leftPrec, nil
+			}
+			if _, err := r.lx.next(); err != nil {
+				return nil, 0, err
+			}
+			right, _, err := r.parse(rmax)
+			if err != nil {
+				return nil, 0, err
+			}
+			left = term.Comp(opName, left, right)
+			leftPrec = d.prec
+			continue
+		}
+		if d, ok := r.ops.postfixOp(name); ok && d.prec <= maxPrec {
+			lmax, _ := d.argPrec()
+			if leftPrec > lmax {
+				return left, leftPrec, nil
+			}
+			if _, err := r.lx.next(); err != nil {
+				return nil, 0, err
+			}
+			left = term.Comp(opName, left)
+			leftPrec = d.prec
+			continue
+		}
+		return left, leftPrec, nil
+	}
+}
+
+// canStartTerm reports whether tok can begin a term (used to decide
+// whether an operator atom is being used as a prefix operator).
+func canStartTerm(tok token) bool {
+	switch tok.kind {
+	case tokInt, tokVar, tokStr:
+		return true
+	case tokAtom:
+		return true
+	case tokPunct:
+		return tok.text == "(" || tok.text == "[" || tok.text == "{"
+	}
+	return false
+}
+
+func (r *Reader) parsePrimary(maxPrec int) (term.Term, int, error) {
+	tok, err := r.lx.next()
+	if err != nil {
+		return nil, 0, err
+	}
+	switch tok.kind {
+	case tokEOF:
+		return nil, 0, &SyntaxError{Line: tok.line, Col: tok.col, Msg: "unexpected end of input"}
+	case tokEnd:
+		return nil, 0, &SyntaxError{Line: tok.line, Col: tok.col, Msg: "unexpected '.'"}
+	case tokInt:
+		return term.Int(tok.ival), 0, nil
+	case tokVar:
+		return r.variable(tok.text), 0, nil
+	case tokStr:
+		// Double-quoted strings denote lists of character codes.
+		elems := make([]term.Term, len(tok.text))
+		for i := 0; i < len(tok.text); i++ {
+			elems[i] = term.Int(tok.text[i])
+		}
+		return term.List(elems...), 0, nil
+	case tokPunct:
+		switch tok.text {
+		case "(":
+			t, _, err := r.parse(1200)
+			if err != nil {
+				return nil, 0, err
+			}
+			if err := r.expectPunct(")"); err != nil {
+				return nil, 0, err
+			}
+			return t, 0, nil
+		case "[":
+			return r.parseList()
+		case "{":
+			nt, err := r.lx.peek()
+			if err != nil {
+				return nil, 0, err
+			}
+			if nt.kind == tokPunct && nt.text == "}" {
+				_, _ = r.lx.next()
+				return term.Atom("{}"), 0, nil
+			}
+			t, _, err := r.parse(1200)
+			if err != nil {
+				return nil, 0, err
+			}
+			if err := r.expectPunct("}"); err != nil {
+				return nil, 0, err
+			}
+			return term.Comp("{}", t), 0, nil
+		}
+		return nil, 0, &SyntaxError{Line: tok.line, Col: tok.col,
+			Msg: fmt.Sprintf("unexpected %q", tok.text)}
+	case tokAtom:
+		return r.parseAtomic(tok, maxPrec)
+	}
+	return nil, 0, &SyntaxError{Line: tok.line, Col: tok.col, Msg: "unexpected token"}
+}
+
+func (r *Reader) parseAtomic(tok token, maxPrec int) (term.Term, int, error) {
+	// name(args...): compound term
+	if tok.functor {
+		if err := r.expectPunct("("); err != nil {
+			return nil, 0, err
+		}
+		args, err := r.parseArgs()
+		if err != nil {
+			return nil, 0, err
+		}
+		return term.NewCompound(tok.text, args...), 0, nil
+	}
+	// negative numeric literal
+	if tok.text == "-" {
+		nt, err := r.lx.peek()
+		if err != nil {
+			return nil, 0, err
+		}
+		if nt.kind == tokInt {
+			_, _ = r.lx.next()
+			return term.Int(-nt.ival), 0, nil
+		}
+	}
+	// prefix operator application
+	if d, ok := r.ops.prefixOp(tok.text); ok && d.prec <= maxPrec {
+		nt, err := r.lx.peek()
+		if err != nil {
+			return nil, 0, err
+		}
+		if canStartTerm(nt) && !isInfixOnlyAtom(r.ops, nt) {
+			_, rmax := d.argPrec()
+			arg, _, err := r.parse(rmax)
+			if err != nil {
+				return nil, 0, err
+			}
+			return term.Comp(tok.text, arg), d.prec, nil
+		}
+	}
+	// plain atom; if it names an operator, it carries that priority
+	prec := 0
+	if d, ok := r.ops.infixOp(tok.text); ok {
+		prec = d.prec
+	} else if d, ok := r.ops.prefixOp(tok.text); ok {
+		prec = d.prec
+	}
+	return term.Atom(tok.text), prec, nil
+}
+
+// isInfixOnlyAtom reports whether tok is an atom that can only be an
+// infix operator (so a preceding prefix operator is really an atom).
+func isInfixOnlyAtom(ops *opTable, tok token) bool {
+	if tok.kind != tokAtom || tok.functor {
+		return false
+	}
+	_, isInfix := ops.infixOp(tok.text)
+	_, isPrefix := ops.prefixOp(tok.text)
+	return isInfix && !isPrefix
+}
+
+func (r *Reader) parseArgs() ([]term.Term, error) {
+	var args []term.Term
+	for {
+		a, _, err := r.parse(maxArgPrec)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		tok, err := r.lx.next()
+		if err != nil {
+			return nil, err
+		}
+		if tok.kind != tokPunct {
+			return nil, &SyntaxError{Line: tok.line, Col: tok.col,
+				Msg: fmt.Sprintf("expected ',' or ')' in arguments, found %q", tok.String())}
+		}
+		switch tok.text {
+		case ",":
+			continue
+		case ")":
+			return args, nil
+		default:
+			return nil, &SyntaxError{Line: tok.line, Col: tok.col,
+				Msg: fmt.Sprintf("expected ',' or ')' in arguments, found %q", tok.text)}
+		}
+	}
+}
+
+func (r *Reader) parseList() (term.Term, int, error) {
+	tok, err := r.lx.peek()
+	if err != nil {
+		return nil, 0, err
+	}
+	if tok.kind == tokPunct && tok.text == "]" {
+		_, _ = r.lx.next()
+		return term.Nil, 0, nil
+	}
+	var elems []term.Term
+	tail := term.Term(term.Nil)
+	for {
+		e, _, err := r.parse(maxArgPrec)
+		if err != nil {
+			return nil, 0, err
+		}
+		elems = append(elems, e)
+		tok, err := r.lx.next()
+		if err != nil {
+			return nil, 0, err
+		}
+		if tok.kind != tokPunct {
+			return nil, 0, &SyntaxError{Line: tok.line, Col: tok.col,
+				Msg: fmt.Sprintf("expected ',', '|' or ']' in list, found %q", tok.String())}
+		}
+		switch tok.text {
+		case ",":
+			continue
+		case "|":
+			t, _, err := r.parse(maxArgPrec)
+			if err != nil {
+				return nil, 0, err
+			}
+			tail = t
+			if err := r.expectPunct("]"); err != nil {
+				return nil, 0, err
+			}
+		case "]":
+		default:
+			return nil, 0, &SyntaxError{Line: tok.line, Col: tok.col,
+				Msg: fmt.Sprintf("expected ',', '|' or ']' in list, found %q", tok.text)}
+		}
+		break
+	}
+	return term.ListWithTail(tail, elems...), 0, nil
+}
+
+func (r *Reader) expectPunct(p string) error {
+	tok, err := r.lx.next()
+	if err != nil {
+		return err
+	}
+	if tok.kind != tokPunct || tok.text != p {
+		return &SyntaxError{Line: tok.line, Col: tok.col,
+			Msg: fmt.Sprintf("expected %q, found %q", p, tok.String())}
+	}
+	return nil
+}
+
+// SplitClause splits a clause term into head and body. Facts get body
+// 'true'. Directives (":- G") return a nil head.
+func SplitClause(t term.Term) (head, body term.Term) {
+	if c, ok := term.Deref(t).(*term.Compound); ok && c.Functor == ":-" {
+		switch len(c.Args) {
+		case 2:
+			return c.Args[0], c.Args[1]
+		case 1:
+			return nil, c.Args[0]
+		}
+	}
+	return t, term.Atom("true")
+}
+
+// Conjuncts flattens a conjunction into a list of goals.
+func Conjuncts(t term.Term) []term.Term {
+	var out []term.Term
+	var walk func(term.Term)
+	walk = func(t term.Term) {
+		if c, ok := term.Deref(t).(*term.Compound); ok && c.Functor == "," && len(c.Args) == 2 {
+			walk(c.Args[0])
+			walk(c.Args[1])
+			return
+		}
+		out = append(out, t)
+	}
+	walk(t)
+	return out
+}

@@ -1,0 +1,292 @@
+package prolog
+
+import (
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xlp/internal/term"
+)
+
+// mustParse parses src or fails the test.
+func mustParse(t *testing.T, src string) term.Term {
+	t.Helper()
+	tm, _, err := ParseTerm(src)
+	if err != nil {
+		t.Fatalf("ParseTerm(%q): %v", src, err)
+	}
+	return tm
+}
+
+func TestParseBasicTerms(t *testing.T) {
+	cases := map[string]string{
+		"foo":             "foo",
+		"foo(bar)":        "foo(bar)",
+		"foo(bar, baz)":   "foo(bar,baz)",
+		"42":              "42",
+		"-7":              "-7",
+		"[]":              "[]",
+		"[a]":             "[a]",
+		"[a,b,c]":         "[a,b,c]",
+		"[a|T]":           "[a|_T",
+		"[a,b|T]":         "[a,b|_T",
+		"{a}":             "{}(a)",
+		"{}":              "{}",
+		"'hello world'":   "'hello world'",
+		"f(g(h(x)))":      "f(g(h(x)))",
+		"f([1,2],[])":     "f([1,2],[])",
+		"0'a":             "97",
+		"'it''s'":         `'it\'s'`,
+		"% comment\nfoo":  "foo",
+		"/* block */ foo": "foo",
+		"f(  a ,\n\t b )": "f(a,b)",
+	}
+	for src, want := range cases {
+		got := mustParse(t, src).String()
+		if !strings.HasPrefix(got, want) {
+			t.Errorf("ParseTerm(%q) = %q, want prefix %q", src, got, want)
+		}
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	cases := map[string]string{
+		"a :- b":      ":-(a,b)",
+		"a :- b, c":   ":-(a,','(b,c))",
+		"a , b , c":   "','(a,','(b,c))", // xfy right assoc
+		"1 + 2 + 3":   "+(+(1,2),3)",     // yfx left assoc
+		"1 + 2 * 3":   "+(1,*(2,3))",     // precedence
+		"(1 + 2) * 3": "*(+(1,2),3)",     // parens
+		"X = Y":       "=(_X",            // prefix match only
+		"a ; b":       ";(a,b)",
+		"a -> b ; c":  ";(->(a,b),c)",
+		"\\+ a":       "\\+(a)",
+		"- (1)":       "-(1)",
+		"X is Y + 1":  "is(",
+		"f(a :- b)":   "", // error: prec 1200 > 999 in args
+		"[a :- b]":    "", // same in list
+		"2 ** 3":      "**(2,3)",
+		"a = b = c":   "", // xfx not associative
+		"- - a":       "-(-(a))",
+		"a | b":       ";(a,b)",
+	}
+	for src, want := range cases {
+		tm, _, err := ParseTerm(src)
+		if want == "" {
+			if err == nil {
+				t.Errorf("ParseTerm(%q) should fail, got %v", src, tm)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseTerm(%q): %v", src, err)
+			continue
+		}
+		if got := tm.String(); !strings.HasPrefix(got, want) {
+			t.Errorf("ParseTerm(%q) = %q, want prefix %q", src, got, want)
+		}
+	}
+}
+
+func TestVariableScoping(t *testing.T) {
+	tm, vars, err := ParseTerm("f(X, Y, X, _, _)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tm.(*term.Compound)
+	if term.Deref(c.Args[0]) != term.Deref(c.Args[2]) {
+		t.Fatal("same-name variables must be shared within a clause")
+	}
+	if term.Deref(c.Args[3]) == term.Deref(c.Args[4]) {
+		t.Fatal("'_' must always be fresh")
+	}
+	if len(vars) != 2 {
+		t.Fatalf("named vars = %d, want 2", len(vars))
+	}
+}
+
+func TestReadClauseSequence(t *testing.T) {
+	src := `
+		p(a).
+		p(X) :- q(X), r(X).
+		:- table p/1.
+	`
+	r := NewReader(src)
+	var clauses []term.Term
+	for {
+		c, err := r.ReadClause()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		clauses = append(clauses, c)
+	}
+	if len(clauses) != 3 {
+		t.Fatalf("got %d clauses, want 3", len(clauses))
+	}
+	head, body := SplitClause(clauses[0])
+	if head.String() != "p(a)" || body.String() != "true" {
+		t.Fatalf("fact split wrong: %v / %v", head, body)
+	}
+	head, body = SplitClause(clauses[1])
+	if head.String() != "p(_X" && !strings.HasPrefix(head.String(), "p(") {
+		t.Fatalf("rule head wrong: %v", head)
+	}
+	goals := Conjuncts(body)
+	if len(goals) != 2 {
+		t.Fatalf("conjuncts = %v", goals)
+	}
+	head, body = SplitClause(clauses[2])
+	if head != nil {
+		t.Fatalf("directive should have nil head, got %v", head)
+	}
+	if body.String() != "table(/(p,1))" {
+		t.Fatalf("directive body = %v", body)
+	}
+}
+
+func TestClauseVariablesIndependent(t *testing.T) {
+	r := NewReader("p(X). q(X).")
+	c1, err := r.ReadClause()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := r.ReadClause()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := term.Vars(c1)[0]
+	v2 := term.Vars(c2)[0]
+	if v1 == v2 {
+		t.Fatal("variables must not leak across clauses")
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	bad := []string{
+		"f(",
+		"f(a",
+		"f(a,)",
+		"[a,",
+		"[a|b,c]",
+		"'unterminated",
+		"/* unterminated",
+		"f(a) g(b)",
+		")",
+		"f(a)) .",
+		"",
+	}
+	for _, src := range bad {
+		if _, _, err := ParseTerm(src); err == nil {
+			t.Errorf("ParseTerm(%q) should fail", src)
+		}
+	}
+	// Errors should carry positions.
+	_, _, err := ParseTerm("f(a,\n   )")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("want *SyntaxError, got %T: %v", err, err)
+	}
+	if se.Line != 2 {
+		t.Errorf("error line = %d, want 2", se.Line)
+	}
+}
+
+func TestClauseEndDetection(t *testing.T) {
+	// '.' inside a symbolic atom must not end the clause; '.' followed
+	// by layout must.
+	r := NewReader("a =.. b.\np.")
+	c1, err := r.ReadClause()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.String() != "=..(a,b)" {
+		t.Fatalf("got %v", c1)
+	}
+	c2, err := r.ReadClause()
+	if err != nil || c2.String() != "p" {
+		t.Fatalf("got %v, %v", c2, err)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	tm := mustParse(t, `"ab"`)
+	elems, ok := term.Slice(tm)
+	if !ok || len(elems) != 2 || elems[0] != term.Int('a') || elems[1] != term.Int('b') {
+		t.Fatalf("string parse = %v", tm)
+	}
+}
+
+// Property: canonical printing of a parsed term re-parses to a variant of
+// the same term (print-parse round trip).
+func TestPropRoundTrip(t *testing.T) {
+	atoms := []string{"a", "bc", "foo", "'Hello World'", "[]", "g_1"}
+	var gen func(r *rand.Rand, depth int) string
+	gen = func(r *rand.Rand, depth int) string {
+		if depth <= 0 || r.Intn(3) == 0 {
+			switch r.Intn(3) {
+			case 0:
+				return atoms[r.Intn(len(atoms))]
+			case 1:
+				return []string{"X", "Y", "Zed", "_"}[r.Intn(4)]
+			default:
+				if r.Intn(2) == 0 {
+					return "-" + string(rune('0'+r.Intn(10)))
+				}
+				return string(rune('0' + r.Intn(10)))
+			}
+		}
+		switch r.Intn(3) {
+		case 0:
+			n := 1 + r.Intn(3)
+			parts := make([]string, n)
+			for i := range parts {
+				parts[i] = gen(r, depth-1)
+			}
+			return "f(" + strings.Join(parts, ",") + ")"
+		case 1:
+			n := r.Intn(3)
+			parts := make([]string, n)
+			for i := range parts {
+				parts[i] = gen(r, depth-1)
+			}
+			return "[" + strings.Join(parts, ",") + "]"
+		default:
+			return "g(" + gen(r, depth-1) + ")"
+		}
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := gen(r, 4)
+		t1, _, err := ParseTerm(src)
+		if err != nil {
+			return false
+		}
+		t2, _, err := ParseTerm(t1.String())
+		if err != nil {
+			return false
+		}
+		return term.Variant(t1, t2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConjunctsNested(t *testing.T) {
+	tm := mustParse(t, "(a, b), (c, (d, e))")
+	gs := Conjuncts(tm)
+	if len(gs) != 5 {
+		t.Fatalf("Conjuncts = %v", gs)
+	}
+	want := []string{"a", "b", "c", "d", "e"}
+	for i, g := range gs {
+		if g.String() != want[i] {
+			t.Fatalf("goal %d = %v", i, g)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package prolog
+
+import (
+	"strings"
+
+	"xlp/internal/term"
+)
+
+// WriteTerm renders t using the standard operator table, so parsed terms
+// print the way they were written: ':-'(a, ','(b, c)) prints as
+// "a :- b, c". Output re-parses to a variant of the input (see the
+// round-trip property test).
+func WriteTerm(t term.Term) string {
+	var sb strings.Builder
+	w := &writer{ops: defaultOps(), sb: &sb}
+	w.term(t, 1200)
+	return sb.String()
+}
+
+// WriteClause renders a clause with a trailing period.
+func WriteClause(t term.Term) string {
+	return WriteTerm(t) + "."
+}
+
+// WriteProgram renders a clause list as program text.
+func WriteProgram(clauses []term.Term) string {
+	var sb strings.Builder
+	for _, c := range clauses {
+		sb.WriteString(WriteClause(c))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+type writer struct {
+	ops *opTable
+	sb  *strings.Builder
+}
+
+func (w *writer) term(t term.Term, maxPrec int) {
+	t = term.Deref(t)
+	c, ok := t.(*term.Compound)
+	if !ok {
+		w.sb.WriteString(t.String())
+		return
+	}
+	// list sugar
+	if c.Functor == "." && len(c.Args) == 2 {
+		w.list(c)
+		return
+	}
+	// curly sugar
+	if c.Functor == "{}" && len(c.Args) == 1 {
+		w.sb.WriteByte('{')
+		w.term(c.Args[0], 1200)
+		w.sb.WriteByte('}')
+		return
+	}
+	// infix operators
+	if len(c.Args) == 2 {
+		if d, ok := w.ops.infixOp(c.Functor); ok {
+			lmax, rmax := d.argPrec()
+			open := d.prec > maxPrec
+			if open {
+				w.sb.WriteByte('(')
+			}
+			w.term(c.Args[0], lmax)
+			if isAlphaOp(c.Functor) || c.Functor == "," {
+				// ',' binds tight on the left, space on the right
+				if c.Functor == "," {
+					w.sb.WriteString(", ")
+				} else {
+					w.sb.WriteByte(' ')
+					w.sb.WriteString(c.Functor)
+					w.sb.WriteByte(' ')
+				}
+			} else {
+				w.sb.WriteByte(' ')
+				w.sb.WriteString(c.Functor)
+				w.sb.WriteByte(' ')
+			}
+			w.term(c.Args[1], rmax)
+			if open {
+				w.sb.WriteByte(')')
+			}
+			return
+		}
+	}
+	// prefix operators
+	if len(c.Args) == 1 {
+		if d, ok := w.ops.prefixOp(c.Functor); ok {
+			_, rmax := d.argPrec()
+			open := d.prec > maxPrec
+			if open {
+				w.sb.WriteByte('(')
+			}
+			w.sb.WriteString(c.Functor)
+			w.sb.WriteByte(' ')
+			w.term(c.Args[0], rmax)
+			if open {
+				w.sb.WriteByte(')')
+			}
+			return
+		}
+	}
+	// canonical functor notation
+	w.sb.WriteString(term.Atom(c.Functor).String())
+	w.sb.WriteByte('(')
+	for i, a := range c.Args {
+		if i > 0 {
+			w.sb.WriteString(", ")
+		}
+		w.term(a, maxArgPrec)
+	}
+	w.sb.WriteByte(')')
+}
+
+func (w *writer) list(c *term.Compound) {
+	w.sb.WriteByte('[')
+	w.term(c.Args[0], maxArgPrec)
+	rest := term.Deref(c.Args[1])
+	for {
+		rc, ok := rest.(*term.Compound)
+		if ok && rc.Functor == "." && len(rc.Args) == 2 {
+			w.sb.WriteString(", ")
+			w.term(rc.Args[0], maxArgPrec)
+			rest = term.Deref(rc.Args[1])
+			continue
+		}
+		break
+	}
+	if a, ok := rest.(term.Atom); !ok || a != term.Nil {
+		w.sb.WriteString(" | ")
+		w.term(rest, maxArgPrec)
+	}
+	w.sb.WriteByte(']')
+}
+
+func isAlphaOp(s string) bool {
+	return len(s) > 0 && s[0] >= 'a' && s[0] <= 'z'
+}

@@ -1,0 +1,118 @@
+package prolog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xlp/internal/term"
+)
+
+func TestWriteTermOperators(t *testing.T) {
+	cases := map[string]string{
+		"a :- b, c":        "a :- b, c",
+		"X is Y + 1 * Z":   "_X is _Y + 1 * _Z",
+		"f(a, b)":          "f(a, b)",
+		"[1, 2 | T]":       "[1, 2 | _T",
+		"{a, b}":           "{a, b}",
+		"a ; b -> c ; d":   "a ; b -> c ; d", // '->' binds tighter: no parens
+		"1 + 2 + 3":        "1 + 2 + 3",
+		"1 - (2 - 3)":      "1 - (2 - 3)", // right nesting needs parens (yfx)
+		"- (1 + 2)":        "- (1 + 2)",
+		"\\+ p(X)":         "\\+ p(_X",
+		"X = [a, f(Y), 3]": "_X = [a, f(_Y",
+		"p :- (q ; r), s":  "p :- (q ; r), s",
+		"a = b mod c":      "a = b mod c",
+	}
+	for src, wantPrefix := range cases {
+		tm, _, err := ParseTerm(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		got := WriteTerm(tm)
+		// variable names are printed with unique ids; compare prefixes
+		// up to the first variable.
+		if !strings.HasPrefix(got, strings.Split(wantPrefix, "_")[0]) {
+			t.Errorf("WriteTerm(%q) = %q, want prefix %q", src, got, wantPrefix)
+		}
+		// and the output must re-parse to a variant
+		back, _, err := ParseTerm(got)
+		if err != nil {
+			t.Errorf("re-parse of %q (from %q): %v", got, src, err)
+			continue
+		}
+		if !term.Variant(tm, back) {
+			t.Errorf("round trip changed term: %q -> %q", src, got)
+		}
+	}
+}
+
+func TestWriteClauseAndProgram(t *testing.T) {
+	clauses, err := ParseProgram("p(a).\nq(X) :- p(X), r(X).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := WriteProgram(clauses)
+	if !strings.Contains(out, "p(a).") {
+		t.Fatalf("program:\n%s", out)
+	}
+	// the printed program must re-parse to the same number of clauses
+	back, err := ParseProgram(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+	if len(back) != len(clauses) {
+		t.Fatalf("clause count changed: %d -> %d", len(clauses), len(back))
+	}
+}
+
+// Property: operator-aware printing round-trips for random terms built
+// from operators, lists, and compounds.
+func TestPropWriterRoundTrip(t *testing.T) {
+	var gen func(r *rand.Rand, depth int) term.Term
+	gen = func(r *rand.Rand, depth int) term.Term {
+		if depth <= 0 || r.Intn(3) == 0 {
+			switch r.Intn(3) {
+			case 0:
+				return term.Atom([]string{"a", "b", "foo"}[r.Intn(3)])
+			case 1:
+				return term.Int(r.Intn(10))
+			default:
+				return term.NewVar("V")
+			}
+		}
+		switch r.Intn(6) {
+		case 0:
+			return term.Comp("+", gen(r, depth-1), gen(r, depth-1))
+		case 1:
+			return term.Comp("-", gen(r, depth-1), gen(r, depth-1))
+		case 2:
+			return term.Comp("=", gen(r, depth-1), gen(r, depth-1))
+		case 3:
+			return term.Comp(",", gen(r, depth-1), gen(r, depth-1))
+		case 4:
+			return term.List(gen(r, depth-1), gen(r, depth-1))
+		default:
+			return term.Comp("f", gen(r, depth-1), gen(r, depth-1))
+		}
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tm := gen(r, 4)
+		out := WriteTerm(tm)
+		back, _, err := ParseTerm(out)
+		if err != nil {
+			t.Logf("seed %d: %q failed to parse: %v", seed, out, err)
+			return false
+		}
+		if !term.Variant(tm, back) {
+			t.Logf("seed %d: %v -> %q -> %v", seed, tm, out, back)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

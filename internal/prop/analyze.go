@@ -1,0 +1,350 @@
+package prop
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"xlp/internal/boolfn"
+	"xlp/internal/engine"
+	"xlp/internal/prolog"
+	"xlp/internal/term"
+)
+
+// Options configure an analysis run.
+type Options struct {
+	// Mode selects dynamic loading (the paper's recommended assert-based
+	// path) or full compilation with indexing (§4's comparison point).
+	Mode engine.LoadMode
+	// Entry lists source-level entry goals, e.g. "main(X)". When given,
+	// the analysis is goal-directed: only calls reachable from the
+	// entries are analyzed and the recorded calls yield input groundness.
+	// When empty, every defined predicate is analyzed with an open call
+	// (output groundness only, all-free call pattern).
+	Entry []string
+	// PureIff evaluates iff/N through generated Prolog clauses instead
+	// of the native builtin (slower; used for validation).
+	PureIff bool
+	// Limits are passed to the engine.
+	Limits engine.Limits
+}
+
+// GroundState describes one argument position of a recorded call.
+type GroundState int
+
+const (
+	Unknown   GroundState = iota // free at call time
+	Ground                       // known ground at call time
+	NonGround                    // known non-ground at call time
+)
+
+func (g GroundState) String() string {
+	switch g {
+	case Ground:
+		return "g"
+	case NonGround:
+		return "ng"
+	}
+	return "?"
+}
+
+// CallPattern is the input groundness of one recorded call.
+type CallPattern struct {
+	Args []GroundState
+}
+
+func (cp CallPattern) String() string {
+	parts := make([]string, len(cp.Args))
+	for i, a := range cp.Args {
+		parts[i] = a.String()
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// PredResult is the analysis result for one source predicate.
+type PredResult struct {
+	Indicator string // source indicator p/n
+	Arity     int
+	Success   *boolfn.Fun // output groundness formula over argument positions
+	// GroundArgs[i] reports that argument i is ground in every success.
+	GroundArgs []bool
+	// Calls are the distinct recorded input patterns (goal-directed runs).
+	Calls []CallPattern
+	// AnswerCount is the number of distinct abstract answers combined.
+	AnswerCount int
+	// Reachable is false when no call to the predicate was recorded
+	// (goal-directed analysis of dead code).
+	Reachable bool
+}
+
+// FormatSuccess renders the success formula with A1..An argument names.
+func (r *PredResult) FormatSuccess() string {
+	names := make([]string, r.Arity)
+	for i := range names {
+		names[i] = fmt.Sprintf("A%d", i+1)
+	}
+	return r.Success.Format(names)
+}
+
+// Analysis is a full groundness-analysis run with the paper's cost
+// breakdown (Table 1's columns).
+type Analysis struct {
+	Results map[string]*PredResult
+
+	PreprocTime    time.Duration // transform + load ("Preproc." column)
+	AnalysisTime   time.Duration // tabled evaluation ("Analysis")
+	CollectionTime time.Duration // result extraction ("Collection")
+	TableBytes     int           // "Table space (bytes)"
+	EngineStats    engine.Stats
+	AbstractSize   int // number of abstract clauses
+}
+
+// Total returns the overall analysis time.
+func (a *Analysis) Total() time.Duration {
+	return a.PreprocTime + a.AnalysisTime + a.CollectionTime
+}
+
+// Sorted returns results in indicator order.
+func (a *Analysis) Sorted() []*PredResult {
+	inds := make([]string, 0, len(a.Results))
+	for ind := range a.Results {
+		inds = append(inds, ind)
+	}
+	sort.Strings(inds)
+	out := make([]*PredResult, len(inds))
+	for i, ind := range inds {
+		out[i] = a.Results[ind]
+	}
+	return out
+}
+
+// Analyze runs Prop-domain groundness analysis on a Prolog source
+// program.
+func Analyze(src string, opts Options) (*Analysis, error) {
+	clauses, err := prolog.ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeClauses(clauses, opts)
+}
+
+// AnalyzeClauses analyzes pre-parsed source clauses.
+func AnalyzeClauses(clauses []term.Term, opts Options) (*Analysis, error) {
+	a := &Analysis{Results: map[string]*PredResult{}}
+
+	// ---- Phase 1: preprocessing (transform + load). ----
+	t0 := time.Now()
+	tf, err := Transform(clauses)
+	if err != nil {
+		return nil, err
+	}
+	m := engine.New()
+	m.Mode = opts.Mode
+	m.Limits = opts.Limits
+	maxIff := tf.MaxIffArity
+	if maxIff < 2 {
+		maxIff = 2
+	}
+	if opts.PureIff {
+		if err := m.Consult(PureIffClauses(maxIff)); err != nil {
+			return nil, err
+		}
+	} else {
+		RegisterIff(m, maxIff)
+	}
+	if err := m.ConsultTerms(tf.Clauses); err != nil {
+		return nil, err
+	}
+	// Table every abstract predicate; declare called-but-undefined ones
+	// so they fail finitely.
+	for _, abs := range tf.Preds {
+		m.Table(abs)
+	}
+	for _, abs := range tf.Called {
+		m.Table(abs)
+	}
+	a.AbstractSize = len(tf.Clauses)
+	a.PreprocTime = time.Since(t0)
+
+	// ---- Phase 2: analysis (tabled evaluation). ----
+	t1 := time.Now()
+	if len(opts.Entry) > 0 {
+		for _, e := range opts.Entry {
+			goal, _, err := prolog.ParseTerm(e)
+			if err != nil {
+				return nil, fmt.Errorf("prop: bad entry goal %q: %v", e, err)
+			}
+			absGoal, err := abstractEntry(goal)
+			if err != nil {
+				return nil, err
+			}
+			if err := m.Solve(absGoal, func() bool { return false }); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for ind, abs := range tf.Preds {
+			goal := openCall(abs)
+			if err := m.Solve(goal, func() bool { return false }); err != nil {
+				return nil, fmt.Errorf("prop: analyzing %s: %v", ind, err)
+			}
+		}
+	}
+	a.AnalysisTime = time.Since(t1)
+
+	// ---- Phase 3: collection. ----
+	t2 := time.Now()
+	for ind, abs := range tf.Preds {
+		a.Results[ind] = collect(m, ind, abs)
+	}
+	a.TableBytes = m.TableSpace()
+	a.EngineStats = m.Stats()
+	a.CollectionTime = time.Since(t2)
+	return a, nil
+}
+
+// openCall builds gp_p(V1..Vn) for an abstract indicator.
+func openCall(absInd string) term.Term {
+	name, arity := splitInd(absInd)
+	args := make([]term.Term, arity)
+	for i := range args {
+		args[i] = term.NewVar("V")
+	}
+	return term.NewCompound(name, args...)
+}
+
+func splitInd(ind string) (string, int) {
+	i := strings.LastIndexByte(ind, '/')
+	var n int
+	fmt.Sscanf(ind[i+1:], "%d", &n)
+	return ind[:i], n
+}
+
+// abstractEntry maps a source entry goal to the abstract call: ground
+// arguments become true, variables stay free.
+func abstractEntry(goal term.Term) (term.Term, error) {
+	name, args, ok := term.FunctorArity(goal)
+	if !ok {
+		return nil, fmt.Errorf("prop: non-callable entry goal %v", goal)
+	}
+	absArgs := make([]term.Term, len(args))
+	for i, arg := range args {
+		switch {
+		case term.IsGround(arg):
+			absArgs[i] = atomTrue
+		default:
+			absArgs[i] = term.NewVar("E")
+		}
+	}
+	return term.NewCompound(absName(name), absArgs...), nil
+}
+
+// collect folds a predicate's call tables into a PredResult: each answer
+// tuple is one row of the truth table (free variables expand to both
+// values); the disjunction of rows is the success formula. The calls
+// recorded in the table give the input patterns.
+func collect(m *engine.Machine, srcInd, absInd string) *PredResult {
+	_, arity := splitInd(absInd)
+	res := &PredResult{
+		Indicator: srcInd,
+		Arity:     arity,
+		Success:   boolfn.False(arity),
+	}
+	seenCalls := map[string]bool{}
+	seenAnswers := map[string]bool{}
+	for _, dump := range m.Tables(absInd) {
+		res.Reachable = true
+		if cp, ok := callPattern(dump.Call); ok && !seenCalls[cp.String()] {
+			seenCalls[cp.String()] = true
+			res.Calls = append(res.Calls, cp)
+		}
+		for _, ans := range dump.Answers {
+			key := term.Canonical(ans)
+			if seenAnswers[key] {
+				continue
+			}
+			seenAnswers[key] = true
+			res.AnswerCount++
+			addAnswerRows(res.Success, ans)
+		}
+	}
+	res.GroundArgs = make([]bool, arity)
+	for i := 0; i < arity; i++ {
+		res.GroundArgs[i] = res.Success.CertainlyGround(i)
+	}
+	return res
+}
+
+func callPattern(call term.Term) (CallPattern, bool) {
+	_, args, ok := term.FunctorArity(call)
+	if !ok {
+		return CallPattern{}, false
+	}
+	cp := CallPattern{Args: make([]GroundState, len(args))}
+	for i, a := range args {
+		switch t := term.Deref(a).(type) {
+		case term.Atom:
+			switch t {
+			case atomTrue:
+				cp.Args[i] = Ground
+			case atomFalse:
+				cp.Args[i] = NonGround
+			}
+		default:
+			cp.Args[i] = Unknown
+		}
+	}
+	return cp, true
+}
+
+// addAnswerRows adds the truth-table rows denoted by one abstract answer
+// tuple: bound true/false args fix bits, unbound args range over both
+// values — consistently for repeated occurrences of the same variable
+// (e.g. the base-case answer gp_ap(true, V, V) denotes exactly the rows
+// where args 2 and 3 agree).
+func addAnswerRows(f *boolfn.Fun, ans term.Term) {
+	_, args, ok := term.FunctorArity(ans)
+	if !ok {
+		return
+	}
+	n := len(args)
+	assign := map[*term.Var]bool{}
+	var rec func(i int, row uint)
+	rec = func(i int, row uint) {
+		if i == n {
+			f.SetRow(row)
+			return
+		}
+		switch t := term.Deref(args[i]).(type) {
+		case term.Atom:
+			switch t {
+			case atomTrue:
+				rec(i+1, row|1<<uint(i))
+				return
+			case atomFalse:
+				rec(i+1, row)
+				return
+			}
+		case *term.Var:
+			if val, seen := assign[t]; seen {
+				if val {
+					rec(i+1, row|1<<uint(i))
+				} else {
+					rec(i+1, row)
+				}
+				return
+			}
+			assign[t] = false
+			rec(i+1, row)
+			assign[t] = true
+			rec(i+1, row|1<<uint(i))
+			delete(assign, t)
+			return
+		}
+		// Unexpected non-boolean constant: both values (conservative).
+		rec(i+1, row)
+		rec(i+1, row|1<<uint(i))
+	}
+	rec(0, 0)
+}

@@ -1,0 +1,278 @@
+package strict
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"xlp/internal/engine"
+	"xlp/internal/fl"
+	"xlp/internal/prolog"
+	"xlp/internal/supptab"
+	"xlp/internal/term"
+)
+
+func parseAll(src string) ([]term.Term, error) {
+	return prolog.ParseProgram(src)
+}
+
+// demandVal reads a demand argument, treating an unbound variable as n
+// (no demand). This is the key to keeping the derived program's joins
+// small: unevaluated occurrences never force enumeration.
+func demandVal(t term.Term) Demand {
+	if d, ok := DemandOf(t); ok {
+		return d
+	}
+	return N
+}
+
+// RegisterDemandOps installs the native demand-lattice operations:
+//
+//	lub(D1, D2, L)     — L is the least upper bound of D1 and D2
+//	cond_demand(D, Dc) — the demand a conditional places on its
+//	                     condition: n stays n, anything else becomes d
+//
+// Both are deterministic and read unbound inputs as n.
+func RegisterDemandOps(m *engine.Machine) {
+	m.Register("lub/3", func(m *engine.Machine, args []term.Term, k func() bool) bool {
+		v := Lub(demandVal(args[0]), demandVal(args[1]))
+		tr := m.BuiltinTrail()
+		mark := tr.Mark()
+		if term.Unify(args[2], v.Atom(), tr) {
+			if k() {
+				tr.Undo(mark)
+				return true
+			}
+		}
+		tr.Undo(mark)
+		return false
+	})
+	m.Register("cond_demand/2", func(m *engine.Machine, args []term.Term, k func() bool) bool {
+		dc := demandVal(args[0])
+		if dc > D {
+			dc = D
+		}
+		tr := m.BuiltinTrail()
+		mark := tr.Mark()
+		if term.Unify(args[1], dc.Atom(), tr) {
+			if k() {
+				tr.Undo(mark)
+				return true
+			}
+		}
+		tr.Undo(mark)
+		return false
+	})
+}
+
+// Options configure a strictness-analysis run.
+type Options struct {
+	Mode   engine.LoadMode
+	Limits engine.Limits
+	// NoSupplementary disables the supplementary-tabling optimization
+	// (§4.2): long equation bodies are then evaluated as single joins,
+	// re-enumerating cross products on backtracking. Used for the
+	// ablation benchmark; leave false for production runs.
+	NoSupplementary bool
+}
+
+// FuncResult is the strictness result for one function.
+type FuncResult struct {
+	Indicator string
+	Arity     int
+	// UnderE[i] is the demand guaranteed on argument i when the result
+	// is demanded in full (e-demand on the output).
+	UnderE []Demand
+	// UnderD[i] is the demand guaranteed on argument i when the result
+	// is demanded to head-normal form.
+	UnderD []Demand
+	// AnswersE / AnswersD count the combined abstract answers.
+	AnswersE, AnswersD int
+}
+
+// Strict reports whether the function is strict in argument i in
+// Mycroft's sense: evaluating the application (to HNF) always requires
+// evaluating argument i.
+func (r *FuncResult) Strict(i int) bool { return r.UnderD[i] >= D }
+
+// String renders the result like "ap: e-demand -> (e,e); d-demand -> (d,n)".
+func (r *FuncResult) String() string {
+	fmtDs := func(ds []Demand) string {
+		parts := make([]string, len(ds))
+		for i, d := range ds {
+			parts[i] = d.String()
+		}
+		return "(" + strings.Join(parts, ",") + ")"
+	}
+	return fmt.Sprintf("%s: e->%s d->%s", r.Indicator, fmtDs(r.UnderE), fmtDs(r.UnderD))
+}
+
+// Analysis is a full strictness run with the paper's phase breakdown
+// (Table 3's columns).
+type Analysis struct {
+	Results map[string]*FuncResult
+
+	PreprocTime    time.Duration
+	AnalysisTime   time.Duration
+	CollectionTime time.Duration
+	TableBytes     int
+	EngineStats    engine.Stats
+	SourceLines    int
+}
+
+// Total returns the overall time.
+func (a *Analysis) Total() time.Duration {
+	return a.PreprocTime + a.AnalysisTime + a.CollectionTime
+}
+
+// LinesPerSecond returns source-lines-per-second throughput (the paper
+// reports "about 200 to 350 source lines per second").
+func (a *Analysis) LinesPerSecond() float64 {
+	secs := a.Total().Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(a.SourceLines) / secs
+}
+
+// Sorted returns results in indicator order.
+func (a *Analysis) Sorted() []*FuncResult {
+	inds := make([]string, 0, len(a.Results))
+	for ind := range a.Results {
+		inds = append(inds, ind)
+	}
+	sort.Strings(inds)
+	out := make([]*FuncResult, len(inds))
+	for i, ind := range inds {
+		out[i] = a.Results[ind]
+	}
+	return out
+}
+
+// Analyze runs strictness analysis on a functional source program.
+func Analyze(src string, opts Options) (*Analysis, error) {
+	a := &Analysis{Results: map[string]*FuncResult{}}
+
+	// ---- Phase 1: preprocessing (parse + transform + load). ----
+	t0 := time.Now()
+	prog, err := fl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	tf, err := Transform(prog)
+	if err != nil {
+		return nil, err
+	}
+	m := engine.New()
+	m.Mode = opts.Mode
+	m.Limits = opts.Limits
+	RegisterDemandOps(m)
+	clauses := tf.Clauses
+	var extraTabled []string
+	if !opts.NoSupplementary {
+		st := supptab.Transform(clauses, 3)
+		clauses = st.Clauses
+		extraTabled = st.Tabled
+	}
+	if err := m.ConsultTerms(clauses); err != nil {
+		return nil, err
+	}
+	for _, sp := range tf.SpPreds {
+		m.Table(sp)
+	}
+	m.Table(extraTabled...)
+	a.SourceLines = prog.Lines
+	a.PreprocTime = time.Since(t0)
+
+	// ---- Phase 2: analysis (evaluate sp_f under e- and d-demands). ----
+	t1 := time.Now()
+	for ind, sp := range tf.SpPreds {
+		for _, d := range []term.Term{DemandE, DemandD} {
+			goal := spCall(sp, d)
+			if err := m.Solve(goal, func() bool { return false }); err != nil {
+				return nil, fmt.Errorf("strict: analyzing %s: %v", ind, err)
+			}
+		}
+	}
+	a.AnalysisTime = time.Since(t1)
+
+	// ---- Phase 3: collection (per-argument glb over answers). ----
+	t2 := time.Now()
+	for ind, sp := range tf.SpPreds {
+		a.Results[ind] = collect(m, ind, sp)
+	}
+	a.TableBytes = m.TableSpace()
+	a.EngineStats = m.Stats()
+	a.CollectionTime = time.Since(t2)
+	return a, nil
+}
+
+func spCall(spInd string, demand term.Term) term.Term {
+	name, arity := splitInd(spInd)
+	args := make([]term.Term, arity)
+	args[0] = demand
+	for i := 1; i < arity; i++ {
+		args[i] = term.NewVar("V")
+	}
+	return term.NewCompound(name, args...)
+}
+
+// collect combines the answers of sp_f(e, ...) and sp_f(d, ...) by
+// per-argument glb: an argument's guaranteed demand is the weakest
+// demand over all ways the function can propagate demand (unbound
+// answer variables mean no demand, i.e. n).
+func collect(m *engine.Machine, ind, spInd string) *FuncResult {
+	_, spArity := splitInd(spInd)
+	arity := spArity - 1
+	res := &FuncResult{
+		Indicator: ind,
+		Arity:     arity,
+		UnderE:    make([]Demand, arity),
+		UnderD:    make([]Demand, arity),
+	}
+	for i := range res.UnderE {
+		res.UnderE[i] = E
+		res.UnderD[i] = E
+	}
+	sawE, sawD := false, false
+	for _, dump := range m.Tables(spInd) {
+		_, callArgs, _ := term.FunctorArity(dump.Call)
+		if len(callArgs) == 0 {
+			continue
+		}
+		callDemand, ok := DemandOf(callArgs[0])
+		if !ok {
+			continue // recorded call with unbound demand (inner call)
+		}
+		for _, ans := range dump.Answers {
+			_, ansArgs, _ := term.FunctorArity(ans)
+			switch callDemand {
+			case E:
+				sawE = true
+				foldGlb(res.UnderE, ansArgs[1:])
+				res.AnswersE++
+			case D:
+				sawD = true
+				foldGlb(res.UnderD, ansArgs[1:])
+				res.AnswersD++
+			}
+		}
+	}
+	// No successes under a demand: the function diverges under it; the
+	// vacuous glb (E everywhere) is technically sound but we report it
+	// as-is, matching the relational semantics.
+	_ = sawE
+	_ = sawD
+	return res
+}
+
+func foldGlb(acc []Demand, args []term.Term) {
+	for i, a := range args {
+		d, ok := DemandOf(a)
+		if !ok {
+			d = N // unbound: no demand propagated
+		}
+		acc[i] = Glb(acc[i], d)
+	}
+}

@@ -1,0 +1,149 @@
+// Package supptab implements supplementary tabling, the optimization the
+// paper's §4.2 names as the remedy for analysis-dominated benchmarks like
+// pcprove ("tabling intermediate results (thereby eliminating the
+// existentially quantified demand variables) will reduce backtracking...
+// XSB offers an analogous (compile-time) optimization called
+// supplementary tabling. However, the effectiveness of this optimization
+// in reducing analysis time remains to be established.").
+//
+// The transformation folds a long clause body into a chain of tabled
+// auxiliary predicates, each carrying only the variables shared between
+// the prefix evaluated so far and the rest of the clause:
+//
+//	h(H) :- L1, L2, ..., Ln.
+//
+// becomes
+//
+//	sup1(V1) :- L1.
+//	sup2(V2) :- sup1(V1), L2.
+//	...
+//	h(H)     :- sup{n-1}(V{n-1}), Ln.
+//
+// where Vi = Vars(L1..Li) ∩ (Vars(L{i+1}..Ln) ∪ Vars(H)). Because each
+// supi is tabled, re-derivations of the same intermediate tuple are
+// shared instead of re-enumerated, collapsing the cross-product
+// backtracking of independent subgoals — at the cost of extra tables.
+package supptab
+
+import (
+	"fmt"
+
+	"xlp/internal/prolog"
+	"xlp/internal/term"
+)
+
+// Result is the transformed program.
+type Result struct {
+	Clauses []term.Term
+	// Tabled lists the auxiliary predicate indicators that must be
+	// tabled in addition to the program's own tabled predicates.
+	Tabled []string
+	// Split counts how many clauses were split.
+	Split int
+}
+
+// Transform applies supplementary tabling to every clause whose body has
+// at least minLits literals (a reasonable default is 3). Clauses are
+// given and returned in ':-'(Head, Body) / fact form.
+func Transform(clauses []term.Term, minLits int) *Result {
+	res := &Result{}
+	gensym := 0
+	for _, c := range clauses {
+		head, body := prolog.SplitClause(c)
+		if head == nil {
+			res.Clauses = append(res.Clauses, c)
+			continue
+		}
+		lits := prolog.Conjuncts(body)
+		if len(lits) < minLits || isTrueBody(lits) {
+			res.Clauses = append(res.Clauses, c)
+			continue
+		}
+		res.Split++
+		res.addChain(head, lits, &gensym)
+	}
+	return res
+}
+
+func isTrueBody(lits []term.Term) bool {
+	return len(lits) == 1 && term.Equal(lits[0], term.Atom("true"))
+}
+
+func (res *Result) addChain(head term.Term, lits []term.Term, gensym *int) {
+	n := len(lits)
+	// suffixVars[i] = variables of lits[i..n-1].
+	suffixVars := make([]map[*term.Var]bool, n+1)
+	suffixVars[n] = varSet(nil)
+	for i := n - 1; i >= 0; i-- {
+		suffixVars[i] = varSet(suffixVars[i+1], lits[i])
+	}
+	headVars := varSet(nil, head)
+
+	prefixVars := map[*term.Var]bool{}
+	var prev term.Term // previous supplementary literal (nil for none)
+	for i := 0; i < n-1; i++ {
+		for v := range varsOf(lits[i]) {
+			prefixVars[v] = true
+		}
+		// Shared variables that must flow past this point.
+		var shared []*term.Var
+		for v := range prefixVars {
+			if suffixVars[i+1][v] || headVars[v] {
+				shared = append(shared, v)
+			}
+		}
+		term.SortVars(shared)
+		*gensym++
+		supHead := term.NewCompound(fmt.Sprintf("sup__%d", *gensym), varTerms(shared)...)
+		bodyLits := []term.Term{lits[i]}
+		if prev != nil {
+			bodyLits = []term.Term{prev, lits[i]}
+		}
+		res.Clauses = append(res.Clauses, clauseOf(supHead, bodyLits))
+		ind, _ := term.Indicator(supHead)
+		res.Tabled = append(res.Tabled, ind)
+		prev = supHead
+	}
+	last := []term.Term{lits[n-1]}
+	if prev != nil {
+		last = []term.Term{prev, lits[n-1]}
+	}
+	res.Clauses = append(res.Clauses, clauseOf(head, last))
+}
+
+func clauseOf(head term.Term, lits []term.Term) term.Term {
+	body := lits[len(lits)-1]
+	for i := len(lits) - 2; i >= 0; i-- {
+		body = term.Comp(",", lits[i], body)
+	}
+	return term.Comp(":-", head, body)
+}
+
+func varsOf(t term.Term) map[*term.Var]bool {
+	out := map[*term.Var]bool{}
+	for _, v := range term.Vars(t) {
+		out[v] = true
+	}
+	return out
+}
+
+func varSet(base map[*term.Var]bool, ts ...term.Term) map[*term.Var]bool {
+	out := map[*term.Var]bool{}
+	for v := range base {
+		out[v] = true
+	}
+	for _, t := range ts {
+		for _, v := range term.Vars(t) {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+func varTerms(vs []*term.Var) []term.Term {
+	out := make([]term.Term, len(vs))
+	for i, v := range vs {
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package term
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Canonical returns the variant-canonical form of t: a string in which
+// unbound variables are numbered in order of first occurrence. Two terms
+// are variants of each other (identical up to variable renaming, the
+// equivalence XSB's tables are keyed by — see the paper's §2, footnote 1)
+// if and only if their Canonical strings are equal.
+//
+// The rendering is unambiguous: atoms are quoted when needed, compounds
+// use canonical functor notation, and variables print as _0, _1, ....
+func Canonical(t Term) string {
+	var sb strings.Builder
+	writeCanonical(&sb, t, &canonState{index: map[*Var]int{}})
+	return sb.String()
+}
+
+// CanonicalN is Canonical for a sequence of terms, treated as a single
+// tuple so variable numbering is shared across the sequence.
+func CanonicalN(ts []Term) string {
+	var sb strings.Builder
+	st := &canonState{index: map[*Var]int{}}
+	for i, t := range ts {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		writeCanonical(&sb, t, st)
+	}
+	return sb.String()
+}
+
+type canonState struct {
+	index map[*Var]int
+}
+
+func writeCanonical(sb *strings.Builder, t Term, st *canonState) {
+	switch t := Deref(t).(type) {
+	case Atom:
+		sb.WriteString(quoteAtom(string(t)))
+	case Int:
+		sb.WriteString(strconv.FormatInt(int64(t), 10))
+	case *Var:
+		i, ok := st.index[t]
+		if !ok {
+			i = len(st.index)
+			st.index[t] = i
+		}
+		sb.WriteByte('_')
+		sb.WriteString(strconv.Itoa(i))
+	case *Compound:
+		if t.Functor == "." && len(t.Args) == 2 {
+			writeCanonicalList(sb, t, st)
+			return
+		}
+		sb.WriteString(quoteAtom(t.Functor))
+		sb.WriteByte('(')
+		for i, a := range t.Args {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			writeCanonical(sb, a, st)
+		}
+		sb.WriteByte(')')
+	}
+}
+
+func writeCanonicalList(sb *strings.Builder, c *Compound, st *canonState) {
+	sb.WriteByte('[')
+	writeCanonical(sb, c.Args[0], st)
+	rest := Deref(c.Args[1])
+	for {
+		if rc, ok := rest.(*Compound); ok && rc.Functor == "." && len(rc.Args) == 2 {
+			sb.WriteByte(',')
+			writeCanonical(sb, rc.Args[0], st)
+			rest = Deref(rc.Args[1])
+			continue
+		}
+		break
+	}
+	if a, ok := rest.(Atom); !ok || a != "[]" {
+		sb.WriteByte('|')
+		writeCanonical(sb, rest, st)
+	}
+	sb.WriteByte(']')
+}
+
+// Variant reports whether a and b are variants of each other: identical
+// up to a consistent renaming of unbound variables. It does not bind
+// anything.
+func Variant(a, b Term) bool {
+	return variant(a, b, map[*Var]*Var{}, map[*Var]*Var{})
+}
+
+func variant(a, b Term, ab, ba map[*Var]*Var) bool {
+	a, b = Deref(a), Deref(b)
+	switch at := a.(type) {
+	case *Var:
+		bt, ok := b.(*Var)
+		if !ok {
+			return false
+		}
+		ma, oka := ab[at]
+		mb, okb := ba[bt]
+		if !oka && !okb {
+			ab[at] = bt
+			ba[bt] = at
+			return true
+		}
+		return oka && okb && ma == bt && mb == at
+	case Atom:
+		bt, ok := b.(Atom)
+		return ok && at == bt
+	case Int:
+		bt, ok := b.(Int)
+		return ok && at == bt
+	case *Compound:
+		bt, ok := b.(*Compound)
+		if !ok || at.Functor != bt.Functor || len(at.Args) != len(bt.Args) {
+			return false
+		}
+		for i := range at.Args {
+			if !variant(at.Args[i], bt.Args[i], ab, ba) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,213 @@
+package term
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonicalVariantEquivalence(t *testing.T) {
+	x, y := NewVar("X"), NewVar("Y")
+	a := Comp("f", x, y, x)
+	u, v := NewVar("U"), NewVar("V")
+	b := Comp("f", u, v, u)
+	c := Comp("f", u, v, v)
+	if Canonical(a) != Canonical(b) {
+		t.Fatalf("variants have different canonical forms: %q vs %q", Canonical(a), Canonical(b))
+	}
+	if Canonical(a) == Canonical(c) {
+		t.Fatal("non-variants have equal canonical forms")
+	}
+	if !Variant(a, b) {
+		t.Fatal("Variant(a,b) should hold")
+	}
+	if Variant(a, c) {
+		t.Fatal("Variant(a,c) should not hold")
+	}
+}
+
+func TestCanonicalFollowsBindings(t *testing.T) {
+	x := NewVar("X")
+	var tr Trail
+	tr.Bind(x, Atom("a"))
+	if got := Canonical(Comp("f", x)); got != "f(a)" {
+		t.Fatalf("Canonical = %q, want f(a)", got)
+	}
+}
+
+func TestCanonicalN(t *testing.T) {
+	x := NewVar("X")
+	got := CanonicalN([]Term{x, Comp("f", x)})
+	if got != "_0,f(_0)" {
+		t.Fatalf("CanonicalN = %q", got)
+	}
+}
+
+// randomTerm builds a random term over a small signature, reusing
+// variables from pool to create sharing.
+func randomTerm(r *rand.Rand, depth int, pool []*Var) Term {
+	if depth <= 0 || r.Intn(3) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return Atom([]string{"a", "b", "c"}[r.Intn(3)])
+		case 1:
+			return Int(r.Intn(4))
+		default:
+			return pool[r.Intn(len(pool))]
+		}
+	}
+	f := []string{"f", "g", "h"}[r.Intn(3)]
+	n := 1 + r.Intn(3)
+	args := make([]Term, n)
+	for i := range args {
+		args[i] = randomTerm(r, depth-1, pool)
+	}
+	return &Compound{Functor: f, Args: args}
+}
+
+func newPool(n int) []*Var {
+	pool := make([]*Var, n)
+	for i := range pool {
+		pool[i] = NewVar("P")
+	}
+	return pool
+}
+
+// Property: a term is always a variant of a fresh renaming of itself,
+// and their canonical forms agree.
+func TestPropRenameIsVariant(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		tm := randomTerm(rr, 3, newPool(3))
+		rn := Rename(tm, nil)
+		return Variant(tm, rn) && Canonical(tm) == Canonical(rn)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: unification produces a common instance — after UnifyOC
+// succeeds, both terms resolve to equal terms. (Occur-check unification
+// is used here because without it, random terms sharing variables can
+// produce cyclic bindings on which structural equality does not
+// terminate; the engine never builds cyclic terms in the analyses.)
+func TestPropUnifyProducesCommonInstance(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		pool := newPool(3)
+		a := randomTerm(rr, 3, pool)
+		b := randomTerm(rr, 3, pool)
+		var tr Trail
+		if UnifyOC(a, b, &tr) {
+			if !Equal(a, b) {
+				return false
+			}
+		}
+		tr.Undo(0)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: unification is symmetric in success/failure.
+func TestPropUnifySymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		pool := newPool(3)
+		a := randomTerm(rr, 3, pool)
+		b := randomTerm(rr, 3, pool)
+		var tr Trail
+		ok1 := UnifyAtomic(a, b, &tr)
+		tr.Undo(0)
+		ok2 := UnifyAtomic(b, a, &tr)
+		tr.Undo(0)
+		return ok1 == ok2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: occur-check unification never succeeds where plain
+// unification fails (UnifyOC success set is a subset of Unify's).
+func TestPropUnifyOCSubset(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		pool := newPool(2)
+		a := randomTerm(rr, 3, pool)
+		b := randomTerm(rr, 3, pool)
+		var tr Trail
+		okOC := UnifyOC(a, b, &tr)
+		tr.Undo(0)
+		ok := UnifyAtomic(a, b, &tr)
+		tr.Undo(0)
+		return !okOC || ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after a failed UnifyAtomic the trail mark is restored, so
+// repeated failed attempts do not leak bindings.
+func TestPropFailedUnifyLeavesNoBindings(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		pool := newPool(2)
+		a := randomTerm(rr, 3, pool)
+		b := randomTerm(rr, 3, pool)
+		var tr Trail
+		if !UnifyAtomic(a, b, &tr) {
+			if tr.Len() != 0 {
+				return false
+			}
+			for _, v := range pool {
+				if v.Ref != nil {
+					return false
+				}
+			}
+		}
+		tr.Undo(0)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Compare is a total order consistent with Equal.
+func TestPropCompareConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		pool := newPool(2)
+		a := randomTerm(rr, 3, pool)
+		b := randomTerm(rr, 3, pool)
+		c := randomTerm(rr, 3, pool)
+		ab, ba := Compare(a, b), Compare(b, a)
+		if sign(ab) != -sign(ba) {
+			return false
+		}
+		// transitivity on the <= relation
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+			return false
+		}
+		return (ab == 0) == Equal(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,70 @@
+package term
+
+// Nil is the empty list atom.
+const Nil = Atom("[]")
+
+// Cons builds the list cell '.'(head, tail).
+func Cons(head, tail Term) Term {
+	return &Compound{Functor: ".", Args: []Term{head, tail}}
+}
+
+// List builds a proper list from the given elements.
+func List(elems ...Term) Term {
+	return ListWithTail(Nil, elems...)
+}
+
+// ListWithTail builds a partial list ending in tail.
+func ListWithTail(tail Term, elems ...Term) Term {
+	out := tail
+	for i := len(elems) - 1; i >= 0; i-- {
+		out = Cons(elems[i], out)
+	}
+	return out
+}
+
+// Slice converts a proper list term to a Go slice. It returns ok=false
+// if t is not a proper list (unbound or non-list tail).
+func Slice(t Term) ([]Term, bool) {
+	var out []Term
+	for {
+		switch d := Deref(t).(type) {
+		case Atom:
+			if d == Nil {
+				return out, true
+			}
+			return out, false
+		case *Compound:
+			if d.Functor == "." && len(d.Args) == 2 {
+				out = append(out, d.Args[0])
+				t = d.Args[1]
+				continue
+			}
+			return out, false
+		default:
+			return out, false
+		}
+	}
+}
+
+// Length returns the length of a proper list, or -1 if t is not one.
+func Length(t Term) int {
+	n := 0
+	for {
+		switch d := Deref(t).(type) {
+		case Atom:
+			if d == Nil {
+				return n
+			}
+			return -1
+		case *Compound:
+			if d.Functor == "." && len(d.Args) == 2 {
+				n++
+				t = d.Args[1]
+				continue
+			}
+			return -1
+		default:
+			return -1
+		}
+	}
+}

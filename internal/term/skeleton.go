@@ -1,0 +1,59 @@
+package term
+
+import "strconv"
+
+// Ref is a placeholder for a variable inside a compiled clause skeleton.
+// Skeletons never take part in unification; they exist only to make
+// clause renaming a map-free tree copy (see InstantiateSkeleton).
+type Ref int
+
+func (Ref) isTerm() {}
+
+func (r Ref) String() string { return "$ref" + strconv.Itoa(int(r)) }
+
+// CompileSkeleton replaces each distinct unbound variable of t with a
+// Ref numbered by first occurrence, extending idx (pass an empty map for
+// a fresh clause; share it across the head and body so variables stay
+// consistent). It returns the skeleton.
+func CompileSkeleton(t Term, idx map[*Var]int) Term {
+	switch t := Deref(t).(type) {
+	case *Var:
+		i, ok := idx[t]
+		if !ok {
+			i = len(idx)
+			idx[t] = i
+		}
+		return Ref(i)
+	case *Compound:
+		args := make([]Term, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = CompileSkeleton(a, idx)
+		}
+		return &Compound{Functor: t.Functor, Args: args}
+	default:
+		return t
+	}
+}
+
+// InstantiateSkeleton replaces every Ref i in the skeleton with vars[i].
+func InstantiateSkeleton(t Term, vars []Term) Term {
+	switch t := t.(type) {
+	case Ref:
+		return vars[int(t)]
+	case *Compound:
+		args := make([]Term, len(t.Args))
+		changed := false
+		for i, a := range t.Args {
+			args[i] = InstantiateSkeleton(a, vars)
+			if args[i] != t.Args[i] {
+				changed = true
+			}
+		}
+		if !changed {
+			return t
+		}
+		return &Compound{Functor: t.Functor, Args: args}
+	default:
+		return t
+	}
+}

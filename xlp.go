@@ -1,0 +1,138 @@
+// Package xlp is a tabled logic programming system and program-analysis
+// toolkit in Go — a reproduction of Dawson, Ramakrishnan & Warren,
+// "Practical Program Analysis Using General Purpose Logic Programming
+// Systems — A Case Study" (PLDI 1996).
+//
+// The package exposes four things:
+//
+//   - a tabled logic-programming engine in the spirit of XSB (variant
+//     tabling, SLD resolution, dynamic and compiled loading): NewMachine;
+//   - groundness analysis of logic programs over the Prop domain
+//     (the paper's §3.1): AnalyzeGroundness, plus the special-purpose
+//     and BDD-based comparators AnalyzeGroundnessGAIA and
+//     AnalyzeGroundnessBDD;
+//   - strictness analysis of lazy functional programs by demand
+//     propagation (§3.2): AnalyzeStrictness;
+//   - groundness analysis with term-depth abstraction (§5):
+//     AnalyzeDepthK.
+//
+// A bottom-up deductive engine with Magic sets (the §7 comparison
+// substrate) is available as BottomUp and MagicQuery.
+//
+// All analysis functions take program source text; logic programs use
+// Edinburgh Prolog syntax, functional programs the equation syntax of
+// internal/fl (Prolog term notation: `ap(cons(X,Xs),Ys) = cons(X,
+// ap(Xs,Ys)).`).
+package xlp
+
+import (
+	"xlp/internal/bddprop"
+	"xlp/internal/bottomup"
+	"xlp/internal/depthk"
+	"xlp/internal/engine"
+	"xlp/internal/gaia"
+	"xlp/internal/prop"
+	"xlp/internal/strict"
+	"xlp/internal/term"
+)
+
+// Engine types.
+type (
+	// Machine is the tabled logic-programming engine.
+	Machine = engine.Machine
+	// LoadMode selects dynamic (assert-style) or compiled (indexed)
+	// clause loading.
+	LoadMode = engine.LoadMode
+	// Limits bound engine resources.
+	Limits = engine.Limits
+	// Term is the term representation shared across the system.
+	Term = term.Term
+)
+
+// Load modes.
+const (
+	LoadDynamic  = engine.LoadDynamic
+	LoadCompiled = engine.LoadCompiled
+)
+
+// NewMachine returns an empty tabled engine. Consult Prolog text with
+// m.Consult, mark predicates tabled with m.Table (or ':- table p/n.'
+// directives in the source), and run queries with m.Query.
+func NewMachine() *Machine { return engine.New() }
+
+// Groundness analysis (Prop domain, §3.1).
+type (
+	// GroundnessOptions configure AnalyzeGroundness.
+	GroundnessOptions = prop.Options
+	// GroundnessAnalysis is the result of AnalyzeGroundness, with the
+	// paper's phase breakdown (Table 1 columns).
+	GroundnessAnalysis = prop.Analysis
+	// GroundnessResult is the per-predicate result.
+	GroundnessResult = prop.PredResult
+)
+
+// AnalyzeGroundness runs Prop-domain groundness analysis of a Prolog
+// program on the tabled engine.
+func AnalyzeGroundness(src string, opts GroundnessOptions) (*GroundnessAnalysis, error) {
+	return prop.Analyze(src, opts)
+}
+
+// AnalyzeGroundnessGAIA runs the special-purpose abstract interpreter
+// (the paper's Table 2 comparator). Results are identical to
+// AnalyzeGroundness; only the implementation differs.
+func AnalyzeGroundnessGAIA(src string) (*gaia.Analysis, error) {
+	return gaia.Analyze(src)
+}
+
+// AnalyzeGroundnessBDD runs the BDD-based bottom-up analyzer (the §4
+// representation comparison).
+func AnalyzeGroundnessBDD(src string) (*bddprop.Analysis, error) {
+	return bddprop.Analyze(src)
+}
+
+// Strictness analysis (demand propagation, §3.2).
+type (
+	// StrictnessOptions configure AnalyzeStrictness.
+	StrictnessOptions = strict.Options
+	// StrictnessAnalysis is the result (Table 3 columns).
+	StrictnessAnalysis = strict.Analysis
+	// StrictnessResult is the per-function result.
+	StrictnessResult = strict.FuncResult
+	// Demand is a point of the demand lattice n < d < e.
+	Demand = strict.Demand
+)
+
+// Demand lattice points.
+const (
+	DemandNone = strict.N
+	DemandHead = strict.D
+	DemandFull = strict.E
+)
+
+// AnalyzeStrictness runs demand-propagation strictness analysis of a
+// functional program on the tabled engine.
+func AnalyzeStrictness(src string, opts StrictnessOptions) (*StrictnessAnalysis, error) {
+	return strict.Analyze(src, opts)
+}
+
+// Depth-k groundness analysis (§5).
+type (
+	// DepthKOptions configure AnalyzeDepthK.
+	DepthKOptions = depthk.Options
+	// DepthKAnalysis is the result (Table 4 columns).
+	DepthKAnalysis = depthk.Analysis
+)
+
+// AnalyzeDepthK runs groundness analysis with term-depth abstraction.
+func AnalyzeDepthK(src string, opts DepthKOptions) (*DepthKAnalysis, error) {
+	return depthk.Analyze(src, opts)
+}
+
+// Bottom-up evaluation (the §7 comparison substrate).
+type (
+	// BottomUpSystem is the semi-naive deductive engine.
+	BottomUpSystem = bottomup.System
+)
+
+// BottomUp returns an empty bottom-up system.
+func BottomUp() *BottomUpSystem { return bottomup.New() }

@@ -1,0 +1,125 @@
+package xlp
+
+import (
+	"strings"
+	"testing"
+)
+
+// End-to-end tests of the public facade: the paper's two worked examples
+// through the exported API.
+func TestFacadeGroundness(t *testing.T) {
+	a, err := AnalyzeGroundness(`
+		ap([], Ys, Ys).
+		ap([X|Xs], Ys, [X|Zs]) :- ap(Xs, Ys, Zs).
+	`, GroundnessOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := a.Results["ap/3"]
+	if r == nil {
+		t.Fatal("missing ap/3")
+	}
+	// The paper's Figure 2 formula: A1∧A2 ↔ A3 (4 truth-table rows).
+	if r.Success.Count() != 4 {
+		t.Fatalf("ap formula has %d rows, want 4", r.Success.Count())
+	}
+}
+
+func TestFacadeStrictness(t *testing.T) {
+	a, err := AnalyzeStrictness(`
+		ap(nil, Ys) = Ys.
+		ap(cons(X, Xs), Ys) = cons(X, ap(Xs, Ys)).
+	`, StrictnessOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := a.Results["ap/2"]
+	if !r.Strict(0) || r.Strict(1) {
+		t.Fatalf("ap strictness: %v", r)
+	}
+	if r.UnderE[0] != DemandFull || r.UnderE[1] != DemandFull {
+		t.Fatalf("ap under e: %v", r.UnderE)
+	}
+}
+
+func TestFacadeDepthK(t *testing.T) {
+	a, err := AnalyzeDepthK(`p(f(a), X) :- X = g(b).`, DepthKOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := a.Results["p/2"]
+	if !r.GroundArgs[0] || !r.GroundArgs[1] {
+		t.Fatalf("depth-k ground args: %v", r.GroundArgs)
+	}
+}
+
+func TestFacadeMachine(t *testing.T) {
+	m := NewMachine()
+	if err := m.Consult(`
+		:- table anc/2.
+		par(a, b). par(b, c).
+		anc(X, Y) :- par(X, Y).
+		anc(X, Y) :- anc(X, Z), par(Z, Y).
+	`); err != nil {
+		t.Fatal(err)
+	}
+	sols, err := m.Query("anc(a, W)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 2 {
+		t.Fatalf("anc solutions = %v", sols)
+	}
+}
+
+func TestFacadeComparators(t *testing.T) {
+	src := `
+		rev([], A, A).
+		rev([X|Xs], A, R) :- rev(Xs, [X|A], R).
+	`
+	g, err := AnalyzeGroundnessGAIA(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AnalyzeGroundnessBDD(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := AnalyzeGroundness(src, GroundnessOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := p.Results["rev/3"]
+	if !g.Results["rev/3"].Success.Equal(pr.Success) {
+		t.Fatal("GAIA disagrees")
+	}
+	for row := 0; row < 8; row++ {
+		if b.Manager.Eval(b.Results["rev/3"].Success, uint(row)) != pr.Success.Row(uint(row)) {
+			t.Fatal("BDD analyzer disagrees")
+		}
+	}
+}
+
+func TestFacadeBottomUp(t *testing.T) {
+	s := BottomUp()
+	if err := s.Consult(`
+		e(a, b). e(b, c).
+		tc(X, Y) :- e(X, Y).
+		tc(X, Y) :- e(X, Z), tc(Z, Y).
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SemiNaive(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Facts("tc/2")); got != 3 {
+		t.Fatalf("tc facts = %d", got)
+	}
+}
+
+func TestFacadeErrorsSurface(t *testing.T) {
+	if _, err := AnalyzeGroundness("p(", GroundnessOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "syntax") {
+		t.Fatalf("want syntax error, got %v", err)
+	}
+}
