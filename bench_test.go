@@ -8,6 +8,7 @@
 package xlp
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -19,6 +20,7 @@ import (
 	"xlp/internal/engine"
 	"xlp/internal/gaia"
 	"xlp/internal/prop"
+	"xlp/internal/service"
 	"xlp/internal/strict"
 	"xlp/internal/term"
 )
@@ -189,6 +191,50 @@ func BenchmarkTable7TabledVsBottomUp(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkServiceThroughput measures the analysis service end to end
+// (queue, worker pool, result cache): cold runs every request against a
+// disabled cache, warm repeats one request against a primed cache. The
+// baseline is recorded in BENCH_service.json.
+func BenchmarkServiceThroughput(b *testing.B) {
+	p, err := corpus.Get("qsort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &service.Request{Kind: service.KindGroundness, Source: p.Source}
+	ctx := context.Background()
+
+	b.Run("cold", func(b *testing.B) {
+		s := service.New(service.Config{CacheSize: -1, QueueSize: 1024})
+		defer s.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Do(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		s := service.New(service.Config{QueueSize: 1024})
+		defer s.Close()
+		if _, err := s.Do(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := s.Do(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !resp.Cached {
+				b.Fatal("warm request missed the cache")
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 	})
 }
 

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"xlp/internal/depthk"
 	"xlp/internal/engine"
 	"xlp/internal/prop"
+	"xlp/internal/service"
 )
 
 func main() {
@@ -25,6 +27,7 @@ func main() {
 	dk := flag.Int("depthk", 0, "use term-depth abstraction with this bound instead of Prop")
 	benchName := flag.String("bench", "", "analyze a named corpus benchmark instead of a file")
 	compiled := flag.Bool("compiled", false, "use compiled loading")
+	asJSON := flag.Bool("json", false, "emit the analysis-service response JSON")
 	flag.Parse()
 
 	src, name, err := input(*benchName, flag.Args())
@@ -40,6 +43,10 @@ func main() {
 		a, err := depthk.Analyze(src, depthk.Options{K: *dk, Mode: mode})
 		if err != nil {
 			fatal(err)
+		}
+		if *asJSON {
+			emitJSON(service.FromDepthK(a))
+			return
 		}
 		fmt.Printf("%s: depth-%d groundness (total %v, tables %d bytes)\n",
 			name, *dk, a.Total(), a.TableBytes)
@@ -58,6 +65,10 @@ func main() {
 	a, err := prop.Analyze(src, opts)
 	if err != nil {
 		fatal(err)
+	}
+	if *asJSON {
+		emitJSON(service.FromGroundness(a))
+		return
 	}
 	fmt.Printf("%s: Prop groundness (preproc %v, analysis %v, collection %v, tables %d bytes)\n",
 		name, a.PreprocTime, a.AnalysisTime, a.CollectionTime, a.TableBytes)
@@ -119,6 +130,16 @@ func sortedKeysDK(a *depthk.Analysis) []string {
 		}
 	}
 	return out
+}
+
+// emitJSON prints the same response struct the analysis service's HTTP
+// endpoints return, so CLI and server output are schema-identical.
+func emitJSON(resp *service.Response) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(resp); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -8,17 +8,20 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"xlp/internal/corpus"
+	"xlp/internal/service"
 	"xlp/internal/strict"
 )
 
 func main() {
 	benchName := flag.String("bench", "", "analyze a named corpus benchmark instead of a file")
 	noSupp := flag.Bool("nosupp", false, "disable supplementary tabling")
+	asJSON := flag.Bool("json", false, "emit the analysis-service response JSON")
 	flag.Parse()
 
 	var src, name string
@@ -42,6 +45,16 @@ func main() {
 	a, err := strict.Analyze(src, strict.Options{NoSupplementary: *noSupp})
 	if err != nil {
 		fatal(err)
+	}
+	if *asJSON {
+		// The same response struct the analysis service's HTTP endpoint
+		// returns, so CLI and server output are schema-identical.
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(service.FromStrictness(a)); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	fmt.Printf("%s: strictness (preproc %v, analysis %v, collection %v, %.0f lines/s, tables %d bytes)\n",
 		name, a.PreprocTime, a.AnalysisTime, a.CollectionTime, a.LinesPerSecond(), a.TableBytes)

@@ -1,0 +1,79 @@
+// Command xlpd serves the program analyzers over HTTP/JSON.
+//
+// Usage:
+//
+//	xlpd -addr :7455 -workers 8 -queue 128 -cache 256 -timeout 30s
+//
+// Endpoints:
+//
+//	POST /v1/analyze/{groundness,gaia,bdd,strictness,depthk}
+//	POST /v1/query
+//	GET  /v1/stats            (?format=text for a rendered table)
+//
+// Request body: {"source": "...", "options": {...}, "timeout_ms": 500}.
+// See README.md "Running the analysis server" for curl examples.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xlp/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":7455", "listen address")
+	workers := flag.Int("workers", 0, "pool workers (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 128, "request queue capacity")
+	cache := flag.Int("cache", 256, "result cache capacity (entries)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request timeout")
+	grace := flag.Duration("grace", 15*time.Second, "shutdown drain grace period")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueSize:      *queue,
+		CacheSize:      *cache,
+		DefaultTimeout: *timeout,
+	})
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	log.Printf("xlpd: listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("xlpd: serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting connections, then let queued and
+	// running analyses finish within the grace period.
+	log.Printf("xlpd: shutting down (grace %v)", *grace)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := server.Shutdown(shutCtx); err != nil {
+		log.Printf("xlpd: http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(shutCtx); err != nil {
+		log.Printf("xlpd: service shutdown: %v", err)
+	}
+	st := svc.Stats()
+	fmt.Printf("xlpd: served %d requests (%d hits, %d misses, %d deduped, %d executed)\n",
+		st.Requests, st.Hits, st.Misses, st.Deduped, st.Executed)
+}

@@ -7,11 +7,13 @@
 package bddprop
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"xlp/internal/bdd"
+	"xlp/internal/engine"
 	"xlp/internal/prolog"
 	"xlp/internal/term"
 )
@@ -56,6 +58,13 @@ type pred struct {
 
 // Analyze runs the analysis on a Prolog program.
 func Analyze(src string) (*Analysis, error) {
+	return AnalyzeCtx(context.Background(), src)
+}
+
+// AnalyzeCtx is Analyze with cooperative cancellation: once ctx ends the
+// run fails with engine.ErrCanceled or engine.ErrDeadline. The context
+// is polled once per predicate per fixpoint iteration.
+func AnalyzeCtx(ctx context.Context, src string) (*Analysis, error) {
 	t0 := time.Now()
 	parsed, err := prolog.ParseProgram(src)
 	if err != nil {
@@ -102,6 +111,9 @@ func Analyze(src string) (*Analysis, error) {
 		a.Iterations++
 		changed := false
 		for _, ind := range sortedKeys(preds) {
+			if err := engine.CtxErr(ctx); err != nil {
+				return nil, err
+			}
 			p := preds[ind]
 			acc := p.success
 			for _, cl := range p.clauses {

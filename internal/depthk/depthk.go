@@ -10,6 +10,7 @@
 package depthk
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -422,6 +423,10 @@ type Options struct {
 	// NoSupplementary disables supplementary tabling of long clause
 	// bodies (see internal/supptab); leave false for production runs.
 	NoSupplementary bool
+	// Ctx, when non-nil, cancels the analysis: the engine polls it
+	// during evaluation and the run fails with engine.ErrCanceled or
+	// engine.ErrDeadline once it is done.
+	Ctx context.Context
 }
 
 // PredResult is the result for one predicate.
@@ -476,6 +481,7 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 	m := engine.New()
 	m.Mode = opts.Mode
 	m.Limits = opts.Limits
+	m.SetContext(opts.Ctx)
 	RegisterBuiltins(m, opts.K)
 	// Keep the answer tables finite: cut every recorded answer at depth
 	// k (cut-at-binding alone does not bound structures composed across
@@ -528,7 +534,7 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 	for ind, abs := range tf.Preds {
 		goal := openCall(abs)
 		if err := m.Solve(goal, func() bool { return false }); err != nil {
-			return nil, fmt.Errorf("depthk: analyzing %s: %v", ind, err)
+			return nil, fmt.Errorf("depthk: analyzing %s: %w", ind, err)
 		}
 	}
 	a.AnalysisTime = time.Since(t1)

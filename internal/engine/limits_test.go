@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// mustConsult loads src or fails the test.
+func mustConsult(t *testing.T, m *Machine, src string) {
+	t.Helper()
+	if err := m.Consult(src); err != nil {
+		t.Fatalf("consult: %v", err)
+	}
+}
+
+func TestErrDepthLimit(t *testing.T) {
+	m := New()
+	m.Limits.MaxDepth = 100
+	mustConsult(t, m, "loop :- loop.")
+	_, err := m.Query("loop")
+	if !errors.Is(err, ErrDepthLimit) {
+		t.Fatalf("want ErrDepthLimit, got %v", err)
+	}
+}
+
+func TestErrAnswerLimit(t *testing.T) {
+	m := New()
+	m.Limits.MaxAnswers = 5
+	mustConsult(t, m, `
+:- table n/1.
+n(z).
+n(s(N)) :- n(N).
+`)
+	_, err := m.Query("n(X)")
+	if !errors.Is(err, ErrAnswerLimit) {
+		t.Fatalf("want ErrAnswerLimit, got %v", err)
+	}
+}
+
+func TestErrSubgoalLimit(t *testing.T) {
+	m := New()
+	m.Limits.MaxSubgoals = 3
+	m.Limits.MaxAnswers = 1000
+	// Each recursive call d(s(...)) is a distinct tabled subgoal.
+	mustConsult(t, m, `
+:- table d/1.
+d(z).
+d(s(N)) :- d(N).
+down(z).
+down(s(N)) :- d(s(N)), down(N).
+`)
+	_, err := m.Query("down(s(s(s(s(s(z))))))")
+	if !errors.Is(err, ErrSubgoalLimit) {
+		t.Fatalf("want ErrSubgoalLimit, got %v", err)
+	}
+}
+
+// divergentSrc backtracks through 4^16 combinations at constant depth:
+// effectively unbounded wall-clock without tripping any resource limit.
+const divergentSrc = `
+p(0). p(1). p(2). p(3).
+slow :- p(A1),p(A2),p(A3),p(A4),p(A5),p(A6),p(A7),p(A8),
+        p(B1),p(B2),p(B3),p(B4),p(B5),p(B6),p(B7),p(B8),
+        A1 = A2, B1 = B2, fail.
+`
+
+func TestErrCanceled(t *testing.T) {
+	m := New()
+	mustConsult(t, m, divergentSrc)
+	ctx, cancel := context.WithCancel(context.Background())
+	m.SetContext(ctx)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := m.Query("slow")
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancellation took %v", d)
+	}
+}
+
+func TestErrDeadline(t *testing.T) {
+	m := New()
+	mustConsult(t, m, divergentSrc)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	m.SetContext(ctx)
+	start := time.Now()
+	_, err := m.Query("slow")
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("want ErrDeadline, got %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("deadline enforcement took %v", d)
+	}
+}
+
+// TestSetContextBackground verifies that a never-canceled context does
+// not perturb evaluation.
+func TestSetContextBackground(t *testing.T) {
+	m := New()
+	m.SetContext(context.Background())
+	mustConsult(t, m, "a(1). a(2).")
+	sols, err := m.Query("a(X)")
+	if err != nil || len(sols) != 2 {
+		t.Fatalf("got %v, %v", sols, err)
+	}
+}

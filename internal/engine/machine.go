@@ -17,6 +17,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -151,6 +152,11 @@ type Machine struct {
 	nextDfn    int
 	stats      Stats
 	depth      int
+
+	// ctx, when non-nil, is polled every ctxCheckInterval steps of the
+	// solve loop (see SetContext); steps is the poll countdown counter.
+	ctx   context.Context
+	steps int
 }
 
 // New returns an empty machine in dynamic load mode.

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"xlp/internal/term"
 )
 
@@ -23,7 +25,12 @@ func (m *Machine) solve(goal term.Term, k func() bool) bool {
 func (m *Machine) solveG(goal term.Term, cut *bool, k func() bool) bool {
 	m.depth++
 	if m.depth > m.Limits.maxDepth() {
-		m.throwf("depth limit exceeded (%d); looping non-tabled predicate?", m.Limits.maxDepth())
+		m.throwErr(fmt.Errorf("%w (%d); looping non-tabled predicate?",
+			ErrDepthLimit, m.Limits.maxDepth()))
+	}
+	if m.steps++; m.steps >= ctxCheckInterval {
+		m.steps = 0
+		m.checkCtx()
 	}
 	defer func() { m.depth-- }()
 

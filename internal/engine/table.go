@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 
@@ -58,7 +59,7 @@ func (m *Machine) solveTabled(p *Pred, goal term.Term, k func() bool) bool {
 	sg, ok := m.tables[key]
 	if !ok {
 		if len(m.tables) >= m.Limits.maxSubgoals() {
-			m.throwf("subgoal limit exceeded (%d)", m.Limits.maxSubgoals())
+			m.throwErr(fmt.Errorf("%w (%d)", ErrSubgoalLimit, m.Limits.maxSubgoals()))
 		}
 		sg = &subgoal{
 			key:        key,
@@ -256,7 +257,7 @@ func (m *Machine) addAnswer(sg *subgoal, inst term.Term) {
 		return
 	}
 	if m.stats.Answers >= m.Limits.maxAnswers() {
-		m.throwf("answer limit exceeded (%d)", m.Limits.maxAnswers())
+		m.throwErr(fmt.Errorf("%w (%d)", ErrAnswerLimit, m.Limits.maxAnswers()))
 	}
 	sg.answerKeys[key] = struct{}{}
 	detached := term.Rename(term.Resolve(inst), nil)

@@ -18,12 +18,14 @@
 package gaia
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"time"
 
 	"xlp/internal/boolfn"
+	"xlp/internal/engine"
 	"xlp/internal/prolog"
 	"xlp/internal/term"
 )
@@ -82,6 +84,16 @@ type analyzer struct {
 	inProgress map[entryKey]bool
 	changed    bool
 	maxWidth   int
+	ctx        context.Context
+}
+
+// checkCtx aborts the analysis with the engine's typed cancellation
+// errors once the context ends; polled at every predicate call so the
+// latency is one clause body at worst.
+func (az *analyzer) checkCtx() {
+	if err := engine.CtxErr(az.ctx); err != nil {
+		panic(gaiaError{err})
+	}
 }
 
 type gaiaError struct{ err error }
@@ -93,7 +105,13 @@ func failf(format string, args ...any) {
 // Analyze runs the analyzer over a Prolog source program, analyzing each
 // predicate for the all-free call pattern (matching the declarative
 // analyzer's open calls).
-func Analyze(src string) (a *Analysis, err error) {
+func Analyze(src string) (*Analysis, error) {
+	return AnalyzeCtx(context.Background(), src)
+}
+
+// AnalyzeCtx is Analyze with cooperative cancellation: once ctx ends the
+// run fails with engine.ErrCanceled or engine.ErrDeadline.
+func AnalyzeCtx(ctx context.Context, src string) (a *Analysis, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if ge, ok := r.(gaiaError); ok {
@@ -112,6 +130,9 @@ func Analyze(src string) (a *Analysis, err error) {
 		preds:      map[string]*pred{},
 		table:      map[entryKey]*entry{},
 		inProgress: map[entryKey]bool{},
+	}
+	if ctx != nil && ctx.Done() != nil {
+		az.ctx = ctx
 	}
 	for _, c := range clauses {
 		head, body := prolog.SplitClause(c)
@@ -234,6 +255,7 @@ func (az *analyzer) lookup(p *pred, call *boolfn.Fun) *boolfn.Fun {
 
 // call analyzes predicate p under the given call-pattern description.
 func (az *analyzer) call(p *pred, call *boolfn.Fun) *boolfn.Fun {
+	az.checkCtx()
 	k := az.key(p, call)
 	e, ok := az.table[k]
 	if !ok {

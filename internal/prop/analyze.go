@@ -1,6 +1,7 @@
 package prop
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -28,6 +29,10 @@ type Options struct {
 	PureIff bool
 	// Limits are passed to the engine.
 	Limits engine.Limits
+	// Ctx, when non-nil, cancels the analysis: the engine polls it
+	// during evaluation and the run fails with engine.ErrCanceled or
+	// engine.ErrDeadline once it is done.
+	Ctx context.Context
 }
 
 // GroundState describes one argument position of a recorded call.
@@ -142,6 +147,7 @@ func AnalyzeClauses(clauses []term.Term, opts Options) (*Analysis, error) {
 	m := engine.New()
 	m.Mode = opts.Mode
 	m.Limits = opts.Limits
+	m.SetContext(opts.Ctx)
 	maxIff := tf.MaxIffArity
 	if maxIff < 2 {
 		maxIff = 2
@@ -187,7 +193,7 @@ func AnalyzeClauses(clauses []term.Term, opts Options) (*Analysis, error) {
 		for ind, abs := range tf.Preds {
 			goal := openCall(abs)
 			if err := m.Solve(goal, func() bool { return false }); err != nil {
-				return nil, fmt.Errorf("prop: analyzing %s: %v", ind, err)
+				return nil, fmt.Errorf("prop: analyzing %s: %w", ind, err)
 			}
 		}
 	}

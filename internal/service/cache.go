@@ -1,0 +1,68 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a fixed-capacity LRU map from content-address keys to
+// published (read-only) responses.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	resp *Response
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached response for key and refreshes its recency.
+func (c *lruCache) Get(key string) (*Response, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).resp, true
+}
+
+// Add publishes resp under key, evicting the least recently used entry
+// when the cache is full.
+func (c *lruCache) Add(key string, resp *Response) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).resp = resp
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, resp: resp})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

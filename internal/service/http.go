@@ -1,0 +1,137 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"xlp/internal/engine"
+	"xlp/internal/harness"
+)
+
+// apiRequest is the HTTP body of an analyze/query call; the kind comes
+// from the URL path.
+type apiRequest struct {
+	Source    string  `json:"source"`
+	Options   Options `json:"options"`
+	TimeoutMs int     `json:"timeout_ms,omitempty"`
+}
+
+// apiError is the HTTP error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/analyze/{kind}  kind ∈ groundness|gaia|bdd|strictness|depthk
+//	POST /v1/query           raw tabled query (options.goal required)
+//	GET  /v1/stats           counters; ?format=text for a rendered table
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze/{kind}", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	kind := Kind(r.PathValue("kind"))
+	if !kind.Valid() || kind == KindQuery {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown analysis kind %q", kind))
+		return
+	}
+	s.serve(w, r, kind)
+}
+
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.serve(w, r, KindQuery)
+}
+
+func (s *Service) serve(w http.ResponseWriter, r *http.Request, kind Kind) {
+	var body apiRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+	resp, err := s.Do(r.Context(), &Request{
+		Kind:      kind,
+		Source:    body.Source,
+		Options:   body.Options,
+		TimeoutMs: body.TimeoutMs,
+	})
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		statsTable(st).Render(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Stats
+		HitRate float64 `json:"hit_rate"`
+	}{st, st.HitRate()})
+}
+
+// statsTable renders the counters in the same tabular form as the
+// paper-reproduction harness, with its phase-timing columns.
+func statsTable(st Stats) *harness.Table {
+	n := func(v uint64) string { return fmt.Sprint(v) }
+	us := func(v int64) string { return fmt.Sprintf("%.2f", float64(v)/1000.0) }
+	return &harness.Table{
+		Title: "Analysis service counters",
+		Columns: []string{"Requests", "Hits", "Misses", "Deduped", "Executed",
+			"Failures", "Queue", "InFlight", "Preproc(ms)", "Analysis(ms)", "Collection(ms)"},
+		Rows: [][]string{{
+			n(st.Requests), n(st.Hits), n(st.Misses), n(st.Deduped), n(st.Executed),
+			n(st.Failures), fmt.Sprint(st.QueueDepth), fmt.Sprint(st.InFlight),
+			us(st.PreprocUs), us(st.AnalysisUs), us(st.CollectionUs),
+		}},
+		Notes: []string{fmt.Sprintf("cache %d/%d entries, hit rate %.1f%%, %d workers",
+			st.CacheLen, st.CacheCap, 100*st.HitRate(), st.Workers)},
+	}
+}
+
+// statusFor maps service and engine errors to HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, engine.ErrDeadline):
+		return http.StatusGatewayTimeout // 504: evaluation deadline expired
+	case errors.Is(err, engine.ErrCanceled):
+		return 499 // client closed request (nginx convention)
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, engine.ErrDepthLimit),
+		errors.Is(err, engine.ErrAnswerLimit),
+		errors.Is(err, engine.ErrSubgoalLimit):
+		return http.StatusUnprocessableEntity // program exceeds resource limits
+	default:
+		return http.StatusUnprocessableEntity // analysis/parse failure
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}

@@ -1,0 +1,185 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	s := New(Config{Workers: 2, QueueSize: 16})
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		s.Close()
+	})
+	return s, srv
+}
+
+func post(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestHTTPAnalyzeGroundness(t *testing.T) {
+	_, srv := newTestServer(t)
+	hr, body := post(t, srv.URL+"/v1/analyze/groundness", apiRequest{
+		Source: "ap([], L, L).\nap([H|T], L, [H|R]) :- ap(T, L, R).",
+	})
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", hr.StatusCode, body)
+	}
+	var resp Response
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != KindGroundness || len(resp.Predicates) != 1 {
+		t.Fatalf("unexpected response: %s", body)
+	}
+	p := resp.Predicates[0]
+	if p.Indicator != "ap/3" || p.Success == "" {
+		t.Errorf("bad predicate report: %+v", p)
+	}
+}
+
+func TestHTTPQueryAndStats(t *testing.T) {
+	_, srv := newTestServer(t)
+	req := apiRequest{
+		Source:  ":- table anc/2.\npar(a,b). par(b,c).\nanc(X,Y) :- par(X,Y).\nanc(X,Y) :- par(X,Z), anc(Z,Y).",
+		Options: Options{Goal: "anc(a, X)"},
+	}
+	hr, body := post(t, srv.URL+"/v1/query", req)
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", hr.StatusCode, body)
+	}
+	var resp Response
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Solutions) != 2 {
+		t.Fatalf("want 2 solutions, got %v", resp.Solutions)
+	}
+
+	// Identical repeat: served from cache, visible in /v1/stats.
+	if _, body := post(t, srv.URL+"/v1/query", req); !strings.Contains(string(body), `"cached": true`) {
+		t.Errorf("repeat not served from cache: %s", body)
+	}
+	sr, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Body.Close()
+	var st struct {
+		Stats
+		HitRate float64 `json:"hit_rate"`
+	}
+	if err := json.NewDecoder(sr.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits != 1 || st.Misses != 1 || st.Executed != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.HitRate != 0.5 {
+		t.Errorf("hit rate %v, want 0.5", st.HitRate)
+	}
+
+	tr, err := http.Get(srv.URL + "/v1/stats?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Body.Close()
+	text, _ := io.ReadAll(tr.Body)
+	if !strings.Contains(string(text), "Analysis service counters") {
+		t.Errorf("text stats missing table: %s", text)
+	}
+}
+
+func TestHTTPDeadline504(t *testing.T) {
+	_, srv := newTestServer(t)
+	hr, body := post(t, srv.URL+"/v1/query", apiRequest{
+		Source:    divergentSrc,
+		Options:   Options{Goal: "slow"},
+		TimeoutMs: 50,
+	})
+	if hr.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", hr.StatusCode, body)
+	}
+	var e apiError
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Errorf("bad error body: %s", body)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, srv := newTestServer(t)
+	for _, tc := range []struct {
+		name   string
+		path   string
+		body   any
+		status int
+	}{
+		{"unknown kind", "/v1/analyze/typestate", apiRequest{Source: "a."}, http.StatusNotFound},
+		{"query via analyze", "/v1/analyze/query", apiRequest{Source: "a."}, http.StatusNotFound},
+		{"empty source", "/v1/analyze/groundness", apiRequest{}, http.StatusBadRequest},
+		{"parse error", "/v1/analyze/groundness", apiRequest{Source: "a :- ."}, http.StatusUnprocessableEntity},
+		{"query without goal", "/v1/query", apiRequest{Source: "a."}, http.StatusBadRequest},
+		{"unknown field", "/v1/query", map[string]any{"prog": "a."}, http.StatusBadRequest},
+	} {
+		hr, body := post(t, srv.URL+tc.path, tc.body)
+		if hr.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, hr.StatusCode, tc.status, body)
+		}
+	}
+}
+
+func TestHTTPAllAnalyzeKinds(t *testing.T) {
+	_, srv := newTestServer(t)
+	logic := "ap([], L, L).\nap([H|T], L, [H|R]) :- ap(T, L, R)."
+	fn := "ap(nil, Y) = Y.\nap(cons(X, Xs), Y) = cons(X, ap(Xs, Y))."
+	for _, tc := range []struct {
+		kind Kind
+		src  string
+	}{
+		{KindGroundness, logic},
+		{KindGAIA, logic},
+		{KindBDD, logic},
+		{KindDepthK, logic},
+		{KindStrictness, fn},
+	} {
+		hr, body := post(t, fmt.Sprintf("%s/v1/analyze/%s", srv.URL, tc.kind), apiRequest{Source: tc.src})
+		if hr.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d: %s", tc.kind, hr.StatusCode, body)
+			continue
+		}
+		var resp Response
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Errorf("%s: %v", tc.kind, err)
+			continue
+		}
+		if resp.Kind != tc.kind {
+			t.Errorf("kind %s, want %s", resp.Kind, tc.kind)
+		}
+		if len(resp.Predicates)+len(resp.Functions) == 0 {
+			t.Errorf("%s: empty result: %s", tc.kind, body)
+		}
+	}
+}

@@ -1,0 +1,418 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xlp/internal/bddprop"
+	"xlp/internal/depthk"
+	"xlp/internal/engine"
+	"xlp/internal/gaia"
+	"xlp/internal/prop"
+	"xlp/internal/strict"
+)
+
+// Service front-door errors (the engine's sentinel errors — ErrDeadline,
+// ErrCanceled, the limit errors — pass through from evaluation).
+var (
+	// ErrBadRequest: the request failed validation; wraps detail.
+	ErrBadRequest = errors.New("service: bad request")
+	// ErrQueueFull: the bounded request queue is at capacity.
+	ErrQueueFull = errors.New("service: queue full")
+	// ErrClosed: the service is shut down or shutting down.
+	ErrClosed = errors.New("service: closed")
+)
+
+// Config sizes a Service.
+type Config struct {
+	// Workers is the number of pool workers; each worker confines one
+	// engine.Machine at a time (machines are not goroutine-safe).
+	// Default: GOMAXPROCS.
+	Workers int
+	// QueueSize bounds the number of queued-but-not-running requests;
+	// submissions beyond it fail fast with ErrQueueFull. Default 64.
+	QueueSize int
+	// CacheSize is the LRU result-cache capacity in entries. Default
+	// 128; 0 uses the default, negative disables caching.
+	CacheSize int
+	// DefaultTimeout bounds requests that do not set TimeoutMs.
+	// Default 30s; negative means no default timeout.
+	DefaultTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.CacheSize < 0 {
+		c.CacheSize = 0
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.DefaultTimeout < 0 {
+		c.DefaultTimeout = 0
+	}
+	return c
+}
+
+// flight is one in-progress computation that concurrent identical
+// requests share (single-flight deduplication).
+type flight struct {
+	done chan struct{} // closed when resp/err are set
+	resp *Response
+	err  error
+}
+
+// job is one queued unit of work.
+type job struct {
+	ctx context.Context
+	req *Request
+	key string
+	f   *flight
+}
+
+// Stats is a point-in-time snapshot of the service counters.
+type Stats struct {
+	Requests uint64 `json:"requests"` // accepted requests (past validation)
+	Hits     uint64 `json:"hits"`     // served from the result cache
+	Misses   uint64 `json:"misses"`   // led a fresh computation
+	Deduped  uint64 `json:"deduped"`  // joined an identical in-flight request
+	Executed uint64 `json:"executed"` // analyses actually run by workers
+	Failures uint64 `json:"failures"` // executions that returned an error
+
+	QueueDepth int `json:"queue_depth"` // queued, not yet picked up
+	InFlight   int `json:"in_flight"`   // currently executing
+	Workers    int `json:"workers"`
+	CacheLen   int `json:"cache_len"`
+	CacheCap   int `json:"cache_cap"`
+
+	// Cumulative phase timings over executed analyses (the paper's
+	// preprocess / analysis / collection breakdown).
+	PreprocUs    int64 `json:"preproc_us"`
+	AnalysisUs   int64 `json:"analysis_us"`
+	CollectionUs int64 `json:"collection_us"`
+}
+
+// HitRate returns cache hits over cache-decided requests (hits+misses).
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Service is the concurrent analysis front end. Create with New, run
+// requests with Do (or over HTTP via Handler), stop with Shutdown.
+type Service struct {
+	cfg   Config
+	jobs  chan *job
+	wg    sync.WaitGroup
+	cache *lruCache
+
+	mu       sync.Mutex // guards closed and inflight, and serializes submit vs Shutdown
+	closed   bool
+	inflight map[string]*flight
+
+	requests, hits, misses, deduped, executed, failures atomic.Uint64
+	inFlightN                                           atomic.Int64
+	preprocUs, analysisUs, collectionUs                 atomic.Int64
+}
+
+// New starts a service with cfg's worker pool.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:      cfg,
+		jobs:     make(chan *job, cfg.QueueSize),
+		cache:    newLRU(cfg.CacheSize),
+		inflight: map[string]*flight{},
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Requests:     s.requests.Load(),
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Deduped:      s.deduped.Load(),
+		Executed:     s.executed.Load(),
+		Failures:     s.failures.Load(),
+		QueueDepth:   len(s.jobs),
+		InFlight:     int(s.inFlightN.Load()),
+		Workers:      s.cfg.Workers,
+		CacheLen:     s.cache.Len(),
+		CacheCap:     s.cfg.CacheSize,
+		PreprocUs:    s.preprocUs.Load(),
+		AnalysisUs:   s.analysisUs.Load(),
+		CollectionUs: s.collectionUs.Load(),
+	}
+}
+
+// Shutdown stops accepting requests, drains the queue (queued and
+// running requests complete normally), and waits for the workers to
+// exit or ctx to end, whichever is first.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	close(s.jobs) // safe: submissions are guarded by s.closed under s.mu
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close is Shutdown without a deadline.
+func (s *Service) Close() error { return s.Shutdown(context.Background()) }
+
+// Do runs one request through cache, single-flight, and the worker
+// pool, blocking until the result is available or ctx/timeout ends.
+func (s *Service) Do(ctx context.Context, req *Request) (*Response, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		// Reject everything once shutdown has begun — even requests the
+		// cache could answer — so clients migrate off a draining server.
+		return nil, ErrClosed
+	}
+	s.requests.Add(1)
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	key := req.CacheKey()
+	if resp, ok := s.cache.Get(key); ok {
+		s.hits.Add(1)
+		hit := resp.shallowCopy()
+		hit.Cached = true
+		return hit, nil
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if f, ok := s.inflight[key]; ok {
+		// An identical request is already queued or running: join it.
+		s.mu.Unlock()
+		s.deduped.Add(1)
+		resp, err := s.wait(ctx, f)
+		if err != nil {
+			return nil, err
+		}
+		resp = resp.shallowCopy()
+		resp.Deduped = true
+		return resp, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	j := &job{ctx: ctx, req: req, key: key, f: f}
+	select {
+	case s.jobs <- j:
+	default:
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		f.err = ErrQueueFull
+		close(f.done)
+		return nil, ErrQueueFull
+	}
+	s.mu.Unlock()
+	s.misses.Add(1)
+	return s.wait(ctx, f)
+}
+
+// wait blocks until the flight resolves or ctx ends. The flight always
+// resolves — workers drain the queue even during shutdown — so a ctx
+// race near completion favors the available result.
+func (s *Service) wait(ctx context.Context, f *flight) (*Response, error) {
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		select {
+		case <-f.done:
+		default:
+			return nil, engine.CtxErr(ctx)
+		}
+	}
+	if f.err != nil {
+		return nil, f.err
+	}
+	return f.resp, nil
+}
+
+// worker is one pool goroutine: it owns at most one engine.Machine at a
+// time (execute constructs machines that never escape the call), so the
+// non-goroutine-safe engine is always confined to a single worker.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		s.inFlightN.Add(1)
+		resp, err := s.run(j)
+
+		s.mu.Lock()
+		delete(s.inflight, j.key)
+		s.mu.Unlock()
+		if err == nil {
+			s.cache.Add(j.key, resp)
+		}
+		j.f.resp, j.f.err = resp, err
+		close(j.f.done)
+		s.inFlightN.Add(-1)
+	}
+}
+
+// run executes one job unless its context already expired in the queue.
+func (s *Service) run(j *job) (*Response, error) {
+	if err := engine.CtxErr(j.ctx); err != nil {
+		return nil, err
+	}
+	s.executed.Add(1)
+	resp, err := execute(j.ctx, j.req)
+	if err != nil {
+		s.failures.Add(1)
+		return nil, err
+	}
+	s.preprocUs.Add(resp.Timings.PreprocUs)
+	s.analysisUs.Add(resp.Timings.AnalysisUs)
+	s.collectionUs.Add(resp.Timings.CollectionUs)
+	return resp, nil
+}
+
+// execute dispatches a validated request to its analyzer under ctx.
+func execute(ctx context.Context, req *Request) (*Response, error) {
+	o := req.Options
+	switch req.Kind {
+	case KindGroundness:
+		a, err := prop.Analyze(req.Source, prop.Options{
+			Mode:   o.engineMode(),
+			Entry:  o.Entry,
+			Limits: o.engineLimits(),
+			Ctx:    ctx,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return FromGroundness(a), nil
+	case KindGAIA:
+		a, err := gaia.AnalyzeCtx(ctx, req.Source)
+		if err != nil {
+			return nil, err
+		}
+		return FromGAIA(a), nil
+	case KindBDD:
+		a, err := bddprop.AnalyzeCtx(ctx, req.Source)
+		if err != nil {
+			return nil, err
+		}
+		return FromBDD(a), nil
+	case KindStrictness:
+		a, err := strict.Analyze(req.Source, strict.Options{
+			Mode:            o.engineMode(),
+			Limits:          o.engineLimits(),
+			NoSupplementary: o.NoSupplementary,
+			Ctx:             ctx,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return FromStrictness(a), nil
+	case KindDepthK:
+		a, err := depthk.Analyze(req.Source, depthk.Options{
+			K:               o.K,
+			Mode:            o.engineMode(),
+			Limits:          o.engineLimits(),
+			NoSupplementary: o.NoSupplementary,
+			Ctx:             ctx,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return FromDepthK(a), nil
+	case KindQuery:
+		return executeQuery(ctx, req)
+	}
+	return nil, fmt.Errorf("%w: unknown kind %q", ErrBadRequest, req.Kind)
+}
+
+// executeQuery consults the program on a fresh machine and runs the
+// goal, returning every solution in derivation order.
+func executeQuery(ctx context.Context, req *Request) (*Response, error) {
+	o := req.Options
+	t0 := time.Now()
+	m := engine.New()
+	m.Mode = o.engineMode()
+	m.Limits = o.engineLimits()
+	m.SetContext(ctx)
+	if err := m.Consult(req.Source); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if len(o.Table) > 0 {
+		m.Table(o.Table...)
+	}
+	preproc := time.Since(t0)
+
+	t1 := time.Now()
+	sols, err := m.Query(o.Goal)
+	if err != nil {
+		return nil, err
+	}
+	analysis := time.Since(t1)
+
+	resp := &Response{
+		Kind: KindQuery,
+		Timings: Timings{
+			PreprocUs:  preproc.Microseconds(),
+			AnalysisUs: analysis.Microseconds(),
+			TotalUs:    (preproc + analysis).Microseconds(),
+		},
+		TableBytes: m.TableSpace(),
+		Solutions:  make([]string, 0, len(sols)),
+	}
+	for _, t := range sols {
+		resp.Solutions = append(resp.Solutions, t.String())
+	}
+	return resp, nil
+}

@@ -1,0 +1,393 @@
+// Package service turns the repository's analyzers into a concurrent,
+// cancellable, cacheable analysis service: a bounded worker pool runs
+// analyses (each worker confines one non-goroutine-safe engine.Machine
+// at a time), an LRU cache keyed by SHA-256 of (kind, canonicalized
+// options, program source) reuses results across identical requests,
+// and single-flight deduplication shares one computation among
+// identical in-flight requests. The HTTP/JSON front end (Handler,
+// served by cmd/xlpd) exposes the five analyzers and raw tabled queries
+// under /v1; the same response structs back the CLI tools' -json flags,
+// so command-line and server output are schema-identical.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"xlp/internal/bddprop"
+	"xlp/internal/depthk"
+	"xlp/internal/engine"
+	"xlp/internal/gaia"
+	"xlp/internal/prop"
+	"xlp/internal/strict"
+	"xlp/internal/term"
+)
+
+// Kind selects which analyzer a request runs.
+type Kind string
+
+const (
+	KindGroundness Kind = "groundness" // Prop-domain tabled analyzer
+	KindGAIA       Kind = "gaia"       // special-purpose abstract interpreter
+	KindBDD        Kind = "bdd"        // BDD-based bottom-up analyzer
+	KindStrictness Kind = "strictness" // demand-propagation strictness
+	KindDepthK     Kind = "depthk"     // depth-k groundness
+	KindQuery      Kind = "query"      // raw tabled query
+)
+
+// Kinds lists every valid request kind, analysis kinds first.
+func Kinds() []Kind {
+	return []Kind{KindGroundness, KindGAIA, KindBDD, KindStrictness, KindDepthK, KindQuery}
+}
+
+// Valid reports whether k names a known analyzer.
+func (k Kind) Valid() bool {
+	for _, v := range Kinds() {
+		if k == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Options carries every analyzer knob in one wire-level struct; fields
+// irrelevant to a request's kind are ignored (and zeroed during
+// canonicalization so they cannot split the cache).
+type Options struct {
+	// Mode selects clause loading: "dynamic" (default) or "compiled".
+	Mode string `json:"mode,omitempty"`
+	// Entry lists entry goals for goal-directed groundness analysis.
+	Entry []string `json:"entry,omitempty"`
+	// K is the depth bound for depthk (default 2).
+	K int `json:"k,omitempty"`
+	// NoSupplementary disables supplementary tabling (strictness, depthk).
+	NoSupplementary bool `json:"no_supplementary,omitempty"`
+	// Goal is the query goal (kind "query" only).
+	Goal string `json:"goal,omitempty"`
+	// Table lists predicate indicators ("p/2") to table for a query, in
+	// addition to any ':- table' directives in the source.
+	Table []string `json:"table,omitempty"`
+	// Engine resource limits (0 = engine defaults).
+	MaxDepth    int `json:"max_depth,omitempty"`
+	MaxAnswers  int `json:"max_answers,omitempty"`
+	MaxSubgoals int `json:"max_subgoals,omitempty"`
+}
+
+// Request is one unit of work for the service.
+type Request struct {
+	Kind    Kind    `json:"kind"`
+	Source  string  `json:"source"`
+	Options Options `json:"options"`
+	// TimeoutMs bounds the request's wall clock (0 = the service's
+	// default timeout). On expiry the request fails with
+	// engine.ErrDeadline (HTTP 504).
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// Validate checks the request is well-formed before it is queued.
+func (r *Request) Validate() error {
+	if !r.Kind.Valid() {
+		return fmt.Errorf("%w: unknown kind %q", ErrBadRequest, r.Kind)
+	}
+	if strings.TrimSpace(r.Source) == "" {
+		return fmt.Errorf("%w: empty source", ErrBadRequest)
+	}
+	if r.Kind == KindQuery && strings.TrimSpace(r.Options.Goal) == "" {
+		return fmt.Errorf("%w: query without goal", ErrBadRequest)
+	}
+	switch r.Options.Mode {
+	case "", "dynamic", "compiled":
+	default:
+		return fmt.Errorf("%w: unknown mode %q", ErrBadRequest, r.Options.Mode)
+	}
+	if r.TimeoutMs < 0 {
+		return fmt.Errorf("%w: negative timeout", ErrBadRequest)
+	}
+	return nil
+}
+
+// canonicalOptions returns a copy of the options with defaults filled
+// in and fields the kind does not consume zeroed, so that requests that
+// differ only in irrelevant or defaulted fields share one cache entry.
+func (r *Request) canonicalOptions() Options {
+	o := r.Options
+	if o.Mode == "" {
+		o.Mode = "dynamic"
+	}
+	switch r.Kind {
+	case KindGroundness:
+		o.K, o.NoSupplementary, o.Goal, o.Table = 0, false, "", nil
+	case KindGAIA, KindBDD:
+		// Source-only analyzers: no engine options apply.
+		o = Options{Mode: "dynamic"}
+	case KindStrictness:
+		o.K, o.Entry, o.Goal, o.Table = 0, nil, "", nil
+	case KindDepthK:
+		if o.K <= 0 {
+			o.K = 2
+		}
+		o.Entry, o.Goal, o.Table = nil, "", nil
+	case KindQuery:
+		o.K, o.Entry, o.NoSupplementary = 0, nil, false
+		sort.Strings(o.Table)
+	}
+	return o
+}
+
+// CacheKey is the content address of the request: SHA-256 over the
+// kind, the canonicalized options, and the program source. Requests
+// with equal keys have equal results.
+func (r *Request) CacheKey() string {
+	opts, err := json.Marshal(r.canonicalOptions())
+	if err != nil {
+		// Options is a plain struct of marshalable fields; unreachable.
+		panic(err)
+	}
+	h := sha256.New()
+	h.Write([]byte(r.Kind))
+	h.Write([]byte{0})
+	h.Write(opts)
+	h.Write([]byte{0})
+	h.Write([]byte(r.Source))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// engineMode maps the wire mode to the engine's LoadMode.
+func (o Options) engineMode() engine.LoadMode {
+	if o.Mode == "compiled" {
+		return engine.LoadCompiled
+	}
+	return engine.LoadDynamic
+}
+
+// engineLimits maps the wire limits to engine.Limits.
+func (o Options) engineLimits() engine.Limits {
+	return engine.Limits{
+		MaxDepth:    o.MaxDepth,
+		MaxAnswers:  o.MaxAnswers,
+		MaxSubgoals: o.MaxSubgoals,
+	}
+}
+
+// Timings is the paper's phase breakdown in microseconds.
+type Timings struct {
+	PreprocUs    int64 `json:"preproc_us"`
+	AnalysisUs   int64 `json:"analysis_us"`
+	CollectionUs int64 `json:"collection_us"`
+	TotalUs      int64 `json:"total_us"`
+}
+
+// PredReport is the wire form of one predicate's analysis result.
+type PredReport struct {
+	Indicator string `json:"indicator"`
+	Arity     int    `json:"arity"`
+	// Success is the success formula over A1..An (groundness kinds).
+	Success    string `json:"success,omitempty"`
+	GroundArgs []bool `json:"ground_args"`
+	// Calls are recorded input patterns (goal-directed groundness).
+	Calls []string `json:"calls,omitempty"`
+	// Patterns are the abstract success patterns (depthk).
+	Patterns  string `json:"patterns,omitempty"`
+	Reachable bool   `json:"reachable"`
+}
+
+// FuncReport is the wire form of one function's strictness result.
+type FuncReport struct {
+	Indicator  string   `json:"indicator"`
+	Arity      int      `json:"arity"`
+	UnderE     []string `json:"under_e"`
+	UnderD     []string `json:"under_d"`
+	StrictArgs []bool   `json:"strict_args"`
+}
+
+// Response is the wire-level result of a request. The same struct backs
+// the service endpoints and the CLI -json flags.
+type Response struct {
+	Kind   Kind `json:"kind"`
+	Cached bool `json:"cached"`
+	// Deduped marks a response obtained by joining another request's
+	// in-flight computation rather than running or caching.
+	Deduped    bool         `json:"deduped,omitempty"`
+	Timings    Timings      `json:"timings"`
+	TableBytes int          `json:"table_bytes,omitempty"`
+	K          int          `json:"k,omitempty"`
+	Predicates []PredReport `json:"predicates,omitempty"`
+	Functions  []FuncReport `json:"functions,omitempty"`
+	Solutions  []string     `json:"solutions,omitempty"`
+}
+
+// shallowCopy returns a copy whose flags can be set without mutating
+// the cached response. The slices are shared: responses are
+// read-only once published.
+func (r *Response) shallowCopy() *Response {
+	cp := *r
+	return &cp
+}
+
+func argNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("A%d", i+1)
+	}
+	return names
+}
+
+// FromGroundness converts a tabled groundness analysis to wire form.
+func FromGroundness(a *prop.Analysis) *Response {
+	resp := &Response{
+		Kind: KindGroundness,
+		Timings: Timings{
+			PreprocUs:    a.PreprocTime.Microseconds(),
+			AnalysisUs:   a.AnalysisTime.Microseconds(),
+			CollectionUs: a.CollectionTime.Microseconds(),
+			TotalUs:      a.Total().Microseconds(),
+		},
+		TableBytes: a.TableBytes,
+	}
+	for _, r := range a.Sorted() {
+		pr := PredReport{
+			Indicator:  r.Indicator,
+			Arity:      r.Arity,
+			Success:    r.FormatSuccess(),
+			GroundArgs: r.GroundArgs,
+			Reachable:  r.Reachable,
+		}
+		for _, c := range r.Calls {
+			pr.Calls = append(pr.Calls, c.String())
+		}
+		resp.Predicates = append(resp.Predicates, pr)
+	}
+	return resp
+}
+
+// FromGAIA converts a special-purpose analyzer run to wire form.
+func FromGAIA(a *gaia.Analysis) *Response {
+	resp := &Response{
+		Kind: KindGAIA,
+		Timings: Timings{
+			PreprocUs:  a.PreprocTime.Microseconds(),
+			AnalysisUs: a.AnalysisTime.Microseconds(),
+			TotalUs:    a.Total().Microseconds(),
+		},
+	}
+	inds := make([]string, 0, len(a.Results))
+	for ind := range a.Results {
+		inds = append(inds, ind)
+	}
+	sort.Strings(inds)
+	for _, ind := range inds {
+		r := a.Results[ind]
+		resp.Predicates = append(resp.Predicates, PredReport{
+			Indicator:  r.Indicator,
+			Arity:      r.Arity,
+			Success:    r.Success.Format(argNames(r.Arity)),
+			GroundArgs: r.GroundArgs,
+			Reachable:  true,
+		})
+	}
+	return resp
+}
+
+// FromBDD converts a BDD-based analyzer run to wire form.
+func FromBDD(a *bddprop.Analysis) *Response {
+	resp := &Response{
+		Kind: KindBDD,
+		Timings: Timings{
+			PreprocUs:  a.PreprocTime.Microseconds(),
+			AnalysisUs: a.AnalysisTime.Microseconds(),
+			TotalUs:    a.Total().Microseconds(),
+		},
+	}
+	inds := make([]string, 0, len(a.Results))
+	for ind := range a.Results {
+		inds = append(inds, ind)
+	}
+	sort.Strings(inds)
+	for _, ind := range inds {
+		r := a.Results[ind]
+		resp.Predicates = append(resp.Predicates, PredReport{
+			Indicator:  r.Indicator,
+			Arity:      r.Arity,
+			GroundArgs: r.GroundArgs,
+			Reachable:  true,
+		})
+	}
+	return resp
+}
+
+// FromStrictness converts a strictness analysis to wire form.
+func FromStrictness(a *strict.Analysis) *Response {
+	resp := &Response{
+		Kind: KindStrictness,
+		Timings: Timings{
+			PreprocUs:    a.PreprocTime.Microseconds(),
+			AnalysisUs:   a.AnalysisTime.Microseconds(),
+			CollectionUs: a.CollectionTime.Microseconds(),
+			TotalUs:      a.Total().Microseconds(),
+		},
+		TableBytes: a.TableBytes,
+	}
+	for _, r := range a.Sorted() {
+		fr := FuncReport{
+			Indicator:  r.Indicator,
+			Arity:      r.Arity,
+			StrictArgs: make([]bool, r.Arity),
+		}
+		for i := 0; i < r.Arity; i++ {
+			fr.UnderE = append(fr.UnderE, r.UnderE[i].String())
+			fr.UnderD = append(fr.UnderD, r.UnderD[i].String())
+			fr.StrictArgs[i] = r.Strict(i)
+		}
+		resp.Functions = append(resp.Functions, fr)
+	}
+	return resp
+}
+
+// FromDepthK converts a depth-k groundness analysis to wire form.
+func FromDepthK(a *depthk.Analysis) *Response {
+	resp := &Response{
+		Kind: KindDepthK,
+		K:    a.K,
+		Timings: Timings{
+			PreprocUs:    a.PreprocTime.Microseconds(),
+			AnalysisUs:   a.AnalysisTime.Microseconds(),
+			CollectionUs: a.CollectionTime.Microseconds(),
+			TotalUs:      a.Total().Microseconds(),
+		},
+		TableBytes: a.TableBytes,
+	}
+	inds := make([]string, 0, len(a.Results))
+	for ind := range a.Results {
+		inds = append(inds, ind)
+	}
+	sort.Strings(inds)
+	for _, ind := range inds {
+		r := a.Results[ind]
+		resp.Predicates = append(resp.Predicates, PredReport{
+			Indicator:  r.Indicator,
+			Arity:      r.Arity,
+			GroundArgs: r.GroundArgs,
+			Patterns:   canonicalPatterns(r.Answers),
+			Reachable:  true,
+		})
+	}
+	return resp
+}
+
+// canonicalPatterns renders depth-k success patterns deterministically:
+// canonical form numbers variables _0, _1, ... per answer (the engine's
+// gensym names differ between runs), and sorting removes the analyzer's
+// table-iteration order. Identical requests must produce byte-identical
+// responses for the result cache to be transparent.
+func canonicalPatterns(answers []term.Term) string {
+	parts := make([]string, len(answers))
+	for i, a := range answers {
+		parts[i] = strings.ReplaceAll(term.Canonical(a), "'"+string(depthk.Gamma)+"'", "γ")
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ; ")
+}

@@ -1,6 +1,7 @@
 package strict
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -75,6 +76,10 @@ type Options struct {
 	// re-enumerating cross products on backtracking. Used for the
 	// ablation benchmark; leave false for production runs.
 	NoSupplementary bool
+	// Ctx, when non-nil, cancels the analysis: the engine polls it
+	// during evaluation and the run fails with engine.ErrCanceled or
+	// engine.ErrDeadline once it is done.
+	Ctx context.Context
 }
 
 // FuncResult is the strictness result for one function.
@@ -167,6 +172,7 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 	m := engine.New()
 	m.Mode = opts.Mode
 	m.Limits = opts.Limits
+	m.SetContext(opts.Ctx)
 	RegisterDemandOps(m)
 	clauses := tf.Clauses
 	var extraTabled []string
@@ -191,7 +197,7 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 		for _, d := range []term.Term{DemandE, DemandD} {
 			goal := spCall(sp, d)
 			if err := m.Solve(goal, func() bool { return false }); err != nil {
-				return nil, fmt.Errorf("strict: analyzing %s: %v", ind, err)
+				return nil, fmt.Errorf("strict: analyzing %s: %w", ind, err)
 			}
 		}
 	}

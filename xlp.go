@@ -26,6 +26,8 @@
 package xlp
 
 import (
+	"context"
+
 	"xlp/internal/bddprop"
 	"xlp/internal/bottomup"
 	"xlp/internal/depthk"
@@ -60,6 +62,17 @@ const (
 // directives in the source), and run queries with m.Query.
 func NewMachine() *Machine { return engine.New() }
 
+// Typed evaluation errors. Every analysis and query error caused by a
+// resource limit or cancellation wraps one of these; select with
+// errors.Is.
+var (
+	ErrDepthLimit   = engine.ErrDepthLimit
+	ErrAnswerLimit  = engine.ErrAnswerLimit
+	ErrSubgoalLimit = engine.ErrSubgoalLimit
+	ErrCanceled     = engine.ErrCanceled
+	ErrDeadline     = engine.ErrDeadline
+)
+
 // Groundness analysis (Prop domain, §3.1).
 type (
 	// GroundnessOptions configure AnalyzeGroundness.
@@ -77,6 +90,13 @@ func AnalyzeGroundness(src string, opts GroundnessOptions) (*GroundnessAnalysis,
 	return prop.Analyze(src, opts)
 }
 
+// AnalyzeGroundnessCtx is AnalyzeGroundness under a context: once ctx
+// ends the run fails with ErrCanceled or ErrDeadline.
+func AnalyzeGroundnessCtx(ctx context.Context, src string, opts GroundnessOptions) (*GroundnessAnalysis, error) {
+	opts.Ctx = ctx
+	return prop.Analyze(src, opts)
+}
+
 // AnalyzeGroundnessGAIA runs the special-purpose abstract interpreter
 // (the paper's Table 2 comparator). Results are identical to
 // AnalyzeGroundness; only the implementation differs.
@@ -84,10 +104,20 @@ func AnalyzeGroundnessGAIA(src string) (*gaia.Analysis, error) {
 	return gaia.Analyze(src)
 }
 
+// AnalyzeGroundnessGAIACtx is AnalyzeGroundnessGAIA under a context.
+func AnalyzeGroundnessGAIACtx(ctx context.Context, src string) (*gaia.Analysis, error) {
+	return gaia.AnalyzeCtx(ctx, src)
+}
+
 // AnalyzeGroundnessBDD runs the BDD-based bottom-up analyzer (the §4
 // representation comparison).
 func AnalyzeGroundnessBDD(src string) (*bddprop.Analysis, error) {
 	return bddprop.Analyze(src)
+}
+
+// AnalyzeGroundnessBDDCtx is AnalyzeGroundnessBDD under a context.
+func AnalyzeGroundnessBDDCtx(ctx context.Context, src string) (*bddprop.Analysis, error) {
+	return bddprop.AnalyzeCtx(ctx, src)
 }
 
 // Strictness analysis (demand propagation, §3.2).
@@ -115,6 +145,13 @@ func AnalyzeStrictness(src string, opts StrictnessOptions) (*StrictnessAnalysis,
 	return strict.Analyze(src, opts)
 }
 
+// AnalyzeStrictnessCtx is AnalyzeStrictness under a context: once ctx
+// ends the run fails with ErrCanceled or ErrDeadline.
+func AnalyzeStrictnessCtx(ctx context.Context, src string, opts StrictnessOptions) (*StrictnessAnalysis, error) {
+	opts.Ctx = ctx
+	return strict.Analyze(src, opts)
+}
+
 // Depth-k groundness analysis (§5).
 type (
 	// DepthKOptions configure AnalyzeDepthK.
@@ -125,6 +162,13 @@ type (
 
 // AnalyzeDepthK runs groundness analysis with term-depth abstraction.
 func AnalyzeDepthK(src string, opts DepthKOptions) (*DepthKAnalysis, error) {
+	return depthk.Analyze(src, opts)
+}
+
+// AnalyzeDepthKCtx is AnalyzeDepthK under a context: once ctx ends the
+// run fails with ErrCanceled or ErrDeadline.
+func AnalyzeDepthKCtx(ctx context.Context, src string, opts DepthKOptions) (*DepthKAnalysis, error) {
+	opts.Ctx = ctx
 	return depthk.Analyze(src, opts)
 }
 
