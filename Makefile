@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench serve
+.PHONY: ci fmt vet staticcheck build test race bench serve
 
-ci: fmt vet build race
+ci: fmt vet staticcheck build race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -12,6 +12,19 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck when installed; offline fallback: gofmt -s (simplification
+# lint) on top of the vet target's analyzers.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; falling back to gofmt -s"; \
+		out="$$(gofmt -s -l .)"; \
+		if [ -n "$$out" ]; then \
+			echo "gofmt -s needed on:"; echo "$$out"; exit 1; \
+		fi; \
+	fi
 
 build:
 	$(GO) build ./...

@@ -19,6 +19,7 @@ import (
 	"xlp/internal/depthk"
 	"xlp/internal/engine"
 	"xlp/internal/gaia"
+	"xlp/internal/lint"
 	"xlp/internal/prop"
 	"xlp/internal/service"
 	"xlp/internal/strict"
@@ -235,6 +236,67 @@ func BenchmarkServiceThroughput(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
+}
+
+// BenchmarkLint measures the object-program linter itself (call graph,
+// SCC condensation, full diagnostic set) over the two corpora; one op
+// lints every program of a corpus. The baseline is in BENCH_lint.json.
+func BenchmarkLint(b *testing.B) {
+	b.Run("prolog-corpus", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range corpus.LogicPrograms() {
+				if res := lint.Prolog(p.Source, lint.Options{}); res.Graph == nil {
+					b.Fatalf("%s failed to parse", p.Name)
+				}
+			}
+		}
+	})
+	b.Run("fl-corpus", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range corpus.FuncPrograms() {
+				if res := lint.FL(p.Source, lint.Options{}); res.Graph == nil {
+					b.Fatalf("%s failed to parse", p.Name)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkSliceGroundness measures what reachability slicing buys a
+// goal-directed analysis: the workload is one entry predicate inside a
+// source that concatenates all 12 logic benchmarks (a library and its
+// unused neighbors). Goal-directed solving already ignores predicates
+// the entry never calls, so the delta isolates the preprocessing the
+// slice avoids — exactly the phase the paper found dominant (§4). The
+// baseline is in BENCH_lint.json.
+func BenchmarkSliceGroundness(b *testing.B) {
+	var sb []byte
+	for _, p := range corpus.LogicPrograms() {
+		sb = append(sb, p.Source...)
+		sb = append(sb, '\n')
+	}
+	src := string(sb)
+	opts := prop.Options{Entry: []string{"qsort(L, S)"}}
+	b.Run("unsliced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := prop.Analyze(src, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sliced", func(b *testing.B) {
+		o := opts
+		o.Slice = true
+		for i := 0; i < b.N; i++ {
+			a, err := prop.Analyze(src, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(a.SlicedOut) == 0 {
+				b.Fatal("nothing sliced out")
+			}
+		}
 	})
 }
 

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"xlp/internal/lint"
+)
+
+// fileReport is the JSON form of one linted file.
+type fileReport struct {
+	File        string            `json:"file"`
+	Errors      int               `json:"errors"`
+	Diagnostics []lint.Diagnostic `json:"diagnostics"`
+}
+
+// runLint implements `xlp lint [-json] [-fl] [-entry p/n,...] file...`.
+// It lints each file independently and returns the process exit code:
+// 0 clean (warnings allowed), 1 if any file has error-severity
+// diagnostics, 2 on usage or I/O errors.
+func runLint(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	entry := fs.String("entry", "", "comma-separated entry predicates p/n (reachability roots)")
+	flLang := fs.Bool("fl", false, "lint functional (fl) programs instead of Prolog")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: xlp lint [-json] [-fl] [-entry p/n,...] file...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	var entries []string
+	for _, e := range strings.Split(*entry, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			entries = append(entries, e)
+		}
+	}
+	opts := lint.Options{Entrypoints: entries}
+
+	exit := 0
+	reports := make([]fileReport, 0, fs.NArg())
+	for _, file := range fs.Args() {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(stderr, "xlp lint: %v\n", err)
+			return 2
+		}
+		var res *lint.Result
+		if *flLang {
+			res = lint.FL(string(data), opts)
+		} else {
+			res = lint.Prolog(string(data), opts)
+		}
+		if res.HasErrors() {
+			exit = 1
+		}
+		if *jsonOut {
+			reports = append(reports, fileReport{
+				File:        file,
+				Errors:      res.Errors(),
+				Diagnostics: res.Diagnostics,
+			})
+			continue
+		}
+		fmt.Fprint(stdout, res.Text(file))
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(reports) //nolint:errcheck // best-effort CLI output
+	}
+	return exit
+}

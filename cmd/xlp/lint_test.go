@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunLintClean(t *testing.T) {
+	path := writeTemp(t, "clean.pl", "p(a).\np(b).\nq(X) :- p(X).\n")
+	var out, errb strings.Builder
+	if code := runLint([]string{path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+	if out.String() != "" {
+		t.Fatalf("clean program produced output:\n%s", out.String())
+	}
+}
+
+func TestRunLintUndefined(t *testing.T) {
+	path := writeTemp(t, "undef.pl", "p(X) :- missing(X).\n")
+	var out, errb strings.Builder
+	if code := runLint([]string{path}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr %q", code, errb.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, path+":1:") || !strings.Contains(text, "missing/1") {
+		t.Fatalf("diagnostic lacks file position or predicate:\n%s", text)
+	}
+}
+
+func TestRunLintJSON(t *testing.T) {
+	path := writeTemp(t, "undef.pl", "p(X) :- missing(X).\n")
+	var out, errb strings.Builder
+	if code := runLint([]string{"-json", path}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var reports []fileReport
+	if err := json.Unmarshal([]byte(out.String()), &reports); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if len(reports) != 1 || reports[0].Errors != 1 || len(reports[0].Diagnostics) == 0 {
+		t.Fatalf("unexpected report: %+v", reports)
+	}
+	if reports[0].Diagnostics[0].Severity.String() != "error" {
+		t.Fatalf("severity did not round-trip: %+v", reports[0].Diagnostics[0])
+	}
+}
+
+func TestRunLintEntryFlag(t *testing.T) {
+	src := "main(X) :- p(X).\np(a).\ndead(b).\n"
+	path := writeTemp(t, "dead.pl", src)
+	var out, errb strings.Builder
+	if code := runLint([]string{"-entry", "main/1", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d (warnings must not fail the build)", code)
+	}
+	if !strings.Contains(out.String(), "dead/1") {
+		t.Fatalf("expected unreachable dead/1 warning:\n%s", out.String())
+	}
+}
+
+func TestRunLintFL(t *testing.T) {
+	src := "len(nil) = 0.\nlen(cons(X, Xs)) = s(len(Xs)).\n"
+	path := writeTemp(t, "len.fl", src)
+	var out, errb strings.Builder
+	if code := runLint([]string{"-fl", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d:\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "singleton") {
+		t.Fatalf("expected singleton X warning:\n%s", out.String())
+	}
+}
+
+func TestRunLintUsageErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := runLint(nil, &out, &errb); code != 2 {
+		t.Fatalf("no files: exit %d, want 2", code)
+	}
+	if code := runLint([]string{"/no/such/file.pl"}, &out, &errb); code != 2 {
+		t.Fatalf("missing file: exit %d, want 2", code)
+	}
+}

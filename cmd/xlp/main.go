@@ -1,11 +1,17 @@
 // Command xlp is a small tabled-Prolog runner: it consults the given
 // program files and answers queries, printing the call/answer tables on
-// request.
+// request. Its lint subcommand runs the object-program linter instead
+// (undefined and unreachable predicates, singleton variables, untabled
+// left recursion) without evaluating anything.
 //
 // Usage:
 //
 //	xlp [-compiled] [-tables] prog.pl ... -q 'goal(X, Y)'
 //	xlp prog.pl            # read queries from stdin, one per line
+//	xlp lint [-json] [-fl] [-entry p/n,...] prog.pl ...
+//
+// lint exits 0 when every file is clean (warnings allowed), 1 when any
+// file has error-severity diagnostics, 2 on usage or I/O errors.
 package main
 
 import (
@@ -20,6 +26,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "lint" {
+		os.Exit(runLint(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	query := flag.String("q", "", "query to run (default: read queries from stdin)")
 	compiled := flag.Bool("compiled", false, "use compiled loading (first-argument indexing)")
 	dumpTables := flag.Bool("tables", false, "dump call/answer tables after the query")

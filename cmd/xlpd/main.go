@@ -7,6 +7,7 @@
 // Endpoints:
 //
 //	POST /v1/analyze/{groundness,gaia,bdd,strictness,depthk}
+//	POST /v1/lint             object-program linter (options.lang: prolog|fl)
 //	POST /v1/query
 //	GET  /v1/stats            (?format=text for a rendered table)
 //

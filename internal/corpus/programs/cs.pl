@@ -188,6 +188,10 @@ split_all([D|Ds], Cap, Out) :-
     split_all(Ds, Cap, Rest),
     app(Ps, Rest, Out).
 
+app([], Ys, Ys).
+app([X|Xs], Ys, [X|Zs]) :-
+    app(Xs, Ys, Zs).
+
 % --- sanity checks over plans ----------------------------------------------------
 
 covers([], _).

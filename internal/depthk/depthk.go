@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"xlp/internal/engine"
+	"xlp/internal/lint"
 	"xlp/internal/prolog"
 	"xlp/internal/supptab"
 	"xlp/internal/term"
@@ -420,6 +421,17 @@ type Options struct {
 	K      int // depth bound (default 2)
 	Mode   engine.LoadMode
 	Limits engine.Limits
+	// Entry restricts the analysis to the given predicates ("p/n", or
+	// bare "p" matching every arity): only they are open-called, so
+	// evaluation explores exactly their call-graph cone. When empty,
+	// every defined predicate is open-called.
+	Entry []string
+	// Slice, with Entry set, prunes the program to the entries' cone
+	// before transformation (lint.Slice). Evaluation never leaves the
+	// cone, so results are identical to an Entry-restricted run over the
+	// full program; only preprocessing cost changes. Ignored without
+	// Entry.
+	Slice bool
 	// NoSupplementary disables supplementary tabling of long clause
 	// bodies (see internal/supptab); leave false for production runs.
 	NoSupplementary bool
@@ -474,6 +486,10 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
+	full := clauses
+	if opts.Slice && len(opts.Entry) > 0 {
+		clauses = lint.Slice(clauses, opts.Entry)
+	}
 	tf, err := Transform(clauses)
 	if err != nil {
 		return nil, err
@@ -511,6 +527,26 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 	m.AbstractUnify = func(a, b term.Term, tr *term.Trail) bool {
 		return AbstractUnify(a, b, k, tr)
 	}
+	// Goal-directed runs reach inner calls whose arguments compose
+	// depth-cut bindings into ever-deeper (or combinatorially many)
+	// variants; abstracting every call to the predicate's most general
+	// call folds them all into one open table per reachable predicate —
+	// the exhaustive analysis restricted to the entries' cone, with the
+	// answers each concrete call sees filtered by abstract unification.
+	// Exhaustive runs keep exact calls (the established Table 4 mode).
+	if len(opts.Entry) > 0 {
+		m.CallAbstraction = func(call term.Term) term.Term {
+			name, args, ok := term.FunctorArity(call)
+			if !ok || len(args) == 0 || !strings.HasPrefix(name, Prefix) {
+				return call
+			}
+			fresh := make([]term.Term, len(args))
+			for i := range fresh {
+				fresh[i] = term.NewVar("C")
+			}
+			return term.NewCompound(name, fresh...)
+		}
+	}
 	absClauses := tf.Clauses
 	var extraTabled []string
 	if !opts.NoSupplementary {
@@ -532,6 +568,9 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 
 	t1 := time.Now()
 	for ind, abs := range tf.Preds {
+		if !entryMatch(opts.Entry, ind) {
+			continue
+		}
 		goal := openCall(abs)
 		if err := m.Solve(goal, func() bool { return false }); err != nil {
 			return nil, fmt.Errorf("depthk: analyzing %s: %w", ind, err)
@@ -543,10 +582,44 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 	for ind, abs := range tf.Preds {
 		a.Results[ind] = collect(m, ind, abs)
 	}
+	// Predicates sliced away have no tables; collect them through the
+	// same path so their (empty) results match an unsliced run's.
+	for _, ind := range lint.Predicates(full) {
+		if _, analyzed := a.Results[ind]; analyzed {
+			continue
+		}
+		name, arity := splitSrcInd(ind)
+		a.Results[ind] = collect(m, ind, fmt.Sprintf("%s/%d", absName(name), arity))
+	}
 	a.TableBytes = m.TableSpace()
 	a.EngineStats = m.Stats()
 	a.CollectionTime = time.Since(t2)
 	return a, nil
+}
+
+// entryMatch reports whether ind is selected by the entry list: empty
+// list selects everything; entries are "p/n" indicators or bare names.
+func entryMatch(entries []string, ind string) bool {
+	if len(entries) == 0 {
+		return true
+	}
+	name, _ := splitSrcInd(ind)
+	for _, e := range entries {
+		if e == ind || e == name {
+			return true
+		}
+	}
+	return false
+}
+
+func splitSrcInd(ind string) (string, int) {
+	i := strings.LastIndexByte(ind, '/')
+	if i < 0 {
+		return ind, -1
+	}
+	var n int
+	fmt.Sscanf(ind[i+1:], "%d", &n)
+	return ind[:i], n
 }
 
 func openCall(absInd string) term.Term {

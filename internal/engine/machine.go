@@ -137,6 +137,14 @@ type Machine struct {
 	// domains (the paper's §5 depth-k abstraction) use it to keep the
 	// answer tables finite.
 	AnswerAbstraction func(ans term.Term) term.Term
+	// CallAbstraction, if set, maps a tabled call to the (more general)
+	// call actually tabled. Goal-directed analyses over depth-bounded
+	// domains need it: inner calls compose depth-cut bindings into
+	// ever-deeper variants, and abstracting the call keeps the subgoal
+	// table finite. Answers of the abstracted call are unified against
+	// the original call (via AbstractUnify when set), so generalizing is
+	// sound — it can only produce a superset of answers.
+	CallAbstraction func(call term.Term) term.Term
 	// AbstractUnify, if set, replaces plain unification when matching a
 	// tabled call against recorded answers (needed when answers contain
 	// abstract constants such as γ that denote term sets).

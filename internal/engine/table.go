@@ -55,7 +55,14 @@ type subgoal struct {
 
 // solveTabled resolves a call to a tabled predicate through the table.
 func (m *Machine) solveTabled(p *Pred, goal term.Term, k func() bool) bool {
-	key := term.Canonical(goal)
+	lookup := goal
+	if m.CallAbstraction != nil {
+		// Table the abstracted (more general) call; its answers are
+		// matched against the original goal below, so the concrete call
+		// sees exactly the answers that apply to it.
+		lookup = m.CallAbstraction(term.Resolve(goal))
+	}
+	key := term.Canonical(lookup)
 	sg, ok := m.tables[key]
 	if !ok {
 		if len(m.tables) >= m.Limits.maxSubgoals() {
@@ -63,7 +70,7 @@ func (m *Machine) solveTabled(p *Pred, goal term.Term, k func() bool) bool {
 		}
 		sg = &subgoal{
 			key:        key,
-			goal:       term.Rename(term.Resolve(goal), nil),
+			goal:       term.Rename(term.Resolve(lookup), nil),
 			pred:       p,
 			answerKeys: map[string]struct{}{},
 		}

@@ -26,6 +26,7 @@ import (
 
 	"xlp/internal/boolfn"
 	"xlp/internal/engine"
+	"xlp/internal/lint"
 	"xlp/internal/prolog"
 	"xlp/internal/term"
 )
@@ -111,7 +112,18 @@ func Analyze(src string) (*Analysis, error) {
 
 // AnalyzeCtx is Analyze with cooperative cancellation: once ctx ends the
 // run fails with engine.ErrCanceled or engine.ErrDeadline.
-func AnalyzeCtx(ctx context.Context, src string) (a *Analysis, err error) {
+func AnalyzeCtx(ctx context.Context, src string) (*Analysis, error) {
+	return AnalyzeEntries(ctx, src, nil)
+}
+
+// AnalyzeEntries is AnalyzeCtx restricted to the call-graph cone of the
+// entry predicates ("p/n" indicators or bare names, via lint.Slice):
+// only predicates in the cone are loaded and analyzed. Because a
+// predicate's all-free fixpoint depends only on its callees — all inside
+// the cone — the cone results are identical to a full run's; predicates
+// outside it are simply absent from Results. Nil entries analyze the
+// whole program.
+func AnalyzeEntries(ctx context.Context, src string, entries []string) (a *Analysis, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if ge, ok := r.(gaiaError); ok {
@@ -125,6 +137,9 @@ func AnalyzeCtx(ctx context.Context, src string) (a *Analysis, err error) {
 	clauses, err := prolog.ParseProgram(src)
 	if err != nil {
 		return nil, err
+	}
+	if len(entries) > 0 {
+		clauses = lint.Slice(clauses, entries)
 	}
 	az := &analyzer{
 		preds:      map[string]*pred{},

@@ -1,0 +1,54 @@
+package lint
+
+// builtins is the set of predicate indicators the system resolves
+// without user clauses: the engine's registered builtins and control
+// constructs, plus the predicates the analyzers' builtin abstractions
+// recognize (internal/prop, internal/depthk). Calls to these are never
+// "undefined".
+var builtins = map[string]bool{
+	// Control (handled structurally during the walk, listed for Builtin).
+	"!/0": true, "true/0": true, "fail/0": true, "false/0": true,
+	",/2": true, ";/2": true, "->/2": true, "\\+/1": true, "not/1": true,
+	"once/1": true, "forall/2": true, "halt/0": true,
+
+	// Unification and comparison.
+	"=/2": true, "\\=/2": true, "unify_with_occurs_check/2": true,
+	"==/2": true, "\\==/2": true, "@</2": true, "@>/2": true,
+	"@=</2": true, "@>=/2": true, "compare/3": true,
+
+	// Type tests.
+	"var/1": true, "nonvar/1": true, "atom/1": true, "number/1": true,
+	"integer/1": true, "float/1": true, "compound/1": true,
+	"atomic/1": true, "callable/1": true, "ground/1": true,
+	"is_list/1": true,
+
+	// Arithmetic.
+	"is/2": true, "=:=/2": true, "=\\=/2": true, "</2": true, ">/2": true,
+	"=</2": true, ">=/2": true, "between/3": true, "succ/2": true,
+	"plus/3": true,
+
+	// Term inspection and construction.
+	"functor/3": true, "arg/3": true, "=../2": true, "copy_term/2": true,
+
+	// Atoms and strings.
+	"name/2": true, "atom_codes/2": true, "atom_chars/2": true,
+	"number_codes/2": true, "atom_length/2": true, "char_code/2": true,
+
+	// All-solutions and aggregation.
+	"findall/3": true, "bagof/3": true, "setof/3": true,
+	"aggregate_all/3": true,
+
+	// Lists.
+	"length/2": true, "sort/2": true, "msort/2": true, "reverse/2": true,
+
+	// Database.
+	"assert/1": true, "asserta/1": true, "assertz/1": true, "retract/1": true,
+
+	// I/O.
+	"write/1": true, "print/1": true, "writeln/1": true, "nl/0": true,
+	"tab/1": true, "read/1": true,
+}
+
+// Builtin reports whether ind is resolved by the engine or abstracted by
+// the analyzers without needing user clauses.
+func Builtin(ind string) bool { return builtins[ind] }

@@ -1,0 +1,133 @@
+package lint_test
+
+import (
+	"flag"
+	"fmt"
+	goast "go/ast"
+	goparser "go/parser"
+	gotoken "go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"xlp/internal/corpus"
+	"xlp/internal/fl"
+	"xlp/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite the corpus lint golden file")
+
+// lintAny lints src as FL when it parses as an equation program, and as
+// Prolog otherwise — the same dispatch the CLI uses for extension-less
+// sources.
+func lintAny(src string) *lint.Result {
+	if _, err := fl.Parse(src); err == nil {
+		return lint.FL(src, lint.Options{})
+	}
+	return lint.Prolog(src, lint.Options{})
+}
+
+// exampleSources extracts every multi-line raw string literal that
+// parses as an object program from the example commands' Go sources.
+func exampleSources(t *testing.T) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	dirs, err := filepath.Glob("../../examples/*/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no example sources found")
+	}
+	for _, path := range dirs {
+		name := filepath.Base(filepath.Dir(path))
+		fset := gotoken.NewFileSet()
+		f, err := goparser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		n := 0
+		goast.Inspect(f, func(node goast.Node) bool {
+			lit, ok := node.(*goast.BasicLit)
+			if !ok || lit.Kind != gotoken.STRING || !strings.HasPrefix(lit.Value, "`") {
+				return true
+			}
+			src := strings.Trim(lit.Value, "`")
+			if strings.Count(src, "\n") < 2 {
+				return true
+			}
+			if _, errP := fl.Parse(src); errP != nil {
+				if r := lint.Prolog(src, lint.Options{}); len(r.Diagnostics) > 0 && r.Diagnostics[0].Code == lint.CodeSyntax {
+					return true // not an object program
+				}
+			}
+			key := name
+			if n > 0 {
+				key = fmt.Sprintf("%s#%d", name, n)
+			}
+			n++
+			out["examples/"+key] = src
+			return true
+		})
+	}
+	return out
+}
+
+// TestCorpusLint lints every corpus benchmark and every example-embedded
+// program and compares the full diagnostic set against a golden file:
+// zero unexpected findings, and the expected ones on record.
+func TestCorpusLint(t *testing.T) {
+	sources := map[string]string{}
+	for _, p := range corpus.LogicPrograms() {
+		sources["corpus/"+p.Name+".pl"] = p.Source
+	}
+	for _, p := range corpus.FuncPrograms() {
+		sources["corpus/"+p.Name+".fl"] = p.Source
+	}
+	for name, src := range exampleSources(t) {
+		sources[name] = src
+	}
+
+	names := make([]string, 0, len(sources))
+	for name := range sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var sb strings.Builder
+	for _, name := range names {
+		res := lintAny(sources[name])
+		if res.Graph == nil {
+			t.Errorf("%s: failed to parse: %v", name, res.Diagnostics)
+			continue
+		}
+		if res.HasErrors() {
+			t.Errorf("%s: lint errors (corpus must be error-free): %v", name, res.Diagnostics)
+		}
+		for _, d := range res.Diagnostics {
+			fmt.Fprintf(&sb, "%s:%s\n", name, d)
+		}
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "corpus.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d diagnostics)", golden, strings.Count(got, "\n"))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("corpus diagnostics changed (run with -update if intended)\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

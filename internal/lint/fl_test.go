@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"reflect"
+	"testing"
+
+	"xlp/internal/fl"
+)
+
+func TestSliceFL(t *testing.T) {
+	src := `main(X) = helper(X, 0).
+helper(X, A) = if(X =:= 0, A, helper(X - 1, A + X)).
+unused(X) = alsounused(X).
+alsounused(X) = X.
+`
+	prog, err := fl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sliced := SliceFL(prog, []string{"main/1"})
+	if !reflect.DeepEqual(sliced.Order, []string{"main/1", "helper/2"}) {
+		t.Errorf("sliced order = %v", sliced.Order)
+	}
+	if sliced.Funcs["unused/1"] != nil {
+		t.Error("unused/1 survived the slice")
+	}
+	if sliced.Funcs["main/1"] != prog.Funcs["main/1"] {
+		t.Error("kept functions should be shared, not copied")
+	}
+
+	// Bare name entry matches every arity.
+	byName := SliceFL(prog, []string{"helper"})
+	if !reflect.DeepEqual(byName.Order, []string{"helper/2"}) {
+		t.Errorf("bare-name slice order = %v", byName.Order)
+	}
+
+	// No entries: identity.
+	if got := SliceFL(prog, nil); got != prog {
+		t.Error("empty-entry SliceFL should return the program unchanged")
+	}
+}
+
+func TestSliceFLKeepsConstructors(t *testing.T) {
+	src := `len(nil) = 0.
+len(cons(_X, Xs)) = 1 + len(Xs).
+build(N) = if(N =:= 0, nil, cons(N, build(N - 1))).
+`
+	prog, err := fl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sliced := SliceFL(prog, []string{"len/1"})
+	if len(sliced.Constructors) != len(prog.Constructors) {
+		t.Errorf("constructors dropped: %v vs %v", sliced.Constructors, prog.Constructors)
+	}
+	if sliced.Funcs["build/1"] != nil {
+		t.Error("build/1 should be sliced out")
+	}
+}

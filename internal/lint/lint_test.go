@@ -1,0 +1,584 @@
+package lint
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"xlp/internal/prolog"
+)
+
+func diagsByCode(r *Result, code string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diagnostics {
+		if d.Code == code {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func TestUndefinedPredicate(t *testing.T) {
+	src := `p(X) :- q(X), r(X).
+q(1).
+`
+	res := Prolog(src, Options{})
+	und := diagsByCode(res, CodeUndefined)
+	if len(und) != 1 {
+		t.Fatalf("want 1 undefined diagnostic, got %d: %v", len(und), res.Diagnostics)
+	}
+	d := und[0]
+	if d.Pred != "r/1" || d.Severity != SevError {
+		t.Errorf("diagnostic = %+v", d)
+	}
+	if d.Pos.Line != 1 || d.Pos.Col != 15 {
+		t.Errorf("call-site position = %v, want 1:15", d.Pos)
+	}
+	if !res.HasErrors() {
+		t.Error("HasErrors() = false, want true")
+	}
+}
+
+func TestUndefinedNearMissArity(t *testing.T) {
+	src := `append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+p(X, Y) :- append(X, Y).
+`
+	res := Prolog(src, Options{})
+	und := diagsByCode(res, CodeUndefined)
+	if len(und) != 1 {
+		t.Fatalf("want 1 undefined, got %v", res.Diagnostics)
+	}
+	if !strings.Contains(und[0].Message, "did you mean append/3?") {
+		t.Errorf("message %q lacks arity near-miss hint", und[0].Message)
+	}
+}
+
+func TestUndefinedNearMissName(t *testing.T) {
+	src := `member(X, [X|_T]).
+member(X, [_H|T]) :- member(X, T).
+p(X, L) :- membr(X, L).
+`
+	res := Prolog(src, Options{})
+	und := diagsByCode(res, CodeUndefined)
+	if len(und) != 1 {
+		t.Fatalf("want 1 undefined, got %v", res.Diagnostics)
+	}
+	if !strings.Contains(und[0].Message, "did you mean member/2?") {
+		t.Errorf("message %q lacks name near-miss hint", und[0].Message)
+	}
+}
+
+func TestUndefinedMultipleCallSites(t *testing.T) {
+	src := `a :- missing(1).
+b :- missing(2).
+c :- missing(3).
+`
+	res := Prolog(src, Options{})
+	und := diagsByCode(res, CodeUndefined)
+	if len(und) != 1 {
+		t.Fatalf("want one diagnostic for all call sites, got %v", und)
+	}
+	if und[0].Pos.Line != 1 {
+		t.Errorf("first call site line = %d, want 1", und[0].Pos.Line)
+	}
+	if !strings.Contains(und[0].Message, "also called at") {
+		t.Errorf("message %q lacks the other call sites", und[0].Message)
+	}
+}
+
+func TestBuiltinsNotUndefined(t *testing.T) {
+	src := `len([], 0).
+len([_H|T], N) :- len(T, M), N is M + 1, write(N), nl.
+sum(L, S) :- findall(X, member(X, L), Xs), length(Xs, S).
+member(X, [X|_T]).
+member(X, [_H|T]) :- member(X, T).
+`
+	res := Prolog(src, Options{})
+	if und := diagsByCode(res, CodeUndefined); len(und) != 0 {
+		t.Errorf("builtins flagged undefined: %v", und)
+	}
+}
+
+func TestSingletonVariable(t *testing.T) {
+	src := `first([X|Rest], X).
+pair(A, B, A).
+`
+	res := Prolog(src, Options{})
+	sing := diagsByCode(res, CodeSingleton)
+	if len(sing) != 2 {
+		t.Fatalf("want 2 singleton diagnostics, got %v", res.Diagnostics)
+	}
+	if sing[0].Pred != "first/2" || !strings.Contains(sing[0].Message, "Rest") {
+		t.Errorf("first diagnostic = %+v", sing[0])
+	}
+	if sing[0].Pos.Line != 1 || sing[0].Pos.Col != 10 {
+		t.Errorf("Rest position = %v, want 1:10", sing[0].Pos)
+	}
+	if sing[1].Pred != "pair/3" || !strings.Contains(sing[1].Message, "B") {
+		t.Errorf("second diagnostic = %+v", sing[1])
+	}
+	if sing[0].Severity != SevWarning {
+		t.Errorf("singleton severity = %v, want warning", sing[0].Severity)
+	}
+}
+
+func TestSingletonUnderscoreOptOut(t *testing.T) {
+	src := `drop([_X|T], T).
+take(_, []).
+`
+	res := Prolog(src, Options{})
+	if sing := diagsByCode(res, CodeSingleton); len(sing) != 0 {
+		t.Errorf("underscore-prefixed variables flagged: %v", sing)
+	}
+}
+
+func TestUnreachablePredicate(t *testing.T) {
+	src := `main :- used(1).
+used(X) :- helper(X).
+helper(_X).
+orphan(Y) :- lonely(Y).
+lonely(_Z).
+`
+	res := Prolog(src, Options{Entrypoints: []string{"main/0"}})
+	unr := diagsByCode(res, CodeUnreachable)
+	if len(unr) != 2 {
+		t.Fatalf("want orphan/1 and lonely/1 unreachable, got %v", unr)
+	}
+	if unr[0].Pred != "orphan/1" || unr[1].Pred != "lonely/1" {
+		t.Errorf("unreachable preds = %v, %v", unr[0].Pred, unr[1].Pred)
+	}
+	if unr[0].Pos.Line != 4 {
+		t.Errorf("orphan/1 position = %v, want line 4", unr[0].Pos)
+	}
+
+	// No entry points at all: reachability is skipped.
+	res = Prolog(src, Options{})
+	if unr := diagsByCode(res, CodeUnreachable); len(unr) != 0 {
+		t.Errorf("reachability ran without entry points: %v", unr)
+	}
+}
+
+func TestEntryDirective(t *testing.T) {
+	src := `:- entry(main/0).
+main :- used.
+used.
+orphan.
+`
+	res := Prolog(src, Options{})
+	unr := diagsByCode(res, CodeUnreachable)
+	if len(unr) != 1 || unr[0].Pred != "orphan/0" {
+		t.Fatalf("want orphan/0 from ':- entry' directive, got %v", unr)
+	}
+}
+
+func TestBareNameEntrypoint(t *testing.T) {
+	src := `main(X) :- p(X).
+main(X, Y) :- q(X, Y).
+p(1).
+q(1, 2).
+`
+	res := Prolog(src, Options{Entrypoints: []string{"main"}})
+	if unr := diagsByCode(res, CodeUnreachable); len(unr) != 0 {
+		t.Errorf("bare entry name should match every arity, got %v", unr)
+	}
+}
+
+func TestGoalSyntaxEntrypoint(t *testing.T) {
+	src := `main(X) :- p(X).
+p(1).
+orphan(2).
+`
+	// The analyzers' Entry options take goals ("main(X)"); lint
+	// entrypoints accept the same syntax.
+	res := Prolog(src, Options{Entrypoints: []string{"main(X)"}})
+	unr := diagsByCode(res, CodeUnreachable)
+	if len(unr) != 1 || unr[0].Pred != "orphan/1" {
+		t.Fatalf("goal-syntax entry: want only orphan/1 unreachable, got %v", unr)
+	}
+}
+
+func TestUntabledLeftRecursion(t *testing.T) {
+	left := `r(X, Y) :- r(X, Z), e(Z, Y).
+r(X, Y) :- e(X, Y).
+e(1, 2).
+`
+	res := Prolog(left, Options{})
+	rec := diagsByCode(res, CodeUntabledRec)
+	if len(rec) != 1 || rec[0].Pred != "r/2" {
+		t.Fatalf("left recursion not flagged: %v", res.Diagnostics)
+	}
+
+	// The same program tabled is the paper's recommended form — no finding.
+	res = Prolog(":- table r/2.\n"+left, Options{})
+	if rec := diagsByCode(res, CodeUntabledRec); len(rec) != 0 {
+		t.Errorf("tabled left recursion flagged: %v", rec)
+	}
+
+	// Right recursion terminates under SLD — no finding.
+	right := `r(X, Y) :- e(X, Y).
+r(X, Y) :- e(X, Z), r(Z, Y).
+e(1, 2).
+`
+	res = Prolog(right, Options{})
+	if rec := diagsByCode(res, CodeUntabledRec); len(rec) != 0 {
+		t.Errorf("right recursion flagged: %v", rec)
+	}
+}
+
+func TestMutualLeftRecursion(t *testing.T) {
+	src := `even(N) :- odd(M), succ(M, N).
+even(0).
+odd(N) :- even(M), succ(M, N).
+`
+	res := Prolog(src, Options{})
+	rec := diagsByCode(res, CodeUntabledRec)
+	if len(rec) != 1 {
+		t.Fatalf("mutual left recursion not flagged once: %v", res.Diagnostics)
+	}
+	if !strings.Contains(rec[0].Message, "even/1") || !strings.Contains(rec[0].Message, "odd/1") {
+		t.Errorf("message %q should name both predicates", rec[0].Message)
+	}
+}
+
+func TestBadGoalNumber(t *testing.T) {
+	src := `p(X) :- 42, q(X).
+q(1).
+`
+	res := Prolog(src, Options{})
+	bad := diagsByCode(res, CodeBadGoal)
+	if len(bad) != 1 || bad[0].Severity != SevError {
+		t.Fatalf("number goal not flagged: %v", res.Diagnostics)
+	}
+}
+
+func TestSyntaxErrorPosition(t *testing.T) {
+	res := Prolog("p(1).\nq(2", Options{})
+	if len(res.Diagnostics) != 1 || res.Diagnostics[0].Code != CodeSyntax {
+		t.Fatalf("want one syntax diagnostic, got %v", res.Diagnostics)
+	}
+	if res.Diagnostics[0].Pos.Line != 2 {
+		t.Errorf("syntax error position = %v, want line 2", res.Diagnostics[0].Pos)
+	}
+	if res.Graph != nil {
+		t.Error("Graph should be nil on syntax error")
+	}
+}
+
+func TestVariableGoalSkipped(t *testing.T) {
+	src := `apply(G) :- call(G).
+p :- apply(q).
+q.
+`
+	res := Prolog(src, Options{})
+	if und := diagsByCode(res, CodeUndefined); len(und) != 0 {
+		t.Errorf("unresolvable meta-call flagged: %v", und)
+	}
+}
+
+func TestMetaCallExtraArgs(t *testing.T) {
+	src := `map(_G, []).
+map(G, [X|Xs]) :- call(G, X), map(G, Xs).
+p(L) :- map(check, L).
+`
+	res := Prolog(src, Options{})
+	und := diagsByCode(res, CodeUndefined)
+	// call(G, X) with G unbound contributes nothing; check/1 is never
+	// resolved through the meta-call (a first-order linter's limit), so
+	// nothing is undefined here — but call(write, X) style below is.
+	if len(und) != 0 {
+		t.Errorf("unexpected undefined: %v", und)
+	}
+
+	src2 := `p(X) :- call(missing, X).
+`
+	res = Prolog(src2, Options{})
+	und = diagsByCode(res, CodeUndefined)
+	if len(und) != 1 || und[0].Pred != "missing/1" {
+		t.Errorf("call/2 with bound goal should resolve to missing/1, got %v", und)
+	}
+}
+
+func TestSeverityJSONRoundTrip(t *testing.T) {
+	for _, s := range []Severity{SevInfo, SevWarning, SevError} {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Severity
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != s {
+			t.Errorf("round trip %v -> %s -> %v", s, b, back)
+		}
+	}
+	var bad Severity
+	if err := json.Unmarshal([]byte(`"fatal"`), &bad); err == nil {
+		t.Error("unknown severity accepted")
+	}
+}
+
+func TestTextOutput(t *testing.T) {
+	src := `p(X) :- missing(X).
+`
+	res := Prolog(src, Options{})
+	text := res.Text("prog.pl")
+	if !strings.Contains(text, "prog.pl:1:9: error: undefined predicate missing/1 [undefined-predicate]") {
+		t.Errorf("Text output = %q", text)
+	}
+}
+
+func TestDiagnosticOrdering(t *testing.T) {
+	src := `b :- missing2.
+a(X, X) :- missing1(Lonely).
+`
+	res := Prolog(src, Options{})
+	var lines []int
+	for _, d := range res.Diagnostics {
+		lines = append(lines, d.Pos.Line)
+	}
+	for i := 1; i < len(lines); i++ {
+		if lines[i] < lines[i-1] {
+			t.Fatalf("diagnostics out of position order: %v", res.Diagnostics)
+		}
+	}
+}
+
+// --- Graph and SCC tests -------------------------------------------------
+
+func parseGraph(t *testing.T, src string) *Graph {
+	t.Helper()
+	clauses, err := prolog.ParseProgramInfo(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildGraph(clauses)
+}
+
+func TestSCCSelfLoop(t *testing.T) {
+	g := parseGraph(t, `loop(X) :- loop(X).
+solo(1).
+`)
+	if !g.Recursive("loop/1") {
+		t.Error("self-loop not recursive")
+	}
+	if g.Recursive("solo/1") {
+		t.Error("solo/1 reported recursive")
+	}
+	if g.SCCOf("loop/1") == g.SCCOf("solo/1") {
+		t.Error("independent predicates share an SCC")
+	}
+	if g.SCCOf("missing/9") != -1 {
+		t.Error("SCCOf on undefined indicator should be -1")
+	}
+}
+
+func TestSCCMutualRecursionThree(t *testing.T) {
+	g := parseGraph(t, `a(X) :- b(X).
+b(X) :- c(X).
+c(X) :- a(X).
+c(0).
+`)
+	scc := g.SCCs[g.SCCOf("a/1")]
+	if len(scc) != 3 {
+		t.Fatalf("three-way cycle SCC = %v", scc)
+	}
+	if g.SCCOf("a/1") != g.SCCOf("b/1") || g.SCCOf("b/1") != g.SCCOf("c/1") {
+		t.Error("cycle members in different SCCs")
+	}
+	for _, ind := range []string{"a/1", "b/1", "c/1"} {
+		if !g.Recursive(ind) {
+			t.Errorf("%s not recursive", ind)
+		}
+	}
+}
+
+func TestSCCDisconnectedComponents(t *testing.T) {
+	g := parseGraph(t, `a :- b.
+b :- a.
+x :- y.
+y :- x.
+iso(1).
+`)
+	if len(g.SCCs) != 3 {
+		t.Fatalf("want 3 components, got %v", g.SCCs)
+	}
+	if g.SCCOf("a/0") == g.SCCOf("x/0") {
+		t.Error("disconnected cycles merged")
+	}
+}
+
+func TestSCCTopoOrder(t *testing.T) {
+	g := parseGraph(t, `top :- mid1, mid2.
+mid1 :- bottom.
+mid2 :- bottom.
+bottom.
+`)
+	order := g.TopoOrder()
+	pos := map[string]int{}
+	for i, ind := range order {
+		pos[ind] = i
+	}
+	// Callers must precede callees in TopoOrder.
+	for _, edge := range [][2]string{{"top/0", "mid1/0"}, {"top/0", "mid2/0"}, {"mid1/0", "bottom/0"}, {"mid2/0", "bottom/0"}} {
+		if pos[edge[0]] > pos[edge[1]] {
+			t.Errorf("caller %s after callee %s in %v", edge[0], edge[1], order)
+		}
+	}
+	// SCCs slice is the reverse: callees first.
+	if g.SCCs[0][0] != "bottom/0" {
+		t.Errorf("SCCs[0] = %v, want bottom/0 first (callees-first order)", g.SCCs[0])
+	}
+	if len(order) != len(g.Order) {
+		t.Errorf("TopoOrder dropped predicates: %v vs %v", order, g.Order)
+	}
+}
+
+func TestSCCCondensationAcyclic(t *testing.T) {
+	g := parseGraph(t, `a :- b, c.
+b :- c, a.
+c :- d.
+d :- e.
+e :- d.
+f.
+`)
+	// a,b form a cycle; d,e form a cycle; c and f are trivial.
+	if g.SCCOf("a/0") != g.SCCOf("b/0") {
+		t.Error("a,b cycle split")
+	}
+	if g.SCCOf("d/0") != g.SCCOf("e/0") {
+		t.Error("d,e cycle split")
+	}
+	// Reverse topological order: every callee component has a smaller
+	// index than its caller component.
+	for _, ind := range g.Order {
+		for _, c := range g.Preds[ind].Callees {
+			if _, ok := g.Preds[c]; !ok {
+				continue
+			}
+			if g.SCCOf(c) > g.SCCOf(ind) {
+				t.Errorf("callee %s in later component than caller %s", c, ind)
+			}
+		}
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := parseGraph(t, `main :- a.
+a :- b.
+b.
+dead :- deader.
+deader.
+`)
+	reach := g.Reachable([]string{"main/0"})
+	want := map[string]bool{"main/0": true, "a/0": true, "b/0": true}
+	if !reflect.DeepEqual(reach, want) {
+		t.Errorf("Reachable = %v, want %v", reach, want)
+	}
+}
+
+// --- Slice tests ---------------------------------------------------------
+
+func TestSlice(t *testing.T) {
+	src := `:- table r/2.
+main(X) :- r(X, _Y).
+r(X, Y) :- e(X, Y).
+r(X, Y) :- r(X, Z), e(Z, Y).
+e(1, 2).
+dead(X) :- deader(X).
+deader(9).
+`
+	clauses, err := prolog.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sliced := Slice(clauses, []string{"main/1"})
+	inds := Predicates(sliced)
+	want := []string{"main/1", "r/2", "e/2"}
+	if !reflect.DeepEqual(inds, want) {
+		t.Errorf("sliced predicates = %v, want %v", inds, want)
+	}
+	// The table directive must survive.
+	if len(sliced) != len(clauses)-2 {
+		t.Errorf("sliced clause count = %d, want %d (directive kept, dead/deader dropped)",
+			len(sliced), len(clauses)-2)
+	}
+
+	// No entries: unchanged, same backing clauses.
+	if got := Slice(clauses, nil); len(got) != len(clauses) {
+		t.Errorf("empty-entry slice changed the program")
+	}
+
+	if got := SliceIndicators(clauses, []string{"dead/1"}); !reflect.DeepEqual(got, []string{"dead/1", "deader/1"}) {
+		t.Errorf("SliceIndicators = %v", got)
+	}
+}
+
+// --- FL tests ------------------------------------------------------------
+
+func TestFLUnboundVariable(t *testing.T) {
+	src := `f(X) = g(X, Y).
+g(A, B) = A + B.
+`
+	res := FL(src, Options{})
+	unb := diagsByCode(res, CodeUnboundVar)
+	if len(unb) != 1 {
+		t.Fatalf("want 1 unbound-variable diagnostic, got %v", res.Diagnostics)
+	}
+	if unb[0].Severity != SevError || unb[0].Pred != "f/1" {
+		t.Errorf("diagnostic = %+v", unb[0])
+	}
+	if !strings.Contains(unb[0].Message, "variable Y") {
+		t.Errorf("message = %q", unb[0].Message)
+	}
+	if unb[0].Pos.Line != 1 {
+		t.Errorf("position = %v, want line 1", unb[0].Pos)
+	}
+}
+
+func TestFLSingletonPattern(t *testing.T) {
+	src := `headof(cons(X, Rest)) = X.
+`
+	res := FL(src, Options{})
+	sing := diagsByCode(res, CodeSingleton)
+	if len(sing) != 1 || !strings.Contains(sing[0].Message, "Rest") {
+		t.Fatalf("want singleton Rest, got %v", res.Diagnostics)
+	}
+}
+
+func TestFLUnreachable(t *testing.T) {
+	src := `main(X) = double(X).
+double(X) = X + X.
+triple(X) = X + X + X.
+`
+	res := FL(src, Options{Entrypoints: []string{"main/1"}})
+	unr := diagsByCode(res, CodeUnreachable)
+	if len(unr) != 1 || unr[0].Pred != "triple/1" {
+		t.Fatalf("want triple/1 unreachable, got %v", res.Diagnostics)
+	}
+}
+
+func TestFLCleanProgram(t *testing.T) {
+	src := `len(nil) = 0.
+len(cons(_X, Xs)) = 1 + len(Xs).
+`
+	res := FL(src, Options{})
+	if len(res.Diagnostics) != 0 {
+		t.Errorf("clean program got diagnostics: %v", res.Diagnostics)
+	}
+	if res.Graph == nil || res.Graph.Preds["len/1"] == nil {
+		t.Fatal("FL graph missing len/1")
+	}
+	if !res.Graph.Recursive("len/1") {
+		t.Error("len/1 not recursive in FL graph")
+	}
+}
+
+func TestFLSyntax(t *testing.T) {
+	res := FL("f(X = .", Options{})
+	if len(res.Diagnostics) != 1 || res.Diagnostics[0].Code != CodeSyntax {
+		t.Fatalf("want syntax diagnostic, got %v", res.Diagnostics)
+	}
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"xlp/internal/prolog"
+	"xlp/internal/term"
+)
+
+// Predicates returns the defined predicate indicators of pre-parsed
+// clauses in first-definition order, with directives skipped.
+func Predicates(clauses []term.Term) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range clauses {
+		head, _ := prolog.SplitClause(c)
+		if head == nil {
+			continue
+		}
+		ind, ok := term.Indicator(head)
+		if !ok || seen[ind] {
+			continue
+		}
+		seen[ind] = true
+		out = append(out, ind)
+	}
+	return out
+}
+
+// Slice returns the clauses of the predicates reachable from the entry
+// indicators ("p/n", or bare "p" matching every arity) over the call
+// graph — the reachability cone of the queried predicates. Directives
+// are preserved so table declarations survive slicing; clause order is
+// preserved. With no entries the program is returned unchanged (there is
+// nothing to slice against).
+func Slice(clauses []term.Term, entries []string) []term.Term {
+	if len(entries) == 0 {
+		return clauses
+	}
+	g := BuildGraphTerms(clauses)
+	reach := g.Reachable(entries)
+	out := make([]term.Term, 0, len(clauses))
+	for _, c := range clauses {
+		head, _ := prolog.SplitClause(c)
+		if head == nil {
+			out = append(out, c) // directive
+			continue
+		}
+		ind, ok := term.Indicator(head)
+		if !ok || reach[ind] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// SliceIndicators returns the reachable defined indicators themselves,
+// in definition order — what Slice keeps, without rebuilding clauses.
+func SliceIndicators(clauses []term.Term, entries []string) []string {
+	g := BuildGraphTerms(clauses)
+	reach := g.Reachable(entries)
+	var out []string
+	for _, ind := range g.Order {
+		if reach[ind] {
+			out = append(out, ind)
+		}
+	}
+	return out
+}

@@ -14,6 +14,12 @@ type Reader struct {
 	lx   *lexer
 	ops  *opTable
 	vars map[string]*term.Var
+
+	// Position tracking (enabled by ReadClauseInfo); all per-clause.
+	track     bool
+	clausePos Pos
+	varOccs   map[*term.Var][]Pos
+	termPos   map[*term.Compound]Pos
 }
 
 // NewReader returns a Reader over src using the standard operator table.
@@ -32,6 +38,11 @@ func (r *Reader) ReadClause() (term.Term, error) {
 		return nil, io.EOF
 	}
 	r.vars = map[string]*term.Var{}
+	if r.track {
+		r.clausePos = Pos{Line: tok.line, Col: tok.col}
+		r.varOccs = map[*term.Var][]Pos{}
+		r.termPos = map[*term.Compound]Pos{}
+	}
 	t, _, err := r.parse(1200)
 	if err != nil {
 		return nil, err
@@ -86,16 +97,30 @@ func ParseProgram(src string) ([]term.Term, error) {
 	}
 }
 
-func (r *Reader) variable(name string) *term.Var {
+func (r *Reader) variable(name string, pos Pos) *term.Var {
 	if name == "_" {
 		return term.NewVar("_")
 	}
-	if v, ok := r.vars[name]; ok {
-		return v
+	v, ok := r.vars[name]
+	if !ok {
+		v = term.NewVar(name)
+		r.vars[name] = v
 	}
-	v := term.NewVar(name)
-	r.vars[name] = v
+	if r.track {
+		r.varOccs[v] = append(r.varOccs[v], pos)
+	}
 	return v
+}
+
+// notePos records the functor-token position of a compound built by the
+// reader (no-op unless tracking is on).
+func (r *Reader) notePos(t term.Term, line, col int) term.Term {
+	if r.track {
+		if cp, ok := t.(*term.Compound); ok {
+			r.termPos[cp] = Pos{Line: line, Col: col}
+		}
+	}
+	return t
 }
 
 // parse parses a term whose priority is at most maxPrec, returning the
@@ -147,7 +172,7 @@ func (r *Reader) parseInfix(left term.Term, leftPrec, maxPrec int) (term.Term, i
 			if err != nil {
 				return nil, 0, err
 			}
-			left = term.Comp(opName, left, right)
+			left = r.notePos(term.Comp(opName, left, right), tok.line, tok.col)
 			leftPrec = d.prec
 			continue
 		}
@@ -159,7 +184,7 @@ func (r *Reader) parseInfix(left term.Term, leftPrec, maxPrec int) (term.Term, i
 			if _, err := r.lx.next(); err != nil {
 				return nil, 0, err
 			}
-			left = term.Comp(opName, left)
+			left = r.notePos(term.Comp(opName, left), tok.line, tok.col)
 			leftPrec = d.prec
 			continue
 		}
@@ -194,7 +219,7 @@ func (r *Reader) parsePrimary(maxPrec int) (term.Term, int, error) {
 	case tokInt:
 		return term.Int(tok.ival), 0, nil
 	case tokVar:
-		return r.variable(tok.text), 0, nil
+		return r.variable(tok.text, Pos{Line: tok.line, Col: tok.col}), 0, nil
 	case tokStr:
 		// Double-quoted strings denote lists of character codes.
 		elems := make([]term.Term, len(tok.text))
@@ -251,7 +276,7 @@ func (r *Reader) parseAtomic(tok token, maxPrec int) (term.Term, int, error) {
 		if err != nil {
 			return nil, 0, err
 		}
-		return term.NewCompound(tok.text, args...), 0, nil
+		return r.notePos(term.NewCompound(tok.text, args...), tok.line, tok.col), 0, nil
 	}
 	// negative numeric literal
 	if tok.text == "-" {
@@ -276,7 +301,7 @@ func (r *Reader) parseAtomic(tok token, maxPrec int) (term.Term, int, error) {
 			if err != nil {
 				return nil, 0, err
 			}
-			return term.Comp(tok.text, arg), d.prec, nil
+			return r.notePos(term.Comp(tok.text, arg), tok.line, tok.col), d.prec, nil
 		}
 	}
 	// plain atom; if it names an operator, it carries that priority

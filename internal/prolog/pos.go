@@ -1,0 +1,76 @@
+package prolog
+
+import (
+	"fmt"
+	"io"
+
+	"xlp/internal/term"
+)
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int `json:"line"`
+	Col  int `json:"col"`
+}
+
+// IsValid reports whether the position was actually recorded.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// ClauseInfo is one clause together with the source positions the lint
+// pass needs: where the clause starts, where each named variable occurs,
+// and where each compound subterm's functor token sits (used to report
+// call sites as file:line:col).
+type ClauseInfo struct {
+	Term term.Term
+	// Pos is the position of the clause's first token.
+	Pos Pos
+	// VarOccs maps each variable of the clause to the positions of its
+	// occurrences, in source order. '_' is never recorded (each '_' is a
+	// fresh variable); named variables, including those starting with
+	// '_', are.
+	VarOccs map[*term.Var][]Pos
+	// TermPos maps each compound subterm built by the reader to the
+	// position of its functor (or operator) token. Atoms are values, not
+	// pointers, so zero-arity goals fall back to the clause position.
+	TermPos map[*term.Compound]Pos
+}
+
+// GoalPos returns the recorded position of a goal term, falling back to
+// the clause's own position for atoms and unrecorded terms.
+func (c *ClauseInfo) GoalPos(t term.Term) Pos {
+	if cp, ok := term.Deref(t).(*term.Compound); ok {
+		if p, ok := c.TermPos[cp]; ok {
+			return p
+		}
+	}
+	return c.Pos
+}
+
+// ReadClauseInfo reads the next clause along with its position info. At
+// end of input it returns io.EOF.
+func (r *Reader) ReadClauseInfo() (ClauseInfo, error) {
+	r.track = true
+	t, err := r.ReadClause()
+	if err != nil {
+		return ClauseInfo{}, err
+	}
+	return ClauseInfo{Term: t, Pos: r.clausePos, VarOccs: r.varOccs, TermPos: r.termPos}, nil
+}
+
+// ParseProgramInfo parses all clauses in src with position tracking.
+func ParseProgramInfo(src string) ([]ClauseInfo, error) {
+	r := NewReader(src)
+	var out []ClauseInfo
+	for {
+		c, err := r.ReadClauseInfo()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+}

@@ -1,0 +1,168 @@
+package prolog
+
+import (
+	"testing"
+
+	"xlp/internal/term"
+)
+
+// varPositions returns name -> occurrence positions for one clause.
+func varPositions(t *testing.T, c ClauseInfo) map[string][]Pos {
+	t.Helper()
+	out := map[string][]Pos{}
+	for v, ps := range c.VarOccs {
+		out[v.Name] = ps
+	}
+	return out
+}
+
+func TestClausePositions(t *testing.T) {
+	src := `% leading comment
+p(X) :- q(X).
+
+/* block
+   comment */
+r(Y, Z) :-
+    s(Y),
+    t(Z).
+`
+	cs, err := ParseProgramInfo(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("got %d clauses, want 2", len(cs))
+	}
+	if cs[0].Pos != (Pos{Line: 2, Col: 1}) {
+		t.Errorf("clause 0 at %v, want 2:1", cs[0].Pos)
+	}
+	if cs[1].Pos != (Pos{Line: 6, Col: 1}) {
+		t.Errorf("clause 1 at %v, want 6:1", cs[1].Pos)
+	}
+}
+
+func TestVariableOccurrencePositions(t *testing.T) {
+	src := "p(X, Y) :-\n    q(X),\n    r(Y, Y).\n"
+	cs, err := ParseProgramInfo(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp := varPositions(t, cs[0])
+	wantX := []Pos{{1, 3}, {2, 7}}
+	wantY := []Pos{{1, 6}, {3, 7}, {3, 10}}
+	if got := vp["X"]; len(got) != 2 || got[0] != wantX[0] || got[1] != wantX[1] {
+		t.Errorf("X occurrences %v, want %v", got, wantX)
+	}
+	if got := vp["Y"]; len(got) != 3 || got[0] != wantY[0] || got[1] != wantY[1] || got[2] != wantY[2] {
+		t.Errorf("Y occurrences %v, want %v", got, wantY)
+	}
+}
+
+func TestUnderscoreNotRecorded(t *testing.T) {
+	cs, err := ParseProgramInfo("p(_, _, X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp := varPositions(t, cs[0])
+	if _, ok := vp["_"]; ok {
+		t.Error("'_' occurrences recorded; want skipped")
+	}
+	if len(vp["X"]) != 1 {
+		t.Errorf("X occurrences %v, want one", vp["X"])
+	}
+}
+
+func TestGoalPositions(t *testing.T) {
+	src := "p(X) :-\n    q(X),\n    r(X).\n"
+	cs, err := ParseProgramInfo(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cs[0]
+	_, body := SplitClause(c.Term)
+	goals := Conjuncts(body)
+	if len(goals) != 2 {
+		t.Fatalf("got %d goals", len(goals))
+	}
+	if p := c.GoalPos(goals[0]); p != (Pos{2, 5}) {
+		t.Errorf("q(X) at %v, want 2:5", p)
+	}
+	if p := c.GoalPos(goals[1]); p != (Pos{3, 5}) {
+		t.Errorf("r(X) at %v, want 3:5", p)
+	}
+	// The head is a tracked compound too.
+	head, _ := SplitClause(c.Term)
+	if p := c.GoalPos(head); p != (Pos{1, 1}) {
+		t.Errorf("head at %v, want 1:1", p)
+	}
+}
+
+// Position drift: comments, quoted atoms with embedded newline escapes,
+// 0' literals, strings, and operator-heavy clauses must not desync the
+// line counter across a multi-clause file.
+func TestNoPositionDriftAcrossClauses(t *testing.T) {
+	src := `a(1). % first
+b('quoted
+atom').
+c("str").
+d(0'x, 0'\n).
+e(X) :- X = f(Y,
+              Z), g(Y, Z).
+f(W) :- W is 1 + 2 *
+    3.
+last(ok).
+`
+	cs, err := ParseProgramInfo(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 7 {
+		t.Fatalf("got %d clauses, want 7", len(cs))
+	}
+	wantLines := []int{1, 2, 4, 5, 6, 8, 10}
+	for i, c := range cs {
+		if c.Pos.Line != wantLines[i] {
+			t.Errorf("clause %d starts at line %d, want %d", i, c.Pos.Line, wantLines[i])
+		}
+		if c.Pos.Col != 1 {
+			t.Errorf("clause %d starts at col %d, want 1", i, c.Pos.Col)
+		}
+	}
+}
+
+// Operator-built goals (infix/prefix) carry the operator token position.
+func TestOperatorGoalPositions(t *testing.T) {
+	src := "p(X, Y) :- X = Y, \\+ q(X).\n"
+	cs, err := ParseProgramInfo(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cs[0]
+	_, body := SplitClause(c.Term)
+	goals := Conjuncts(body)
+	if len(goals) != 2 {
+		t.Fatalf("got %d goals", len(goals))
+	}
+	if p := c.GoalPos(goals[0]); p != (Pos{1, 14}) { // '=' token
+		t.Errorf("'=' goal at %v, want 1:14", p)
+	}
+	if p := c.GoalPos(goals[1]); p != (Pos{1, 19}) { // '\+' token
+		t.Errorf("'\\+' goal at %v, want 1:19", p)
+	}
+}
+
+// ReadClause without tracking must behave exactly as before (no maps
+// allocated, same terms).
+func TestUntrackedReaderUnchanged(t *testing.T) {
+	r := NewReader("p(X) :- q(X).")
+	c, err := r.ReadClause()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.varOccs != nil || r.termPos != nil {
+		t.Error("tracking maps allocated without ReadClauseInfo")
+	}
+	if _, ok := term.Deref(c).(*term.Compound); !ok {
+		t.Errorf("unexpected clause %v", c)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"xlp/internal/boolfn"
 	"xlp/internal/engine"
+	"xlp/internal/lint"
 	"xlp/internal/prolog"
 	"xlp/internal/term"
 )
@@ -24,6 +25,12 @@ type Options struct {
 	// When empty, every defined predicate is analyzed with an open call
 	// (output groundness only, all-free call pattern).
 	Entry []string
+	// Slice, with Entry set, restricts transformation and loading to the
+	// call-graph cone of the entry predicates (lint.Slice). Predicates
+	// outside the cone still appear in Results as unreachable — exactly
+	// as a goal-directed run over the full program reports them — so
+	// slicing changes cost, never answers. Ignored without Entry.
+	Slice bool
 	// PureIff evaluates iff/N through generated Prolog clauses instead
 	// of the native builtin (slower; used for validation).
 	PureIff bool
@@ -103,6 +110,9 @@ type Analysis struct {
 	TableBytes     int           // "Table space (bytes)"
 	EngineStats    engine.Stats
 	AbstractSize   int // number of abstract clauses
+	// SlicedOut lists predicates removed by Options.Slice before the
+	// transform (reported in Results as unreachable), in definition order.
+	SlicedOut []string
 }
 
 // Total returns the overall analysis time.
@@ -138,8 +148,16 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 func AnalyzeClauses(clauses []term.Term, opts Options) (*Analysis, error) {
 	a := &Analysis{Results: map[string]*PredResult{}}
 
-	// ---- Phase 1: preprocessing (transform + load). ----
+	// ---- Phase 1: preprocessing (slice + transform + load). ----
 	t0 := time.Now()
+	full := clauses
+	if opts.Slice && len(opts.Entry) > 0 {
+		entries, err := entryIndicators(opts.Entry)
+		if err != nil {
+			return nil, err
+		}
+		clauses = lint.Slice(clauses, entries)
+	}
 	tf, err := Transform(clauses)
 	if err != nil {
 		return nil, err
@@ -204,6 +222,22 @@ func AnalyzeClauses(clauses []term.Term, opts Options) (*Analysis, error) {
 	for ind, abs := range tf.Preds {
 		a.Results[ind] = collect(m, ind, abs)
 	}
+	// Predicates sliced away never reached the engine; report them the
+	// way a goal-directed run over the full program would — unreachable,
+	// with the empty success function.
+	for _, ind := range lint.Predicates(full) {
+		if _, analyzed := a.Results[ind]; analyzed {
+			continue
+		}
+		a.SlicedOut = append(a.SlicedOut, ind)
+		_, arity := splitInd(ind)
+		res := &PredResult{Indicator: ind, Arity: arity, Success: boolfn.False(arity)}
+		res.GroundArgs = make([]bool, arity)
+		for i := 0; i < arity; i++ {
+			res.GroundArgs[i] = res.Success.CertainlyGround(i)
+		}
+		a.Results[ind] = res
+	}
 	a.TableBytes = m.TableSpace()
 	a.EngineStats = m.Stats()
 	a.CollectionTime = time.Since(t2)
@@ -218,6 +252,24 @@ func openCall(absInd string) term.Term {
 		args[i] = term.NewVar("V")
 	}
 	return term.NewCompound(name, args...)
+}
+
+// entryIndicators maps source entry goals ("main(X)") to predicate
+// indicators ("main/1") for the slicer.
+func entryIndicators(entries []string) ([]string, error) {
+	out := make([]string, 0, len(entries))
+	for _, e := range entries {
+		goal, _, err := prolog.ParseTerm(e)
+		if err != nil {
+			return nil, fmt.Errorf("prop: bad entry goal %q: %v", e, err)
+		}
+		ind, ok := term.Indicator(goal)
+		if !ok {
+			return nil, fmt.Errorf("prop: non-callable entry goal %v", goal)
+		}
+		out = append(out, ind)
+	}
+	return out, nil
 }
 
 func splitInd(ind string) (string, int) {

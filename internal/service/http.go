@@ -26,11 +26,14 @@ type apiError struct {
 // Handler returns the service's HTTP API:
 //
 //	POST /v1/analyze/{kind}  kind ∈ groundness|gaia|bdd|strictness|depthk
+//	                         (options.lint attaches linter diagnostics)
+//	POST /v1/lint            object-program linter (options.lang: prolog|fl)
 //	POST /v1/query           raw tabled query (options.goal required)
 //	GET  /v1/stats           counters; ?format=text for a rendered table
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze/{kind}", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/lint", s.handleLint)
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
@@ -38,11 +41,15 @@ func (s *Service) Handler() http.Handler {
 
 func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	kind := Kind(r.PathValue("kind"))
-	if !kind.Valid() || kind == KindQuery {
+	if !kind.Valid() || kind == KindQuery || kind == KindLint {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown analysis kind %q", kind))
 		return
 	}
 	s.serve(w, r, kind)
+}
+
+func (s *Service) handleLint(w http.ResponseWriter, r *http.Request) {
+	s.serve(w, r, KindLint)
 }
 
 func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -97,8 +104,12 @@ func statsTable(st Stats) *harness.Table {
 			n(st.Failures), fmt.Sprint(st.QueueDepth), fmt.Sprint(st.InFlight),
 			us(st.PreprocUs), us(st.AnalysisUs), us(st.CollectionUs),
 		}},
-		Notes: []string{fmt.Sprintf("cache %d/%d entries, hit rate %.1f%%, %d workers",
-			st.CacheLen, st.CacheCap, 100*st.HitRate(), st.Workers)},
+		Notes: []string{
+			fmt.Sprintf("cache %d/%d entries, hit rate %.1f%%, %d workers",
+				st.CacheLen, st.CacheCap, 100*st.HitRate(), st.Workers),
+			fmt.Sprintf("lint: %d requests, %d diagnostics",
+				st.LintRequests, st.LintDiagnostics),
+		},
 	}
 }
 

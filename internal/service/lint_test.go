@@ -1,0 +1,151 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"xlp/internal/lint"
+)
+
+// TestHTTPLint: the lint endpoint reports diagnostics with positions and
+// severities, honours the lang option, and serves repeats from cache.
+func TestHTTPLint(t *testing.T) {
+	s, srv := newTestServer(t)
+	req := apiRequest{Source: "p(X) :- missing(X).\ndead(a).\n"}
+	hr, body := post(t, srv.URL+"/v1/lint", req)
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", hr.StatusCode, body)
+	}
+	var resp Response
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != KindLint || resp.LintErrors != 1 {
+		t.Fatalf("unexpected response: %s", body)
+	}
+	var undef *lint.Diagnostic
+	for i, d := range resp.Diagnostics {
+		if d.Code == lint.CodeUndefined {
+			undef = &resp.Diagnostics[i]
+		}
+	}
+	if undef == nil || undef.Severity != lint.SevError || undef.Pos.Line != 1 {
+		t.Fatalf("undefined-predicate diagnostic missing or unpositioned: %s", body)
+	}
+
+	// Identical repeat hits the content-addressed cache; the lint
+	// counters record only the executed run.
+	if _, body := post(t, srv.URL+"/v1/lint", req); !strings.Contains(string(body), `"cached": true`) {
+		t.Errorf("repeat not served from cache: %s", body)
+	}
+	st := s.Stats()
+	if st.LintRequests != 1 || st.LintDiagnostics != uint64(len(resp.Diagnostics)) {
+		t.Errorf("lint counters: %+v", st)
+	}
+
+	// Functional source under lang "fl".
+	hr, body = post(t, srv.URL+"/v1/lint", apiRequest{
+		Source:  "len(nil) = 0.\nlen(cons(X, Xs)) = s(len(Xs)).\n",
+		Options: Options{Lang: "fl"},
+	})
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("fl lint status %d: %s", hr.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "singleton") {
+		t.Errorf("fl lint missed singleton X: %s", body)
+	}
+
+	// lint is not an analyze kind; bad lang is a 400.
+	if hr, _ := post(t, srv.URL+"/v1/analyze/lint", req); hr.StatusCode != http.StatusNotFound {
+		t.Errorf("/v1/analyze/lint: status %d, want 404", hr.StatusCode)
+	}
+	hr, _ = post(t, srv.URL+"/v1/lint", apiRequest{Source: "a.", Options: Options{Lang: "ml"}})
+	if hr.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad lang: status %d, want 400", hr.StatusCode)
+	}
+}
+
+// TestLintOptionOnAnalyze: options.lint attaches diagnostics to analyze
+// responses, in the object language of the analysis kind.
+func TestLintOptionOnAnalyze(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	ctx := context.Background()
+
+	resp, err := s.Do(ctx, &Request{
+		Kind:    KindGroundness,
+		Source:  "p(X) :- missing(X).\np(a).",
+		Options: Options{Lint: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Predicates) == 0 {
+		t.Fatal("analysis result missing")
+	}
+	if resp.LintErrors != 1 || len(resp.Diagnostics) == 0 {
+		t.Fatalf("diagnostics not attached: %+v", resp)
+	}
+
+	// Strictness lints the functional language.
+	resp, err = s.Do(ctx, &Request{
+		Kind:    KindStrictness,
+		Source:  "len(nil) = 0.\nlen(cons(X, Xs)) = s(len(Xs)).",
+		Options: Options{Lint: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range resp.Diagnostics {
+		if d.Code == lint.CodeSingleton {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fl singleton not reported: %+v", resp.Diagnostics)
+	}
+
+	// The lint flag splits the cache: with and without must not share
+	// an entry (one response carries diagnostics, the other none).
+	with := (&Request{Kind: KindGroundness, Source: "a.", Options: Options{Lint: true}}).CacheKey()
+	without := (&Request{Kind: KindGroundness, Source: "a."}).CacheKey()
+	if with == without {
+		t.Error("lint option does not participate in the cache key")
+	}
+}
+
+// TestSliceOptionCacheAndResults: slicing changes evaluation cost, never
+// results, so sliced and unsliced requests share one cache entry.
+func TestSliceOptionCacheAndResults(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	ctx := context.Background()
+
+	src := "main(X) :- p(X).\np(a).\ndead(b) :- dead(b)."
+	base := &Request{Kind: KindGroundness, Source: src,
+		Options: Options{Entry: []string{"main(X)"}}}
+	sliced := &Request{Kind: KindGroundness, Source: src,
+		Options: Options{Entry: []string{"main(X)"}, Slice: true}}
+	if base.CacheKey() != sliced.CacheKey() {
+		t.Fatal("slice option must not split the cache")
+	}
+
+	r1, err := s.Do(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Do(ctx, sliced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Error("sliced repeat should be a cache hit")
+	}
+	if len(r1.Predicates) != 3 {
+		t.Fatalf("want 3 predicate reports, got %+v", r1.Predicates)
+	}
+}

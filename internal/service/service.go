@@ -92,6 +92,12 @@ type Stats struct {
 	Executed uint64 `json:"executed"` // analyses actually run by workers
 	Failures uint64 `json:"failures"` // executions that returned an error
 
+	// Linter counters: executed requests that ran the linter (kind
+	// "lint" or options.lint on an analyze kind) and the total
+	// diagnostics they produced. Cache hits are not re-counted.
+	LintRequests    uint64 `json:"lint_requests"`
+	LintDiagnostics uint64 `json:"lint_diagnostics"`
+
 	QueueDepth int `json:"queue_depth"` // queued, not yet picked up
 	InFlight   int `json:"in_flight"`   // currently executing
 	Workers    int `json:"workers"`
@@ -127,6 +133,7 @@ type Service struct {
 	inflight map[string]*flight
 
 	requests, hits, misses, deduped, executed, failures atomic.Uint64
+	lintRequests, lintDiagnostics                       atomic.Uint64
 	inFlightN                                           atomic.Int64
 	preprocUs, analysisUs, collectionUs                 atomic.Int64
 }
@@ -150,20 +157,22 @@ func New(cfg Config) *Service {
 // Stats returns a snapshot of the service counters.
 func (s *Service) Stats() Stats {
 	return Stats{
-		Requests:     s.requests.Load(),
-		Hits:         s.hits.Load(),
-		Misses:       s.misses.Load(),
-		Deduped:      s.deduped.Load(),
-		Executed:     s.executed.Load(),
-		Failures:     s.failures.Load(),
-		QueueDepth:   len(s.jobs),
-		InFlight:     int(s.inFlightN.Load()),
-		Workers:      s.cfg.Workers,
-		CacheLen:     s.cache.Len(),
-		CacheCap:     s.cfg.CacheSize,
-		PreprocUs:    s.preprocUs.Load(),
-		AnalysisUs:   s.analysisUs.Load(),
-		CollectionUs: s.collectionUs.Load(),
+		Requests:        s.requests.Load(),
+		Hits:            s.hits.Load(),
+		Misses:          s.misses.Load(),
+		Deduped:         s.deduped.Load(),
+		Executed:        s.executed.Load(),
+		Failures:        s.failures.Load(),
+		LintRequests:    s.lintRequests.Load(),
+		LintDiagnostics: s.lintDiagnostics.Load(),
+		QueueDepth:      len(s.jobs),
+		InFlight:        int(s.inFlightN.Load()),
+		Workers:         s.cfg.Workers,
+		CacheLen:        s.cache.Len(),
+		CacheCap:        s.cfg.CacheSize,
+		PreprocUs:       s.preprocUs.Load(),
+		AnalysisUs:      s.analysisUs.Load(),
+		CollectionUs:    s.collectionUs.Load(),
 	}
 }
 
@@ -318,39 +327,47 @@ func (s *Service) run(j *job) (*Response, error) {
 	s.preprocUs.Add(resp.Timings.PreprocUs)
 	s.analysisUs.Add(resp.Timings.AnalysisUs)
 	s.collectionUs.Add(resp.Timings.CollectionUs)
+	if j.req.Kind == KindLint || (j.req.Options.Lint && j.req.Kind != KindQuery) {
+		s.lintRequests.Add(1)
+		s.lintDiagnostics.Add(uint64(len(resp.Diagnostics)))
+	}
 	return resp, nil
 }
 
 // execute dispatches a validated request to its analyzer under ctx.
 func execute(ctx context.Context, req *Request) (*Response, error) {
 	o := req.Options
+	var resp *Response
 	switch req.Kind {
 	case KindGroundness:
 		a, err := prop.Analyze(req.Source, prop.Options{
 			Mode:   o.engineMode(),
 			Entry:  o.Entry,
+			Slice:  o.Slice,
 			Limits: o.engineLimits(),
 			Ctx:    ctx,
 		})
 		if err != nil {
 			return nil, err
 		}
-		return FromGroundness(a), nil
+		resp = FromGroundness(a)
 	case KindGAIA:
-		a, err := gaia.AnalyzeCtx(ctx, req.Source)
+		a, err := gaia.AnalyzeEntries(ctx, req.Source, o.Entry)
 		if err != nil {
 			return nil, err
 		}
-		return FromGAIA(a), nil
+		resp = FromGAIA(a)
 	case KindBDD:
 		a, err := bddprop.AnalyzeCtx(ctx, req.Source)
 		if err != nil {
 			return nil, err
 		}
-		return FromBDD(a), nil
+		resp = FromBDD(a)
 	case KindStrictness:
 		a, err := strict.Analyze(req.Source, strict.Options{
 			Mode:            o.engineMode(),
+			Entry:           o.Entry,
+			Slice:           o.Slice,
 			Limits:          o.engineLimits(),
 			NoSupplementary: o.NoSupplementary,
 			Ctx:             ctx,
@@ -358,11 +375,13 @@ func execute(ctx context.Context, req *Request) (*Response, error) {
 		if err != nil {
 			return nil, err
 		}
-		return FromStrictness(a), nil
+		resp = FromStrictness(a)
 	case KindDepthK:
 		a, err := depthk.Analyze(req.Source, depthk.Options{
 			K:               o.K,
 			Mode:            o.engineMode(),
+			Entry:           o.Entry,
+			Slice:           o.Slice,
 			Limits:          o.engineLimits(),
 			NoSupplementary: o.NoSupplementary,
 			Ctx:             ctx,
@@ -370,11 +389,22 @@ func execute(ctx context.Context, req *Request) (*Response, error) {
 		if err != nil {
 			return nil, err
 		}
-		return FromDepthK(a), nil
+		resp = FromDepthK(a)
 	case KindQuery:
 		return executeQuery(ctx, req)
+	case KindLint:
+		t0 := time.Now()
+		resp = FromLint(runLint(req.Source, req.canonicalOptions()))
+		us := time.Since(t0).Microseconds()
+		resp.Timings = Timings{AnalysisUs: us, TotalUs: us}
+		return resp, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %q", ErrBadRequest, req.Kind)
 	}
-	return nil, fmt.Errorf("%w: unknown kind %q", ErrBadRequest, req.Kind)
+	if o.Lint {
+		attachLint(resp, req)
+	}
+	return resp, nil
 }
 
 // executeQuery consults the program on a fresh machine and runs the

@@ -22,6 +22,7 @@ import (
 	"xlp/internal/depthk"
 	"xlp/internal/engine"
 	"xlp/internal/gaia"
+	"xlp/internal/lint"
 	"xlp/internal/prop"
 	"xlp/internal/strict"
 	"xlp/internal/term"
@@ -37,11 +38,12 @@ const (
 	KindStrictness Kind = "strictness" // demand-propagation strictness
 	KindDepthK     Kind = "depthk"     // depth-k groundness
 	KindQuery      Kind = "query"      // raw tabled query
+	KindLint       Kind = "lint"       // object-program linter (no evaluation)
 )
 
 // Kinds lists every valid request kind, analysis kinds first.
 func Kinds() []Kind {
-	return []Kind{KindGroundness, KindGAIA, KindBDD, KindStrictness, KindDepthK, KindQuery}
+	return []Kind{KindGroundness, KindGAIA, KindBDD, KindStrictness, KindDepthK, KindQuery, KindLint}
 }
 
 // Valid reports whether k names a known analyzer.
@@ -60,8 +62,18 @@ func (k Kind) Valid() bool {
 type Options struct {
 	// Mode selects clause loading: "dynamic" (default) or "compiled".
 	Mode string `json:"mode,omitempty"`
-	// Entry lists entry goals for goal-directed groundness analysis.
+	// Entry lists entry goals or predicate indicators: goal-directed
+	// analysis entry points (groundness, depthk, strictness, gaia) and
+	// lint reachability roots.
 	Entry []string `json:"entry,omitempty"`
+	// Slice restricts goal-directed analyses to the call-graph cone
+	// reachable from Entry before any program transformation runs.
+	// Results are unchanged; only cost drops.
+	Slice bool `json:"slice,omitempty"`
+	// Lint attaches linter diagnostics to an analyze response.
+	Lint bool `json:"lint,omitempty"`
+	// Lang selects the lint object language: "prolog" (default) or "fl".
+	Lang string `json:"lang,omitempty"`
 	// K is the depth bound for depthk (default 2).
 	K int `json:"k,omitempty"`
 	// NoSupplementary disables supplementary tabling (strictness, depthk).
@@ -104,6 +116,11 @@ func (r *Request) Validate() error {
 	default:
 		return fmt.Errorf("%w: unknown mode %q", ErrBadRequest, r.Options.Mode)
 	}
+	switch r.Options.Lang {
+	case "", "prolog", "fl":
+	default:
+		return fmt.Errorf("%w: unknown lang %q", ErrBadRequest, r.Options.Lang)
+	}
 	if r.TimeoutMs < 0 {
 		return fmt.Errorf("%w: negative timeout", ErrBadRequest)
 	}
@@ -120,21 +137,33 @@ func (r *Request) canonicalOptions() Options {
 	}
 	switch r.Kind {
 	case KindGroundness:
-		o.K, o.NoSupplementary, o.Goal, o.Table = 0, false, "", nil
-	case KindGAIA, KindBDD:
-		// Source-only analyzers: no engine options apply.
-		o = Options{Mode: "dynamic"}
+		o.K, o.NoSupplementary, o.Goal, o.Table, o.Lang = 0, false, "", nil, ""
+	case KindGAIA:
+		// Entry restricts the interpreter to the reachable cone; no
+		// engine options apply.
+		o = Options{Mode: "dynamic", Entry: o.Entry, Lint: o.Lint}
+	case KindBDD:
+		// Source-only analyzer: no engine options apply.
+		o = Options{Mode: "dynamic", Lint: o.Lint}
 	case KindStrictness:
-		o.K, o.Entry, o.Goal, o.Table = 0, nil, "", nil
+		o.K, o.Goal, o.Table, o.Lang = 0, "", nil, ""
 	case KindDepthK:
 		if o.K <= 0 {
 			o.K = 2
 		}
-		o.Entry, o.Goal, o.Table = nil, "", nil
+		o.Goal, o.Table, o.Lang = "", nil, ""
 	case KindQuery:
-		o.K, o.Entry, o.NoSupplementary = 0, nil, false
+		o.K, o.Entry, o.NoSupplementary, o.Slice, o.Lint, o.Lang = 0, nil, false, false, false, ""
 		sort.Strings(o.Table)
+	case KindLint:
+		if o.Lang == "" {
+			o.Lang = "prolog"
+		}
+		o = Options{Mode: "dynamic", Lang: o.Lang, Entry: o.Entry}
 	}
+	// Slicing never changes results, only cost: a sliced and an unsliced
+	// run of the same request share one cache entry.
+	o.Slice = false
 	return o
 }
 
@@ -218,6 +247,11 @@ type Response struct {
 	Predicates []PredReport `json:"predicates,omitempty"`
 	Functions  []FuncReport `json:"functions,omitempty"`
 	Solutions  []string     `json:"solutions,omitempty"`
+	// Diagnostics carry linter output: always for kind "lint", and on
+	// analyze responses when options.lint is set.
+	Diagnostics []lint.Diagnostic `json:"diagnostics,omitempty"`
+	// LintErrors counts the error-severity diagnostics.
+	LintErrors int `json:"lint_errors,omitempty"`
 }
 
 // shallowCopy returns a copy whose flags can be set without mutating
@@ -376,6 +410,40 @@ func FromDepthK(a *depthk.Analysis) *Response {
 		})
 	}
 	return resp
+}
+
+// FromLint converts a linter run to wire form.
+func FromLint(res *lint.Result) *Response {
+	return &Response{
+		Kind:        KindLint,
+		Diagnostics: res.Diagnostics,
+		LintErrors:  res.Errors(),
+	}
+}
+
+// runLint lints the request source in the options' object language with
+// the options' entry points as reachability roots.
+func runLint(source string, o Options) *lint.Result {
+	lopts := lint.Options{Entrypoints: o.Entry}
+	if o.Lang == "fl" {
+		return lint.FL(source, lopts)
+	}
+	return lint.Prolog(source, lopts)
+}
+
+// attachLint adds linter diagnostics to an analyze response. The lint
+// language follows the analysis kind: strictness analyzes functional
+// programs, every other kind logic programs.
+func attachLint(resp *Response, req *Request) {
+	o := req.Options
+	if req.Kind == KindStrictness {
+		o.Lang = "fl"
+	} else {
+		o.Lang = "prolog"
+	}
+	res := runLint(req.Source, o)
+	resp.Diagnostics = res.Diagnostics
+	resp.LintErrors = res.Errors()
 }
 
 // canonicalPatterns renders depth-k success patterns deterministically:

@@ -9,6 +9,7 @@ import (
 
 	"xlp/internal/engine"
 	"xlp/internal/fl"
+	"xlp/internal/lint"
 	"xlp/internal/prolog"
 	"xlp/internal/supptab"
 	"xlp/internal/term"
@@ -71,6 +72,17 @@ func RegisterDemandOps(m *engine.Machine) {
 type Options struct {
 	Mode   engine.LoadMode
 	Limits engine.Limits
+	// Entry restricts the analysis to the given functions ("f/n", or
+	// bare "f" matching every arity): only their sp predicates are
+	// demanded, so evaluation explores exactly their call-graph cone.
+	// When empty, every function is analyzed.
+	Entry []string
+	// Slice, with Entry set, prunes the program to the entries' cone
+	// before transformation (lint.SliceFL). Evaluation never leaves the
+	// cone, so results are identical to an Entry-restricted run over the
+	// full program; only preprocessing cost changes. Ignored without
+	// Entry.
+	Slice bool
 	// NoSupplementary disables the supplementary-tabling optimization
 	// (§4.2): long equation bodies are then evaluated as single joins,
 	// re-enumerating cross products on backtracking. Used for the
@@ -165,6 +177,10 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
+	full := prog
+	if opts.Slice && len(opts.Entry) > 0 {
+		prog = lint.SliceFL(prog, opts.Entry)
+	}
 	tf, err := Transform(prog)
 	if err != nil {
 		return nil, err
@@ -194,6 +210,9 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 	// ---- Phase 2: analysis (evaluate sp_f under e- and d-demands). ----
 	t1 := time.Now()
 	for ind, sp := range tf.SpPreds {
+		if !entryMatch(opts.Entry, ind) {
+			continue
+		}
 		for _, d := range []term.Term{DemandE, DemandD} {
 			goal := spCall(sp, d)
 			if err := m.Solve(goal, func() bool { return false }); err != nil {
@@ -208,10 +227,34 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 	for ind, sp := range tf.SpPreds {
 		a.Results[ind] = collect(m, ind, sp)
 	}
+	// Functions sliced away have no tables; collect them through the
+	// same path so their (empty) results match an unsliced run's.
+	for _, ind := range full.Order {
+		if _, analyzed := a.Results[ind]; analyzed {
+			continue
+		}
+		name, arity := splitInd(ind)
+		a.Results[ind] = collect(m, ind, fmt.Sprintf("%s/%d", spName(name, arity), arity+1))
+	}
 	a.TableBytes = m.TableSpace()
 	a.EngineStats = m.Stats()
 	a.CollectionTime = time.Since(t2)
 	return a, nil
+}
+
+// entryMatch reports whether ind is selected by the entry list: empty
+// list selects everything; entries are "f/n" indicators or bare names.
+func entryMatch(entries []string, ind string) bool {
+	if len(entries) == 0 {
+		return true
+	}
+	name, _ := splitInd(ind)
+	for _, e := range entries {
+		if e == ind || e == name {
+			return true
+		}
+	}
+	return false
 }
 
 func spCall(spInd string, demand term.Term) term.Term {

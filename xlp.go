@@ -14,7 +14,12 @@
 //   - strictness analysis of lazy functional programs by demand
 //     propagation (§3.2): AnalyzeStrictness;
 //   - groundness analysis with term-depth abstraction (§5):
-//     AnalyzeDepthK.
+//     AnalyzeDepthK;
+//   - a static linter over the object programs themselves (call graph,
+//     SCC condensation, undefined/unreachable predicates, singleton
+//     variables, untabled left recursion): Lint and LintFL. Its call
+//     graph also drives reachability slicing — set Slice with Entry in
+//     the analysis options to analyze only the queried cone.
 //
 // A bottom-up deductive engine with Magic sets (the §7 comparison
 // substrate) is available as BottomUp and MagicQuery.
@@ -33,6 +38,7 @@ import (
 	"xlp/internal/depthk"
 	"xlp/internal/engine"
 	"xlp/internal/gaia"
+	"xlp/internal/lint"
 	"xlp/internal/prop"
 	"xlp/internal/strict"
 	"xlp/internal/term"
@@ -170,6 +176,40 @@ func AnalyzeDepthK(src string, opts DepthKOptions) (*DepthKAnalysis, error) {
 func AnalyzeDepthKCtx(ctx context.Context, src string, opts DepthKOptions) (*DepthKAnalysis, error) {
 	opts.Ctx = ctx
 	return depthk.Analyze(src, opts)
+}
+
+// Object-program linting (static, no evaluation).
+type (
+	// LintOptions configure Lint and LintFL.
+	LintOptions = lint.Options
+	// LintResult is a lint run: sorted diagnostics plus the program's
+	// call graph with its SCC condensation.
+	LintResult = lint.Result
+	// LintDiagnostic is one finding with severity, code, and position.
+	LintDiagnostic = lint.Diagnostic
+	// CallGraph is the predicate-level call graph a lint run builds.
+	CallGraph = lint.Graph
+)
+
+// Diagnostic severities.
+const (
+	LintWarning = lint.SevWarning
+	LintError   = lint.SevError
+)
+
+// Lint statically checks a Prolog object program: undefined predicates
+// (with call sites and near-miss hints), singleton variables,
+// predicates unreachable from the entry points, and recursive
+// predicates that diverge under SLD unless tabled.
+func Lint(src string, opts LintOptions) *LintResult {
+	return lint.Prolog(src, opts)
+}
+
+// LintFL statically checks a functional program in the fl equation
+// syntax: unbound right-hand-side variables, singleton pattern
+// variables, and functions unreachable from the entry points.
+func LintFL(src string, opts LintOptions) *LintResult {
+	return lint.FL(src, opts)
 }
 
 // Bottom-up evaluation (the §7 comparison substrate).
