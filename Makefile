@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet staticcheck build test race bench serve
+.PHONY: ci fmt vet staticcheck build test race bench metrics bench-obs serve
 
-ci: fmt vet staticcheck build race
+ci: fmt vet staticcheck build race metrics
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -37,6 +37,14 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Prometheus exposition + per-route histograms under the race detector.
+metrics:
+	$(GO) test -run TestMetrics -race ./internal/service
+
+# Tracing-hook overhead vs the baseline committed in BENCH_obs.json.
+bench-obs:
+	$(GO) test -run '^$$' -bench BenchmarkTraceOverhead -benchtime 2s -benchmem .
 
 serve:
 	$(GO) run ./cmd/xlpd

@@ -20,6 +20,7 @@ import (
 	"xlp/internal/engine"
 	"xlp/internal/gaia"
 	"xlp/internal/lint"
+	"xlp/internal/obs"
 	"xlp/internal/prop"
 	"xlp/internal/service"
 	"xlp/internal/strict"
@@ -366,4 +367,33 @@ func BenchmarkBottomUpSemiNaive(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkTraceOverhead measures what the engine's tracing hooks cost.
+// "disabled" is the default path — the tracer field is nil and every
+// hook is one predicate-able branch — and must stay within 2% of the
+// pre-instrumentation baseline (the acceptance bar; BENCH_obs.json
+// records both). "enabled" installs a full Trace ring and shows the
+// price of actually recording events. The workload is press1, the
+// largest Table 1 benchmark.
+func BenchmarkTraceOverhead(b *testing.B) {
+	p, err := corpus.Get("press1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := prop.Analyze(p.Source, prop.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := obs.NewTrace(obs.DefaultTraceCap)
+			if _, err := prop.Analyze(p.Source, prop.Options{Tracer: tr}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -14,10 +14,13 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"xlp/internal/corpus"
 	"xlp/internal/depthk"
 	"xlp/internal/engine"
+	"xlp/internal/harness"
+	"xlp/internal/obs"
 	"xlp/internal/prop"
 	"xlp/internal/service"
 )
@@ -28,6 +31,7 @@ func main() {
 	benchName := flag.String("bench", "", "analyze a named corpus benchmark instead of a file")
 	compiled := flag.Bool("compiled", false, "use compiled loading")
 	asJSON := flag.Bool("json", false, "emit the analysis-service response JSON")
+	phases := flag.Bool("phases", false, "print the phase-timing table (Table 1-style columns)")
 	flag.Parse()
 
 	src, name, err := input(*benchName, flag.Args())
@@ -39,14 +43,22 @@ func main() {
 		mode = engine.LoadCompiled
 	}
 
+	var tl *obs.Timeline
+	if *phases {
+		tl = obs.NewTimeline()
+	}
+
 	if *dk > 0 {
-		a, err := depthk.Analyze(src, depthk.Options{K: *dk, Mode: mode})
+		a, err := depthk.Analyze(src, depthk.Options{K: *dk, Mode: mode, Timeline: tl})
 		if err != nil {
 			fatal(err)
 		}
 		if *asJSON {
 			emitJSON(service.FromDepthK(a))
 			return
+		}
+		if *phases {
+			phaseTable(name, tl, a.TableBytes).Render(os.Stdout)
 		}
 		fmt.Printf("%s: depth-%d groundness (total %v, tables %d bytes)\n",
 			name, *dk, a.Total(), a.TableBytes)
@@ -58,7 +70,7 @@ func main() {
 		return
 	}
 
-	opts := prop.Options{Mode: mode}
+	opts := prop.Options{Mode: mode, Timeline: tl}
 	if *entry != "" {
 		opts.Entry = []string{*entry}
 	}
@@ -69,6 +81,9 @@ func main() {
 	if *asJSON {
 		emitJSON(service.FromGroundness(a))
 		return
+	}
+	if *phases {
+		phaseTable(name, tl, a.TableBytes).Render(os.Stdout)
 	}
 	fmt.Printf("%s: Prop groundness (preproc %v, analysis %v, collection %v, tables %d bytes)\n",
 		name, a.PreprocTime, a.AnalysisTime, a.CollectionTime, a.TableBytes)
@@ -86,6 +101,22 @@ func main() {
 			}
 			fmt.Printf("  %-16s call patterns: %s\n", "", strings.Join(pats, " "))
 		}
+	}
+}
+
+// phaseTable renders the phase timeline in the paper harness's tabular
+// form, one column per phase (the Table 1/2 cost-breakdown style).
+func phaseTable(name string, tl *obs.Timeline, tableBytes int) *harness.Table {
+	ms := func(d time.Duration) string { return fmt.Sprintf("%.3f", float64(d.Nanoseconds())/1e6) }
+	return &harness.Table{
+		Title: "Phase breakdown: " + name,
+		Columns: []string{"Program", "Parse(ms)", "Transform(ms)", "Load(ms)",
+			"Solve(ms)", "Collect(ms)", "Total(ms)", "Table(bytes)"},
+		Rows: [][]string{{
+			name, ms(tl.Get("parse")), ms(tl.Get("transform")), ms(tl.Get("load")),
+			ms(tl.Get("solve")), ms(tl.Get("collect")), ms(tl.Total()),
+			fmt.Sprint(tableBytes),
+		}},
 	}
 }
 

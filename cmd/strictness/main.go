@@ -12,8 +12,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"xlp/internal/corpus"
+	"xlp/internal/harness"
+	"xlp/internal/obs"
 	"xlp/internal/service"
 	"xlp/internal/strict"
 )
@@ -22,6 +25,7 @@ func main() {
 	benchName := flag.String("bench", "", "analyze a named corpus benchmark instead of a file")
 	noSupp := flag.Bool("nosupp", false, "disable supplementary tabling")
 	asJSON := flag.Bool("json", false, "emit the analysis-service response JSON")
+	phases := flag.Bool("phases", false, "print the phase-timing table (Table 3-style columns)")
 	flag.Parse()
 
 	var src, name string
@@ -42,9 +46,26 @@ func main() {
 		src, name = string(data), flag.Arg(0)
 	}
 
-	a, err := strict.Analyze(src, strict.Options{NoSupplementary: *noSupp})
+	var tl *obs.Timeline
+	if *phases {
+		tl = obs.NewTimeline()
+	}
+	a, err := strict.Analyze(src, strict.Options{NoSupplementary: *noSupp, Timeline: tl})
 	if err != nil {
 		fatal(err)
+	}
+	if *phases {
+		ms := func(d time.Duration) string { return fmt.Sprintf("%.3f", float64(d.Nanoseconds())/1e6) }
+		(&harness.Table{
+			Title: "Phase breakdown: " + name,
+			Columns: []string{"Program", "Parse(ms)", "Transform(ms)", "Load(ms)",
+				"Solve(ms)", "Collect(ms)", "Total(ms)", "Lines/s"},
+			Rows: [][]string{{
+				name, ms(tl.Get("parse")), ms(tl.Get("transform")), ms(tl.Get("load")),
+				ms(tl.Get("solve")), ms(tl.Get("collect")), ms(tl.Total()),
+				fmt.Sprintf("%.0f", a.LinesPerSecond()),
+			}},
+		}).Render(os.Stdout)
 	}
 	if *asJSON {
 		// The same response struct the analysis service's HTTP endpoint

@@ -9,6 +9,14 @@
 //	xlp [-compiled] [-tables] prog.pl ... -q 'goal(X, Y)'
 //	xlp prog.pl            # read queries from stdin, one per line
 //	xlp lint [-json] [-fl] [-entry p/n,...] prog.pl ...
+//	xlp groundness|strictness|depthk [-phases] [-trace f] [-events f] [-top n] prog
+//	xlp version
+//
+// The analyze subcommands run one analyzer with observability attached:
+// -phases prints the parse/transform/load/solve/collect wall-time table,
+// -trace writes a Chrome trace_event file (chrome://tracing), -events
+// writes the engine event stream as JSONL, and -top prints the largest
+// call tables by canonical bytes.
 //
 // lint exits 0 when every file is clean (warnings allowed), 1 when any
 // file has error-severity diagnostics, 2 on usage or I/O errors.
@@ -26,8 +34,15 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "lint" {
-		os.Exit(runLint(os.Args[2:], os.Stdout, os.Stderr))
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "lint":
+			os.Exit(runLint(os.Args[2:], os.Stdout, os.Stderr))
+		case "groundness", "strictness", "depthk":
+			os.Exit(runAnalyze(os.Args[1], os.Args[2:], os.Stdout, os.Stderr))
+		case "version":
+			os.Exit(runVersion(os.Stdout))
+		}
 	}
 	query := flag.String("q", "", "query to run (default: read queries from stdin)")
 	compiled := flag.Bool("compiled", false, "use compiled loading (first-argument indexing)")

@@ -10,6 +10,10 @@
 //	POST /v1/lint             object-program linter (options.lang: prolog|fl)
 //	POST /v1/query
 //	GET  /v1/stats            (?format=text for a rendered table)
+//	GET  /metrics             Prometheus text exposition
+//
+// With -pprof, the net/http/pprof profiling handlers are mounted under
+// /debug/pprof/ on the same listener.
 //
 // Request body: {"source": "...", "options": {...}, "timeout_ms": 500}.
 // See README.md "Running the analysis server" for curl examples.
@@ -21,13 +25,19 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"xlp/internal/obs"
 	"xlp/internal/service"
 )
+
+// version is stamped via go build -ldflags "-X main.version=v1.2.3";
+// empty falls back to the toolchain-embedded module version.
+var version string
 
 func main() {
 	addr := flag.String("addr", ":7455", "listen address")
@@ -36,17 +46,36 @@ func main() {
 	cache := flag.Int("cache", 256, "result cache capacity (entries)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request timeout")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown drain grace period")
+	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	showVersion := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("xlpd", obs.Build(version))
+		return
+	}
 
 	svc := service.New(service.Config{
 		Workers:        *workers,
 		QueueSize:      *queue,
 		CacheSize:      *cache,
 		DefaultTimeout: *timeout,
+		Version:        version,
 	})
+	handler := svc.Handler()
+	if *withPprof {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
 	server := &http.Server{
 		Addr:              *addr,
-		Handler:           svc.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -55,7 +84,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- server.ListenAndServe() }()
-	log.Printf("xlpd: listening on %s", *addr)
+	log.Printf("xlpd %s: listening on %s (pprof %v)", obs.Build(version), *addr, *withPprof)
 
 	select {
 	case err := <-errc:
@@ -77,4 +106,7 @@ func main() {
 	st := svc.Stats()
 	fmt.Printf("xlpd: served %d requests (%d hits, %d misses, %d deduped, %d executed)\n",
 		st.Requests, st.Hits, st.Misses, st.Deduped, st.Executed)
+	fmt.Printf("xlpd: engine totals: %d resolutions, %d subgoals, %d answers, %d producer runs, %d table bytes\n",
+		st.Engine.Resolutions, st.Engine.Subgoals, st.Engine.Answers,
+		st.Engine.ProducerRuns, st.Engine.TableBytes)
 }

@@ -14,6 +14,7 @@ import (
 
 	"xlp/internal/bdd"
 	"xlp/internal/engine"
+	"xlp/internal/obs"
 	"xlp/internal/prolog"
 	"xlp/internal/term"
 )
@@ -34,6 +35,7 @@ type Analysis struct {
 	AnalysisTime time.Duration
 	Iterations   int
 	Nodes        int // BDD nodes allocated (the representation-size metric)
+	Timeline     *obs.Timeline
 }
 
 // Total returns the overall time.
@@ -65,11 +67,21 @@ func Analyze(src string) (*Analysis, error) {
 // run fails with engine.ErrCanceled or engine.ErrDeadline. The context
 // is polled once per predicate per fixpoint iteration.
 func AnalyzeCtx(ctx context.Context, src string) (*Analysis, error) {
+	return AnalyzeTimed(ctx, src, nil)
+}
+
+// AnalyzeTimed is AnalyzeCtx with a phase timeline: when tl is non-nil
+// it records parse/load/solve/collect spans (clause preparation is the
+// load phase; this analyzer has no transform step).
+func AnalyzeTimed(ctx context.Context, src string, tl *obs.Timeline) (*Analysis, error) {
+	defer tl.End()
 	t0 := time.Now()
+	tl.Start("parse")
 	parsed, err := prolog.ParseProgram(src)
 	if err != nil {
 		return nil, err
 	}
+	tl.Start("load")
 	m := bdd.New()
 	preds := map[string]*pred{}
 	for _, c := range parsed {
@@ -103,8 +115,9 @@ func AnalyzeCtx(ctx context.Context, src string) (*Analysis, error) {
 		cl.tempBase = p.arity + len(cl.vars)
 		p.clauses = append(p.clauses, cl)
 	}
-	a := &Analysis{Results: map[string]*Result{}, Manager: m, PreprocTime: time.Since(t0)}
+	a := &Analysis{Results: map[string]*Result{}, Manager: m, PreprocTime: time.Since(t0), Timeline: tl}
 
+	tl.Start("solve")
 	t1 := time.Now()
 	az := &analyzer{m: m, preds: preds}
 	for {
@@ -131,6 +144,7 @@ func AnalyzeCtx(ctx context.Context, src string) (*Analysis, error) {
 			return nil, fmt.Errorf("bddprop: fixpoint runaway")
 		}
 	}
+	tl.Start("collect")
 	for ind, p := range preds {
 		r := &Result{Indicator: ind, Arity: p.arity, Success: p.success,
 			GroundArgs: make([]bool, p.arity)}

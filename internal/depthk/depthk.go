@@ -18,6 +18,7 @@ import (
 
 	"xlp/internal/engine"
 	"xlp/internal/lint"
+	"xlp/internal/obs"
 	"xlp/internal/prolog"
 	"xlp/internal/supptab"
 	"xlp/internal/term"
@@ -439,6 +440,12 @@ type Options struct {
 	// during evaluation and the run fails with engine.ErrCanceled or
 	// engine.ErrDeadline once it is done.
 	Ctx context.Context
+	// Timeline, when non-nil, records the run's phases
+	// (parse/transform/load/solve/collect) as contiguous spans.
+	Timeline *obs.Timeline
+	// Tracer, when non-nil, is installed on the engine for the solve
+	// phase.
+	Tracer obs.EngineTracer
 }
 
 // PredResult is the result for one predicate.
@@ -467,6 +474,7 @@ type Analysis struct {
 	CollectionTime time.Duration
 	TableBytes     int
 	EngineStats    engine.Stats
+	Timeline       *obs.Timeline // phase spans, when requested via Options
 }
 
 // Total returns the overall analysis time.
@@ -481,11 +489,16 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 	}
 	a := &Analysis{Results: map[string]*PredResult{}, K: opts.K}
 
+	tl := opts.Timeline
+	a.Timeline = tl
+	defer tl.End()
 	t0 := time.Now()
+	tl.Start("parse")
 	clauses, err := prolog.ParseProgram(src)
 	if err != nil {
 		return nil, err
 	}
+	tl.Start("transform")
 	full := clauses
 	if opts.Slice && len(opts.Entry) > 0 {
 		clauses = lint.Slice(clauses, opts.Entry)
@@ -494,10 +507,12 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
+	tl.Start("load")
 	m := engine.New()
 	m.Mode = opts.Mode
 	m.Limits = opts.Limits
 	m.SetContext(opts.Ctx)
+	m.SetTracer(opts.Tracer)
 	RegisterBuiltins(m, opts.K)
 	// Keep the answer tables finite: cut every recorded answer at depth
 	// k (cut-at-binding alone does not bound structures composed across
@@ -566,6 +581,7 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 	m.Table(extraTabled...)
 	a.PreprocTime = time.Since(t0)
 
+	tl.Start("solve")
 	t1 := time.Now()
 	for ind, abs := range tf.Preds {
 		if !entryMatch(opts.Entry, ind) {
@@ -578,6 +594,7 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 	}
 	a.AnalysisTime = time.Since(t1)
 
+	tl.Start("collect")
 	t2 := time.Now()
 	for ind, abs := range tf.Preds {
 		a.Results[ind] = collect(m, ind, abs)

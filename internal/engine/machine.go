@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 
+	"xlp/internal/obs"
 	"xlp/internal/prolog"
 	"xlp/internal/term"
 )
@@ -161,6 +162,12 @@ type Machine struct {
 	stats      Stats
 	depth      int
 
+	// tracer, when non-nil, receives evaluation events (subgoal created,
+	// answer added/duplicate, producer run/pass, completion, resolution
+	// counts). Disabled tracing costs one nil check per hook site and
+	// allocates nothing.
+	tracer obs.EngineTracer
+
 	// ctx, when non-nil, is polled every ctxCheckInterval steps of the
 	// solve loop (see SetContext); steps is the poll countdown counter.
 	ctx   context.Context
@@ -181,6 +188,12 @@ func New() *Machine {
 
 // Stats returns a copy of the evaluation counters.
 func (m *Machine) Stats() Stats { return m.stats }
+
+// SetTracer installs an event tracer (typically an *obs.Trace); nil
+// disables tracing. Emit is called on evaluation hot paths, so tracers
+// must be cheap and must not re-enter the machine. SetTracer is not
+// safe to call while a Solve is in progress.
+func (m *Machine) SetTracer(t obs.EngineTracer) { m.tracer = t }
 
 // ResetTables discards all tabled calls and answers (keeping the
 // program), so a fresh query re-derives everything.

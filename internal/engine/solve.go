@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"xlp/internal/obs"
 	"xlp/internal/term"
 )
 
@@ -142,6 +143,9 @@ func (m *Machine) resolveClauses(p *Pred, goal term.Term, k func() bool) bool {
 	cut := false
 	for _, cl := range p.clausesFor(goal) {
 		m.stats.Resolutions++
+		if m.tracer != nil {
+			m.tracer.Emit(obs.EvResolutions, p.Indicator, 1)
+		}
 		mark := m.trail.Mark()
 		head, body := renameClause(cl)
 		if term.Unify(goal, head, &m.trail) {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"xlp/internal/obs"
 	"xlp/internal/term"
 )
 
@@ -77,6 +78,9 @@ func (m *Machine) solveTabled(p *Pred, goal term.Term, k func() bool) bool {
 		m.tables[key] = sg
 		m.stats.Subgoals++
 		m.stats.TableBytes += len(key)
+		if m.tracer != nil {
+			m.tracer.Emit(obs.EvSubgoalNew, p.Indicator, len(key))
+		}
 		m.runProducer(sg)
 	} else if !sg.complete && !sg.active && sg.dirty {
 		// Incomplete, not on the producer stack, and some dependency's
@@ -139,6 +143,9 @@ func (m *Machine) curProducer() *subgoal {
 // anywhere in the machine.
 func (m *Machine) runProducer(sg *subgoal) {
 	m.stats.ProducerRuns++
+	if m.tracer != nil {
+		m.tracer.Emit(obs.EvProducerRun, sg.pred.Indicator, 0)
+	}
 	if sg.dfn == 0 {
 		m.nextDfn++
 		sg.dfn = m.nextDfn
@@ -156,11 +163,17 @@ func (m *Machine) runProducer(sg *subgoal) {
 		// neither this table nor a consumed dependency changes.
 		for {
 			m.stats.ProducerPasses++
+			if m.tracer != nil {
+				m.tracer.Emit(obs.EvProducerPass, sg.pred.Indicator, 0)
+			}
 			ownBefore := len(sg.answers)
 			sg.dirty = false
 			sg.sawIncomplete = false
 			for _, cl := range sg.pred.clausesFor(sg.goal) {
 				m.stats.Resolutions++
+				if m.tracer != nil {
+					m.tracer.Emit(obs.EvResolutions, sg.pred.Indicator, 1)
+				}
 				mark := m.trail.Mark()
 				head, body := renameClause(cl)
 				if term.Unify(sg.goal, head, &m.trail) {
@@ -229,6 +242,9 @@ func (m *Machine) runProducer(sg *subgoal) {
 			top.complete = true
 			top.onComplStack = false
 			m.complStack = m.complStack[:len(m.complStack)-1]
+			if m.tracer != nil {
+				m.tracer.Emit(obs.EvComplete, top.pred.Indicator, 0)
+			}
 		}
 		return
 	}
@@ -261,6 +277,9 @@ func (m *Machine) addAnswer(sg *subgoal, inst term.Term) {
 	}
 	key := term.Canonical(inst)
 	if _, dup := sg.answerKeys[key]; dup {
+		if m.tracer != nil {
+			m.tracer.Emit(obs.EvAnswerDup, sg.pred.Indicator, 0)
+		}
 		return
 	}
 	if m.stats.Answers >= m.Limits.maxAnswers() {
@@ -272,6 +291,9 @@ func (m *Machine) addAnswer(sg *subgoal, inst term.Term) {
 	sg.answersGnd = append(sg.answersGnd, term.IsGround(detached))
 	m.stats.Answers++
 	m.stats.TableBytes += len(key)
+	if m.tracer != nil {
+		m.tracer.Emit(obs.EvAnswerNew, sg.pred.Indicator, len(key))
+	}
 	markWatchersDirty(sg)
 }
 

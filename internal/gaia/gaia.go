@@ -27,6 +27,7 @@ import (
 	"xlp/internal/boolfn"
 	"xlp/internal/engine"
 	"xlp/internal/lint"
+	"xlp/internal/obs"
 	"xlp/internal/prolog"
 	"xlp/internal/term"
 )
@@ -51,6 +52,7 @@ type Analysis struct {
 	Iterations   int // global chaotic-iteration passes
 	Entries      int // distinct (predicate, call-pattern) pairs
 	MaxWidth     int // widest environment encountered
+	Timeline     *obs.Timeline
 }
 
 // Total returns preprocessing plus analysis time.
@@ -123,7 +125,14 @@ func AnalyzeCtx(ctx context.Context, src string) (*Analysis, error) {
 // the cone — the cone results are identical to a full run's; predicates
 // outside it are simply absent from Results. Nil entries analyze the
 // whole program.
-func AnalyzeEntries(ctx context.Context, src string, entries []string) (a *Analysis, err error) {
+func AnalyzeEntries(ctx context.Context, src string, entries []string) (*Analysis, error) {
+	return AnalyzeTimed(ctx, src, entries, nil)
+}
+
+// AnalyzeTimed is AnalyzeEntries with a phase timeline: when tl is
+// non-nil it records parse/load/solve/collect spans (the fixpoint
+// iteration is the solve phase; this analyzer has no transform step).
+func AnalyzeTimed(ctx context.Context, src string, entries []string, tl *obs.Timeline) (a *Analysis, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if ge, ok := r.(gaiaError); ok {
@@ -133,11 +142,14 @@ func AnalyzeEntries(ctx context.Context, src string, entries []string) (a *Analy
 			panic(r)
 		}
 	}()
+	defer tl.End()
 	t0 := time.Now()
+	tl.Start("parse")
 	clauses, err := prolog.ParseProgram(src)
 	if err != nil {
 		return nil, err
 	}
+	tl.Start("load")
 	if len(entries) > 0 {
 		clauses = lint.Slice(clauses, entries)
 	}
@@ -160,8 +172,9 @@ func AnalyzeEntries(ctx context.Context, src string, entries []string) (a *Analy
 	}
 	pre := time.Since(t0)
 
+	tl.Start("solve")
 	t1 := time.Now()
-	a = &Analysis{Results: map[string]*Result{}, PreprocTime: pre}
+	a = &Analysis{Results: map[string]*Result{}, PreprocTime: pre, Timeline: tl}
 	for {
 		az.changed = false
 		a.Iterations++
@@ -176,6 +189,7 @@ func AnalyzeEntries(ctx context.Context, src string, entries []string) (a *Analy
 			return nil, fmt.Errorf("gaia: fixpoint iteration runaway")
 		}
 	}
+	tl.Start("collect")
 	for _, p := range az.sortedPreds() {
 		succ := az.lookup(p, boolfn.True(p.arity))
 		r := &Result{

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Info identifies the running binary: version (an -ldflags -X stamp
+// when provided, else the main module version), toolchain, and VCS
+// state when the binary was built from a checkout.
+type Info struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision,omitempty"`
+	BuildTime string `json:"build_time,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+// Build returns build information. override, when non-empty, wins over
+// the module version (mains stamp it via
+// go build -ldflags "-X main.version=v1.2.3").
+func Build(override string) Info {
+	info := Info{Version: override, GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		if info.Version == "" {
+			info.Version = "unknown"
+		}
+		return info
+	}
+	if info.Version == "" {
+		info.Version = bi.Main.Version
+		if info.Version == "" || info.Version == "(devel)" {
+			info.Version = "devel"
+		}
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.BuildTime = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the info one line: "v1.2.3 (go1.24.0, abc1234, dirty)".
+func (i Info) String() string {
+	s := i.Version + " (" + i.GoVersion
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += ", " + rev
+		if i.Modified {
+			s += ", dirty"
+		}
+	}
+	return s + ")"
+}

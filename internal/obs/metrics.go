@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are the default latency histogram bounds in seconds,
+// spanning sub-millisecond cache hits to multi-second depth-k runs.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket duration histogram safe for concurrent
+// Observe and read (Prometheus exposition may run while requests are
+// being recorded; per-bucket counts are individually atomic, so a
+// scrape sees a near-consistent snapshot).
+type Histogram struct {
+	bounds []float64 // upper bounds in seconds, ascending
+	counts []atomic.Uint64
+	inf    atomic.Uint64
+	count  atomic.Uint64
+	sumNs  atomic.Int64
+}
+
+// NewHistogram returns a histogram over the given ascending upper
+// bounds in seconds (DefBuckets when none are given).
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	// Linear scan: bucket counts are small and the common case exits in
+	// the first few comparisons.
+	placed := false
+	for i, b := range h.bounds {
+		if s <= b {
+			h.counts[i].Add(1)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNs.Load()) }
+
+// PromWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4). HELP/TYPE headers are emitted once per metric name,
+// so the same metric may be written repeatedly with different labels.
+type PromWriter struct {
+	w    io.Writer
+	seen map[string]bool
+	err  error
+}
+
+// NewPromWriter returns a writer targeting w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, seen: map[string]bool{}}
+}
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, args...)
+	}
+}
+
+func (p *PromWriter) header(name, help, typ string) {
+	if p.seen[name] {
+		return
+	}
+	p.seen[name] = true
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}
+
+// labelString renders alternating key, value pairs as {k="v",...};
+// empty for no labels. Extra pairs may be appended via more.
+func labelString(labels []string, more ...string) string {
+	all := append(append([]string{}, labels...), more...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(all)/2)
+	for i := 0; i+1 < len(all); i += 2 {
+		parts = append(parts, fmt.Sprintf(`%s="%s"`, all[i], escapeLabel(all[i+1])))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Counter writes one counter sample. labels are alternating key, value.
+func (p *PromWriter) Counter(name, help string, v float64, labels ...string) {
+	p.header(name, help, "counter")
+	p.printf("%s%s %s\n", name, labelString(labels), formatValue(v))
+}
+
+// Gauge writes one gauge sample.
+func (p *PromWriter) Gauge(name, help string, v float64, labels ...string) {
+	p.header(name, help, "gauge")
+	p.printf("%s%s %s\n", name, labelString(labels), formatValue(v))
+}
+
+// Histogram writes one histogram (cumulative buckets, sum, count).
+func (p *PromWriter) Histogram(name, help string, h *Histogram, labels ...string) {
+	p.header(name, help, "histogram")
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		p.printf("%s_bucket%s %d\n", name, labelString(labels, "le", formatValue(b)), cum)
+	}
+	cum += h.inf.Load()
+	p.printf("%s_bucket%s %d\n", name, labelString(labels, "le", "+Inf"), cum)
+	p.printf("%s_sum%s %g\n", name, labelString(labels), h.Sum().Seconds())
+	p.printf("%s_count%s %d\n", name, labelString(labels), h.Count())
+}
+
+// SortedLabelKeys returns map keys in sorted order, for deterministic
+// exposition of label-keyed metric families.
+func SortedLabelKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

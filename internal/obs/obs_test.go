@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTimelinePhasesPartitionTotal(t *testing.T) {
+	tl := NewTimeline()
+	tl.Start("parse")
+	time.Sleep(2 * time.Millisecond)
+	tl.Start("solve")
+	time.Sleep(2 * time.Millisecond)
+	tl.End()
+
+	ps := tl.Phases()
+	if len(ps) != 2 || ps[0].Name != "parse" || ps[1].Name != "solve" {
+		t.Fatalf("phases = %+v", ps)
+	}
+	var sum time.Duration
+	for _, p := range ps {
+		if p.Dur <= 0 {
+			t.Fatalf("phase %s has non-positive duration %v", p.Name, p.Dur)
+		}
+		sum += p.Dur
+	}
+	if sum != tl.Total() {
+		t.Fatalf("sum of phases %v != total %v", sum, tl.Total())
+	}
+	if ps[1].Start != ps[0].Start+ps[0].Dur {
+		t.Fatalf("phases not contiguous: %+v", ps)
+	}
+}
+
+func TestTimelineSpanEndIdempotent(t *testing.T) {
+	tl := NewTimeline()
+	sp := tl.Start("a")
+	tl.Start("b") // closes a
+	sp.End()      // must not touch b
+	if tl.open != 1 {
+		t.Fatalf("stale Span.End closed a later phase")
+	}
+	tl.End()
+	if got := len(tl.Phases()); got != 2 {
+		t.Fatalf("phases = %d, want 2", got)
+	}
+}
+
+func TestTimelineNilSafe(t *testing.T) {
+	var tl *Timeline
+	sp := tl.Start("x")
+	sp.End()
+	tl.End()
+	if tl.Phases() != nil || tl.Total() != 0 || tl.Get("x") != 0 {
+		t.Fatal("nil timeline must be inert")
+	}
+}
+
+func TestTraceRingWraparound(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(EvAnswerNew, "p/1", i)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.N != 6+i {
+			t.Fatalf("event %d has N=%d, want %d (oldest dropped, order kept)", i, ev.N, 6+i)
+		}
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped() = %d, want 6", tr.Dropped())
+	}
+	// Counters are unbounded: all 10 answers counted.
+	ps := tr.PredStats()
+	if len(ps) != 1 || ps[0].Answers != 10 {
+		t.Fatalf("pred stats = %+v", ps)
+	}
+}
+
+func TestTraceResolutionsCounterOnly(t *testing.T) {
+	tr := NewTrace(8)
+	tr.Emit(EvResolutions, "q/2", 5)
+	tr.Emit(EvResolutions, "q/2", 3)
+	if len(tr.Events()) != 0 {
+		t.Fatal("EvResolutions must not enter the ring")
+	}
+	if ps := tr.PredStats(); ps[0].Resolutions != 8 {
+		t.Fatalf("resolutions = %d, want 8", ps[0].Resolutions)
+	}
+}
+
+func TestTraceTopTables(t *testing.T) {
+	tr := NewTrace(8)
+	tr.Emit(EvSubgoalNew, "small/1", 10)
+	tr.Emit(EvSubgoalNew, "big/2", 100)
+	tr.Emit(EvAnswerNew, "big/2", 50)
+	top := tr.TopTables(1)
+	if len(top) != 1 || top[0].Pred != "big/2" || top[0].TableBytes != 150 {
+		t.Fatalf("TopTables = %+v", top)
+	}
+}
+
+func TestTraceExportersProduceValidJSON(t *testing.T) {
+	tr := NewTrace(16)
+	tr.Emit(EvSubgoalNew, "p/2", 12)
+	tr.Emit(EvAnswerNew, "p/2", 7)
+	tr.Emit(EvComplete, "p/2", 0)
+
+	var jl bytes.Buffer
+	if err := tr.WriteJSONL(&jl); err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(&jl)
+	for sc.Scan() {
+		lines++
+		if !json.Valid(sc.Bytes()) {
+			t.Fatalf("invalid JSONL line: %s", sc.Text())
+		}
+	}
+	if lines != 3 {
+		t.Fatalf("JSONL lines = %d, want 3", lines)
+	}
+
+	tl := NewTimeline()
+	tl.Start("solve")
+	tl.End()
+	var ct bytes.Buffer
+	if err := tr.WriteChromeTrace(&ct, tl); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(ct.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 4 { // 1 phase + 3 engine events
+		t.Fatalf("trace events = %d, want 4", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0]["ph"] != "X" {
+		t.Fatalf("phase event not a complete span: %+v", doc.TraceEvents[0])
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	h := NewHistogram(0.001, 0.01, 0.1)
+	h.Observe(500 * time.Microsecond) // bucket 0
+	h.Observe(5 * time.Millisecond)   // bucket 1
+	h.Observe(5 * time.Millisecond)   // bucket 1
+	h.Observe(time.Second)            // +Inf
+
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	var b bytes.Buffer
+	pw := NewPromWriter(&b)
+	pw.Histogram("d", "help", h)
+	if err := pw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`d_bucket{le="0.001"} 1`,
+		`d_bucket{le="0.01"} 3`,
+		`d_bucket{le="0.1"} 3`,
+		`d_bucket{le="+Inf"} 4`,
+		`d_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromWriterHeadersOncePerName(t *testing.T) {
+	var b bytes.Buffer
+	pw := NewPromWriter(&b)
+	pw.Counter("reqs", "requests", 1, "kind", "a")
+	pw.Counter("reqs", "requests", 2, "kind", "b")
+	out := b.String()
+	if strings.Count(out, "# HELP reqs") != 1 || strings.Count(out, "# TYPE reqs") != 1 {
+		t.Fatalf("HELP/TYPE must appear once:\n%s", out)
+	}
+	if !strings.Contains(out, `reqs{kind="a"} 1`) || !strings.Contains(out, `reqs{kind="b"} 2`) {
+		t.Fatalf("missing samples:\n%s", out)
+	}
+}
+
+func TestPromWriterEscapesLabels(t *testing.T) {
+	var b bytes.Buffer
+	pw := NewPromWriter(&b)
+	pw.Gauge("g", "h", 1, "path", "a\"b\\c\nd")
+	if !strings.Contains(b.String(), `g{path="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped:\n%s", b.String())
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	if got := Build("v9.9.9"); got.Version != "v9.9.9" {
+		t.Fatalf("override lost: %+v", got)
+	}
+	got := Build("")
+	if got.Version == "" || got.GoVersion == "" {
+		t.Fatalf("empty build info: %+v", got)
+	}
+	if s := got.String(); !strings.Contains(s, got.GoVersion) {
+		t.Fatalf("String() = %q", s)
+	}
+}

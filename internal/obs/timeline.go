@@ -1,0 +1,147 @@
+// Package obs is the repository's observability layer: phase timelines
+// for the paper's preprocessing-vs-analysis cost accounting, engine
+// event tracing into a bounded ring buffer with JSONL and Chrome
+// trace_event exporters, per-predicate table counters ("top tables"),
+// fixed-bucket latency histograms, and a Prometheus text-format
+// exposition writer. Everything is stdlib-only and allocation-conscious:
+// the engine's tracing hooks cost a single nil check when disabled.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Phase is one contiguous, named slice of a run's wall clock.
+type Phase struct {
+	Name  string        `json:"name"`
+	Start time.Duration `json:"start_us"` // offset from the timeline's origin
+	Dur   time.Duration `json:"dur_us"`
+}
+
+// Timeline records a run's phases (parse / transform / load / solve /
+// collect in the analyzers). Phases are sequential: starting one ends
+// the previous, so the phase durations partition the covered wall time
+// and sum to Total. A nil *Timeline is a valid no-op receiver, so
+// callers can thread an optional timeline without nil checks.
+//
+// Timeline is not safe for concurrent use (neither are the analyzer
+// runs it times).
+type Timeline struct {
+	t0     time.Time
+	phases []Phase
+	open   int // index of the open phase, -1 when none
+}
+
+// NewTimeline starts an empty timeline at the current time.
+func NewTimeline() *Timeline {
+	return &Timeline{t0: time.Now(), open: -1}
+}
+
+// Span is a handle on an open phase; End closes it. Ending a span that
+// a later Start already closed is a no-op, so defer sp.End() is safe.
+type Span struct {
+	t   *Timeline
+	idx int
+}
+
+// Start closes any open phase and opens a named one.
+func (t *Timeline) Start(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	now := time.Since(t.t0)
+	t.closeAt(now)
+	t.phases = append(t.phases, Phase{Name: name, Start: now})
+	t.open = len(t.phases) - 1
+	return Span{t: t, idx: t.open}
+}
+
+// End closes the open phase, if any.
+func (t *Timeline) End() {
+	if t == nil {
+		return
+	}
+	t.closeAt(time.Since(t.t0))
+}
+
+func (t *Timeline) closeAt(now time.Duration) {
+	if t.open >= 0 {
+		p := &t.phases[t.open]
+		p.Dur = now - p.Start
+		t.open = -1
+	}
+}
+
+// End closes the span's phase unless a later Start already did.
+func (s Span) End() {
+	if s.t != nil && s.t.open == s.idx {
+		s.t.closeAt(time.Since(s.t.t0))
+	}
+}
+
+// Phases returns a copy of the recorded phases in start order. An
+// open phase is reported with its duration so far.
+func (t *Timeline) Phases() []Phase {
+	if t == nil {
+		return nil
+	}
+	out := append([]Phase{}, t.phases...)
+	if t.open >= 0 {
+		out[t.open].Dur = time.Since(t.t0) - out[t.open].Start
+	}
+	return out
+}
+
+// Get returns the summed duration of all phases with the given name.
+func (t *Timeline) Get(name string) time.Duration {
+	var sum time.Duration
+	for _, p := range t.Phases() {
+		if p.Name == name {
+			sum += p.Dur
+		}
+	}
+	return sum
+}
+
+// Total returns the wall time covered by the phases (origin of the
+// first to end of the last). Because phases are contiguous this equals
+// the sum of the phase durations.
+func (t *Timeline) Total() time.Duration {
+	var sum time.Duration
+	for _, p := range t.Phases() {
+		sum += p.Dur
+	}
+	return sum
+}
+
+// String renders the timeline as one "name=dur" list.
+func (t *Timeline) String() string {
+	ps := t.Phases()
+	parts := make([]string, 0, len(ps)+1)
+	for _, p := range ps {
+		parts = append(parts, fmt.Sprintf("%s=%v", p.Name, p.Dur))
+	}
+	parts = append(parts, fmt.Sprintf("total=%v", t.Total()))
+	return strings.Join(parts, " ")
+}
+
+// WriteTable writes an aligned two-column phase table followed by the
+// total, the form the CLIs print under -phases.
+func (t *Timeline) WriteTable(w io.Writer) {
+	ps := t.Phases()
+	width := len("total")
+	for _, p := range ps {
+		if len(p.Name) > width {
+			width = len(p.Name)
+		}
+	}
+	for _, p := range ps {
+		fmt.Fprintf(w, "  %-*s %12.3fms\n", width, p.Name, ms(p.Dur))
+	}
+	fmt.Fprintf(w, "  %-*s %12.3fms\n", width, "total", ms(t.Total()))
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

@@ -10,6 +10,7 @@ import (
 	"xlp/internal/boolfn"
 	"xlp/internal/engine"
 	"xlp/internal/lint"
+	"xlp/internal/obs"
 	"xlp/internal/prolog"
 	"xlp/internal/term"
 )
@@ -40,6 +41,13 @@ type Options struct {
 	// during evaluation and the run fails with engine.ErrCanceled or
 	// engine.ErrDeadline once it is done.
 	Ctx context.Context
+	// Timeline, when non-nil, records the run's phases
+	// (parse/transform/load/solve/collect) as contiguous spans. The
+	// caller owns the timeline; the analysis closes its last phase.
+	Timeline *obs.Timeline
+	// Tracer, when non-nil, is installed on the engine for the solve
+	// phase (event ring + per-predicate counters).
+	Tracer obs.EngineTracer
 }
 
 // GroundState describes one argument position of a recorded call.
@@ -109,7 +117,8 @@ type Analysis struct {
 	CollectionTime time.Duration // result extraction ("Collection")
 	TableBytes     int           // "Table space (bytes)"
 	EngineStats    engine.Stats
-	AbstractSize   int // number of abstract clauses
+	Timeline       *obs.Timeline // phase spans, when requested via Options
+	AbstractSize   int           // number of abstract clauses
 	// SlicedOut lists predicates removed by Options.Slice before the
 	// transform (reported in Results as unreachable), in definition order.
 	SlicedOut []string
@@ -137,8 +146,10 @@ func (a *Analysis) Sorted() []*PredResult {
 // Analyze runs Prop-domain groundness analysis on a Prolog source
 // program.
 func Analyze(src string, opts Options) (*Analysis, error) {
+	opts.Timeline.Start("parse")
 	clauses, err := prolog.ParseProgram(src)
 	if err != nil {
+		opts.Timeline.End()
 		return nil, err
 	}
 	return AnalyzeClauses(clauses, opts)
@@ -149,7 +160,11 @@ func AnalyzeClauses(clauses []term.Term, opts Options) (*Analysis, error) {
 	a := &Analysis{Results: map[string]*PredResult{}}
 
 	// ---- Phase 1: preprocessing (slice + transform + load). ----
+	tl := opts.Timeline
+	a.Timeline = tl
+	defer tl.End()
 	t0 := time.Now()
+	tl.Start("transform")
 	full := clauses
 	if opts.Slice && len(opts.Entry) > 0 {
 		entries, err := entryIndicators(opts.Entry)
@@ -162,10 +177,12 @@ func AnalyzeClauses(clauses []term.Term, opts Options) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
+	tl.Start("load")
 	m := engine.New()
 	m.Mode = opts.Mode
 	m.Limits = opts.Limits
 	m.SetContext(opts.Ctx)
+	m.SetTracer(opts.Tracer)
 	maxIff := tf.MaxIffArity
 	if maxIff < 2 {
 		maxIff = 2
@@ -192,6 +209,7 @@ func AnalyzeClauses(clauses []term.Term, opts Options) (*Analysis, error) {
 	a.PreprocTime = time.Since(t0)
 
 	// ---- Phase 2: analysis (tabled evaluation). ----
+	tl.Start("solve")
 	t1 := time.Now()
 	if len(opts.Entry) > 0 {
 		for _, e := range opts.Entry {
@@ -218,6 +236,7 @@ func AnalyzeClauses(clauses []term.Term, opts Options) (*Analysis, error) {
 	a.AnalysisTime = time.Since(t1)
 
 	// ---- Phase 3: collection. ----
+	tl.Start("collect")
 	t2 := time.Now()
 	for ind, abs := range tf.Preds {
 		a.Results[ind] = collect(m, ind, abs)

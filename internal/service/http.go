@@ -8,6 +8,7 @@ import (
 
 	"xlp/internal/engine"
 	"xlp/internal/harness"
+	"xlp/internal/obs"
 )
 
 // apiRequest is the HTTP body of an analyze/query call; the kind comes
@@ -30,12 +31,14 @@ type apiError struct {
 //	POST /v1/lint            object-program linter (options.lang: prolog|fl)
 //	POST /v1/query           raw tabled query (options.goal required)
 //	GET  /v1/stats           counters; ?format=text for a rendered table
+//	GET  /metrics            Prometheus text exposition
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/analyze/{kind}", s.handleAnalyze)
-	mux.HandleFunc("POST /v1/lint", s.handleLint)
-	mux.HandleFunc("POST /v1/query", s.handleQuery)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/analyze/{kind}", s.timed("POST /v1/analyze/{kind}", s.handleAnalyze))
+	mux.HandleFunc("POST /v1/lint", s.timed("POST /v1/lint", s.handleLint))
+	mux.HandleFunc("POST /v1/query", s.timed("POST /v1/query", s.handleQuery))
+	mux.HandleFunc("GET /v1/stats", s.timed("GET /v1/stats", s.handleStats))
+	mux.HandleFunc("GET /metrics", s.timed("GET /metrics", s.handleMetrics))
 	return mux
 }
 
@@ -86,8 +89,9 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Stats
-		HitRate float64 `json:"hit_rate"`
-	}{st, st.HitRate()})
+		HitRate float64  `json:"hit_rate"`
+		Build   obs.Info `json:"build"`
+	}{st, st.HitRate(), obs.Build(s.cfg.Version)})
 }
 
 // statsTable renders the counters in the same tabular form as the
@@ -109,6 +113,9 @@ func statsTable(st Stats) *harness.Table {
 				st.CacheLen, st.CacheCap, 100*st.HitRate(), st.Workers),
 			fmt.Sprintf("lint: %d requests, %d diagnostics",
 				st.LintRequests, st.LintDiagnostics),
+			fmt.Sprintf("engine: %d resolutions, %d subgoals, %d answers, %d producer runs, %d table bytes",
+				st.Engine.Resolutions, st.Engine.Subgoals, st.Engine.Answers,
+				st.Engine.ProducerRuns, st.Engine.TableBytes),
 		},
 	}
 }

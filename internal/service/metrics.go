@@ -1,0 +1,88 @@
+package service
+
+import (
+	"net/http"
+	"time"
+
+	"xlp/internal/obs"
+)
+
+// routePatterns lists every HTTP route the handler serves, in the mux's
+// pattern syntax. Histograms are keyed by these strings (fixed at
+// registration) rather than by the request URL, so label cardinality is
+// bounded no matter what clients send.
+var routePatterns = []string{
+	"POST /v1/analyze/{kind}",
+	"POST /v1/lint",
+	"POST /v1/query",
+	"GET /v1/stats",
+	"GET /metrics",
+}
+
+// timed wraps an HTTP handler with the per-route latency histogram.
+func (s *Service) timed(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.routes[route]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hist.Observe(time.Since(start))
+	}
+}
+
+// handleMetrics serves Prometheus text exposition format 0.0.4 from the
+// service counters, histograms, and engine aggregates.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	st := s.Stats()
+	info := obs.Build(s.cfg.Version)
+
+	pw := obs.NewPromWriter(w)
+	pw.Gauge("xlpd_build_info", "Build metadata (value is always 1).", 1,
+		"version", info.Version, "goversion", info.GoVersion, "revision", info.Revision)
+
+	pw.Counter("xlpd_requests_total", "Accepted requests (past validation).", float64(st.Requests))
+	pw.Counter("xlpd_cache_hits_total", "Requests served from the result cache.", float64(st.Hits))
+	pw.Counter("xlpd_cache_misses_total", "Requests that led a fresh computation.", float64(st.Misses))
+	pw.Counter("xlpd_deduped_total", "Requests that joined an identical in-flight computation.", float64(st.Deduped))
+	pw.Counter("xlpd_executed_total", "Analyses actually run by workers.", float64(st.Executed))
+	pw.Counter("xlpd_failures_total", "Executions that returned an error.", float64(st.Failures))
+	pw.Counter("xlpd_lint_requests_total", "Executed requests that ran the linter.", float64(st.LintRequests))
+	pw.Counter("xlpd_lint_diagnostics_total", "Diagnostics produced by executed lint runs.", float64(st.LintDiagnostics))
+
+	pw.Gauge("xlpd_queue_depth", "Requests queued but not yet picked up.", float64(st.QueueDepth))
+	pw.Gauge("xlpd_in_flight", "Requests currently executing.", float64(st.InFlight))
+	pw.Gauge("xlpd_workers", "Worker-pool size.", float64(st.Workers))
+	pw.Gauge("xlpd_cache_entries", "Result-cache entries.", float64(st.CacheLen))
+	pw.Gauge("xlpd_cache_capacity", "Result-cache capacity.", float64(st.CacheCap))
+
+	phase := func(name string, us int64) {
+		pw.Counter("xlpd_phase_seconds_total",
+			"Cumulative analysis phase time over executed runs.",
+			float64(us)/1e6, "phase", name)
+	}
+	phase("preproc", st.PreprocUs)
+	phase("analysis", st.AnalysisUs)
+	phase("collection", st.CollectionUs)
+
+	eng := func(name, help string, v int64) {
+		pw.Counter("xlpd_engine_"+name, help, float64(v))
+	}
+	eng("resolutions_total", "Clause head unification attempts across executed runs.", st.Engine.Resolutions)
+	eng("builtin_calls_total", "Builtin calls across executed runs.", st.Engine.BuiltinCalls)
+	eng("subgoals_total", "Distinct tabled subgoals across executed runs.", st.Engine.Subgoals)
+	eng("answers_total", "Distinct tabled answers across executed runs.", st.Engine.Answers)
+	eng("producer_runs_total", "Producer (re-)activations across executed runs.", st.Engine.ProducerRuns)
+	eng("producer_passes_total", "Full producer clause passes across executed runs.", st.Engine.ProducerPasses)
+	eng("table_bytes_total", "Canonical table bytes across executed runs.", st.Engine.TableBytes)
+
+	for _, k := range Kinds() {
+		pw.Histogram("xlpd_request_duration_seconds",
+			"Request latency through cache, dedup, and execution.",
+			s.latency[k], "kind", string(k))
+	}
+	for _, route := range routePatterns {
+		pw.Histogram("xlpd_http_request_duration_seconds",
+			"HTTP handler latency by route pattern.",
+			s.routes[route], "route", route)
+	}
+}

@@ -1,0 +1,263 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+const metricsSrc = ":- table path/2.\nedge(a,b). edge(b,c).\npath(X,Y) :- edge(X,Y).\npath(X,Y) :- edge(X,Z), path(Z,Y).\nmain(X) :- path(a, X).\n"
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+var promLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (\S+)$`)
+
+// parseProm parses Prometheus text format 0.0.4 strictly enough to fail
+// on malformed lines: every non-comment line must be name{labels} value,
+// every sample's name must have seen a HELP and TYPE header first.
+func parseProm(t *testing.T, body string) []promSample {
+	t.Helper()
+	var samples []promSample
+	described := map[string]bool{}
+	typed := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			described[strings.Fields(line)[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			typed[f[2]] = true
+			switch f[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("bad TYPE %q", line)
+			}
+			continue
+		}
+		mm := promLine.FindStringSubmatch(line)
+		if mm == nil {
+			t.Fatalf("unparseable exposition line: %q", line)
+		}
+		s := promSample{name: mm[1], labels: map[string]string{}}
+		if mm[2] != "" {
+			for _, pair := range splitLabels(mm[2]) {
+				eq := strings.Index(pair, "=")
+				val := pair[eq+1:]
+				if len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+					t.Fatalf("unquoted label value in %q", line)
+				}
+				s.labels[pair[:eq]] = val[1 : len(val)-1]
+			}
+		}
+		v, err := strconv.ParseFloat(mm[3], 64)
+		if err != nil {
+			t.Fatalf("bad sample value in %q: %v", line, err)
+		}
+		s.value = v
+		// A histogram's _bucket/_sum/_count samples belong to the base
+		// family name for HELP/TYPE purposes.
+		base := s.name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b := strings.TrimSuffix(s.name, suf); b != s.name && described[b] {
+				base = b
+			}
+		}
+		if !described[base] || !typed[base] {
+			t.Fatalf("sample %q before its HELP/TYPE headers", line)
+		}
+		samples = append(samples, s)
+	}
+	return samples
+}
+
+// splitLabels splits k1="v1",k2="v2" on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+func findSample(samples []promSample, name string, labels map[string]string) (promSample, bool) {
+	for _, s := range samples {
+		if s.name != name {
+			continue
+		}
+		ok := true
+		for k, v := range labels {
+			if s.labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s, true
+		}
+	}
+	return promSample{}, false
+}
+
+// TestMetricsExposition drives one groundness request through the HTTP
+// API and checks /metrics parses as Prometheus text and reflects it.
+func TestMetricsExposition(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2, QueueSize: 8, Version: "v-test"})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	body := fmt.Sprintf(`{"source": %q}`, metricsSrc)
+	resp, err := http.Post(srv.URL+"/v1/analyze/groundness", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status %d", resp.StatusCode)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	samples := parseProm(t, string(raw))
+
+	if got, ok := findSample(samples, "xlpd_requests_total", nil); !ok || got.value != 1 {
+		t.Fatalf("xlpd_requests_total = %+v (found %v), want 1", got, ok)
+	}
+	if got, ok := findSample(samples, "xlpd_executed_total", nil); !ok || got.value != 1 {
+		t.Fatalf("xlpd_executed_total = %+v (found %v), want 1", got, ok)
+	}
+	if got, ok := findSample(samples, "xlpd_request_duration_seconds_count",
+		map[string]string{"kind": "groundness"}); !ok || got.value != 1 {
+		t.Fatalf("groundness latency count = %+v (found %v), want 1", got, ok)
+	}
+	if got, ok := findSample(samples, "xlpd_http_request_duration_seconds_count",
+		map[string]string{"route": "POST /v1/analyze/{kind}"}); !ok || got.value != 1 {
+		t.Fatalf("route latency count = %+v (found %v), want 1", got, ok)
+	}
+	// The groundness run evaluated tabled subgoals; the engine aggregates
+	// must reflect it.
+	if got, ok := findSample(samples, "xlpd_engine_subgoals_total", nil); !ok || got.value <= 0 {
+		t.Fatalf("xlpd_engine_subgoals_total = %+v (found %v), want > 0", got, ok)
+	}
+	if got, ok := findSample(samples, "xlpd_engine_resolutions_total", nil); !ok || got.value <= 0 {
+		t.Fatalf("xlpd_engine_resolutions_total = %+v (found %v), want > 0", got, ok)
+	}
+	if got, ok := findSample(samples, "xlpd_build_info",
+		map[string]string{"version": "v-test"}); !ok || got.value != 1 {
+		t.Fatalf("xlpd_build_info = %+v (found %v)", got, ok)
+	}
+	// Cumulative histogram invariant: every bucket count <= +Inf count.
+	inf, ok := findSample(samples, "xlpd_request_duration_seconds_bucket",
+		map[string]string{"kind": "groundness", "le": "+Inf"})
+	if !ok || inf.value != 1 {
+		t.Fatalf("+Inf bucket = %+v (found %v), want 1", inf, ok)
+	}
+}
+
+// TestMetricsStatsEndpointBuildInfo checks /v1/stats carries the engine
+// aggregates and build info.
+func TestMetricsStatsEndpointBuildInfo(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, QueueSize: 8, Version: "v-test"})
+	if _, err := s.Do(context.Background(), &Request{Kind: KindGroundness, Source: metricsSrc}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	body := string(raw)
+	for _, want := range []string{`"subgoals"`, `"resolutions"`, `"version": "v-test"`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/v1/stats missing %s:\n%s", want, body)
+		}
+	}
+	if st := s.Stats(); st.Engine.Subgoals <= 0 || st.Engine.Answers <= 0 {
+		t.Fatalf("engine aggregates not accumulated: %+v", st.Engine)
+	}
+}
+
+// TestMetricsConcurrent hammers analyze requests and /metrics scrapes
+// concurrently; run under -race to check the exposition path is safe
+// against the worker pool's counter updates.
+func TestMetricsConcurrent(t *testing.T) {
+	s := newTestService(t, Config{Workers: 4, QueueSize: 256, CacheSize: 2})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				// Vary the source so runs miss the cache and execute.
+				src := metricsSrc + fmt.Sprintf("extra%d_%d(x).\n", g, i)
+				if _, err := s.Do(context.Background(), &Request{Kind: KindGroundness, Source: src}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				resp, err := http.Get(srv.URL + "/metrics")
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := s.Stats()
+	if st.Requests != 40 || st.Engine.Subgoals <= 0 {
+		t.Fatalf("counters after hammer: %+v", st)
+	}
+}

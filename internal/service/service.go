@@ -13,6 +13,7 @@ import (
 	"xlp/internal/depthk"
 	"xlp/internal/engine"
 	"xlp/internal/gaia"
+	"xlp/internal/obs"
 	"xlp/internal/prop"
 	"xlp/internal/strict"
 )
@@ -43,6 +44,10 @@ type Config struct {
 	// DefaultTimeout bounds requests that do not set TimeoutMs.
 	// Default 30s; negative means no default timeout.
 	DefaultTimeout time.Duration
+	// Version overrides the build-info version reported by /v1/stats and
+	// /metrics (set from -ldflags "-X main.version=..."). Empty uses the
+	// module version embedded by the Go toolchain.
+	Version string
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +114,11 @@ type Stats struct {
 	PreprocUs    int64 `json:"preproc_us"`
 	AnalysisUs   int64 `json:"analysis_us"`
 	CollectionUs int64 `json:"collection_us"`
+
+	// Engine aggregates the engine counters of every executed run on a
+	// tabled kind (groundness, strictness, depthk, query). Cache hits
+	// and deduped joins are not re-counted.
+	Engine EngineReport `json:"engine"`
 }
 
 // HitRate returns cache hits over cache-decided requests (hits+misses).
@@ -136,6 +146,16 @@ type Service struct {
 	lintRequests, lintDiagnostics                       atomic.Uint64
 	inFlightN                                           atomic.Int64
 	preprocUs, analysisUs, collectionUs                 atomic.Int64
+
+	// Engine-counter aggregates over executed runs (see Stats.Engine).
+	engResolutions, engBuiltinCalls, engSubgoals, engAnswers atomic.Int64
+	engProducerRuns, engProducerPasses, engTableBytes        atomic.Int64
+
+	// latency holds one request-duration histogram per kind; routes
+	// holds one per HTTP route. Both maps are fixed at New and only read
+	// afterwards, so lock-free access is safe.
+	latency map[Kind]*obs.Histogram
+	routes  map[string]*obs.Histogram
 }
 
 // New starts a service with cfg's worker pool.
@@ -146,6 +166,14 @@ func New(cfg Config) *Service {
 		jobs:     make(chan *job, cfg.QueueSize),
 		cache:    newLRU(cfg.CacheSize),
 		inflight: map[string]*flight{},
+		latency:  map[Kind]*obs.Histogram{},
+		routes:   map[string]*obs.Histogram{},
+	}
+	for _, k := range Kinds() {
+		s.latency[k] = obs.NewHistogram(obs.DefBuckets...)
+	}
+	for _, route := range routePatterns {
+		s.routes[route] = obs.NewHistogram(obs.DefBuckets...)
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -173,6 +201,15 @@ func (s *Service) Stats() Stats {
 		PreprocUs:       s.preprocUs.Load(),
 		AnalysisUs:      s.analysisUs.Load(),
 		CollectionUs:    s.collectionUs.Load(),
+		Engine: EngineReport{
+			Resolutions:    s.engResolutions.Load(),
+			BuiltinCalls:   s.engBuiltinCalls.Load(),
+			Subgoals:       s.engSubgoals.Load(),
+			Answers:        s.engAnswers.Load(),
+			ProducerRuns:   s.engProducerRuns.Load(),
+			ProducerPasses: s.engProducerPasses.Load(),
+			TableBytes:     s.engTableBytes.Load(),
+		},
 	}
 }
 
@@ -211,6 +248,8 @@ func (s *Service) Do(ctx context.Context, req *Request) (*Response, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
+	defer func() { s.latency[req.Kind].Observe(time.Since(start)) }()
 	s.mu.Lock()
 	closed := s.closed
 	s.mu.Unlock()
@@ -327,6 +366,15 @@ func (s *Service) run(j *job) (*Response, error) {
 	s.preprocUs.Add(resp.Timings.PreprocUs)
 	s.analysisUs.Add(resp.Timings.AnalysisUs)
 	s.collectionUs.Add(resp.Timings.CollectionUs)
+	if e := resp.Engine; e != nil {
+		s.engResolutions.Add(e.Resolutions)
+		s.engBuiltinCalls.Add(e.BuiltinCalls)
+		s.engSubgoals.Add(e.Subgoals)
+		s.engAnswers.Add(e.Answers)
+		s.engProducerRuns.Add(e.ProducerRuns)
+		s.engProducerPasses.Add(e.ProducerPasses)
+		s.engTableBytes.Add(e.TableBytes)
+	}
 	if j.req.Kind == KindLint || (j.req.Options.Lint && j.req.Kind != KindQuery) {
 		s.lintRequests.Add(1)
 		s.lintDiagnostics.Add(uint64(len(resp.Diagnostics)))
@@ -439,6 +487,7 @@ func executeQuery(ctx context.Context, req *Request) (*Response, error) {
 			TotalUs:    (preproc + analysis).Microseconds(),
 		},
 		TableBytes: m.TableSpace(),
+		Engine:     engineReport(m.Stats()),
 		Solutions:  make([]string, 0, len(sols)),
 	}
 	for _, t := range sols {

@@ -49,6 +49,9 @@ func normalize(r *Response) *Response {
 	cp := r.shallowCopy()
 	cp.Cached, cp.Deduped = false, false
 	cp.Timings = Timings{}
+	// Engine counters are cost metrics, not results: evaluation order
+	// (map iteration) legitimately varies them between runs.
+	cp.Engine = nil
 	return cp
 }
 

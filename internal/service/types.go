@@ -210,6 +210,30 @@ type Timings struct {
 	TotalUs      int64 `json:"total_us"`
 }
 
+// EngineReport is the wire form of the engine counters behind one
+// response (absent for analyzers that do not run the tabled engine).
+type EngineReport struct {
+	Resolutions    int64 `json:"resolutions"`
+	BuiltinCalls   int64 `json:"builtin_calls"`
+	Subgoals       int64 `json:"subgoals"`
+	Answers        int64 `json:"answers"`
+	ProducerRuns   int64 `json:"producer_runs"`
+	ProducerPasses int64 `json:"producer_passes"`
+	TableBytes     int64 `json:"table_bytes"`
+}
+
+func engineReport(st engine.Stats) *EngineReport {
+	return &EngineReport{
+		Resolutions:    int64(st.Resolutions),
+		BuiltinCalls:   int64(st.BuiltinCalls),
+		Subgoals:       int64(st.Subgoals),
+		Answers:        int64(st.Answers),
+		ProducerRuns:   int64(st.ProducerRuns),
+		ProducerPasses: int64(st.ProducerPasses),
+		TableBytes:     int64(st.TableBytes),
+	}
+}
+
 // PredReport is the wire form of one predicate's analysis result.
 type PredReport struct {
 	Indicator string `json:"indicator"`
@@ -240,13 +264,16 @@ type Response struct {
 	Cached bool `json:"cached"`
 	// Deduped marks a response obtained by joining another request's
 	// in-flight computation rather than running or caching.
-	Deduped    bool         `json:"deduped,omitempty"`
-	Timings    Timings      `json:"timings"`
-	TableBytes int          `json:"table_bytes,omitempty"`
-	K          int          `json:"k,omitempty"`
-	Predicates []PredReport `json:"predicates,omitempty"`
-	Functions  []FuncReport `json:"functions,omitempty"`
-	Solutions  []string     `json:"solutions,omitempty"`
+	Deduped    bool    `json:"deduped,omitempty"`
+	Timings    Timings `json:"timings"`
+	TableBytes int     `json:"table_bytes,omitempty"`
+	// Engine carries the engine counters of the run that produced this
+	// response (tabled kinds only; nil for gaia, bdd, and lint).
+	Engine     *EngineReport `json:"engine,omitempty"`
+	K          int           `json:"k,omitempty"`
+	Predicates []PredReport  `json:"predicates,omitempty"`
+	Functions  []FuncReport  `json:"functions,omitempty"`
+	Solutions  []string      `json:"solutions,omitempty"`
 	// Diagnostics carry linter output: always for kind "lint", and on
 	// analyze responses when options.lint is set.
 	Diagnostics []lint.Diagnostic `json:"diagnostics,omitempty"`
@@ -281,6 +308,7 @@ func FromGroundness(a *prop.Analysis) *Response {
 			TotalUs:      a.Total().Microseconds(),
 		},
 		TableBytes: a.TableBytes,
+		Engine:     engineReport(a.EngineStats),
 	}
 	for _, r := range a.Sorted() {
 		pr := PredReport{
@@ -364,6 +392,7 @@ func FromStrictness(a *strict.Analysis) *Response {
 			TotalUs:      a.Total().Microseconds(),
 		},
 		TableBytes: a.TableBytes,
+		Engine:     engineReport(a.EngineStats),
 	}
 	for _, r := range a.Sorted() {
 		fr := FuncReport{
@@ -393,6 +422,7 @@ func FromDepthK(a *depthk.Analysis) *Response {
 			TotalUs:      a.Total().Microseconds(),
 		},
 		TableBytes: a.TableBytes,
+		Engine:     engineReport(a.EngineStats),
 	}
 	inds := make([]string, 0, len(a.Results))
 	for ind := range a.Results {

@@ -10,6 +10,7 @@ import (
 	"xlp/internal/engine"
 	"xlp/internal/fl"
 	"xlp/internal/lint"
+	"xlp/internal/obs"
 	"xlp/internal/prolog"
 	"xlp/internal/supptab"
 	"xlp/internal/term"
@@ -92,6 +93,12 @@ type Options struct {
 	// during evaluation and the run fails with engine.ErrCanceled or
 	// engine.ErrDeadline once it is done.
 	Ctx context.Context
+	// Timeline, when non-nil, records the run's phases
+	// (parse/transform/load/solve/collect) as contiguous spans.
+	Timeline *obs.Timeline
+	// Tracer, when non-nil, is installed on the engine for the solve
+	// phase.
+	Tracer obs.EngineTracer
 }
 
 // FuncResult is the strictness result for one function.
@@ -135,6 +142,7 @@ type Analysis struct {
 	CollectionTime time.Duration
 	TableBytes     int
 	EngineStats    engine.Stats
+	Timeline       *obs.Timeline // phase spans, when requested via Options
 	SourceLines    int
 }
 
@@ -172,11 +180,16 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 	a := &Analysis{Results: map[string]*FuncResult{}}
 
 	// ---- Phase 1: preprocessing (parse + transform + load). ----
+	tl := opts.Timeline
+	a.Timeline = tl
+	defer tl.End()
 	t0 := time.Now()
+	tl.Start("parse")
 	prog, err := fl.Parse(src)
 	if err != nil {
 		return nil, err
 	}
+	tl.Start("transform")
 	full := prog
 	if opts.Slice && len(opts.Entry) > 0 {
 		prog = lint.SliceFL(prog, opts.Entry)
@@ -185,10 +198,12 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
+	tl.Start("load")
 	m := engine.New()
 	m.Mode = opts.Mode
 	m.Limits = opts.Limits
 	m.SetContext(opts.Ctx)
+	m.SetTracer(opts.Tracer)
 	RegisterDemandOps(m)
 	clauses := tf.Clauses
 	var extraTabled []string
@@ -208,6 +223,7 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 	a.PreprocTime = time.Since(t0)
 
 	// ---- Phase 2: analysis (evaluate sp_f under e- and d-demands). ----
+	tl.Start("solve")
 	t1 := time.Now()
 	for ind, sp := range tf.SpPreds {
 		if !entryMatch(opts.Entry, ind) {
@@ -223,6 +239,7 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 	a.AnalysisTime = time.Since(t1)
 
 	// ---- Phase 3: collection (per-argument glb over answers). ----
+	tl.Start("collect")
 	t2 := time.Now()
 	for ind, sp := range tf.SpPreds {
 		a.Results[ind] = collect(m, ind, sp)

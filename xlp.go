@@ -39,6 +39,7 @@ import (
 	"xlp/internal/engine"
 	"xlp/internal/gaia"
 	"xlp/internal/lint"
+	"xlp/internal/obs"
 	"xlp/internal/prop"
 	"xlp/internal/strict"
 	"xlp/internal/term"
@@ -220,3 +221,36 @@ type (
 
 // BottomUp returns an empty bottom-up system.
 func BottomUp() *BottomUpSystem { return bottomup.New() }
+
+// Observability. A Timeline threads through analysis options to record
+// the parse/transform/load/solve/collect phase breakdown; a Trace
+// installed as the Tracer option records engine events (subgoal created,
+// answer added/duplicate, producer runs, completion) into a bounded ring
+// with per-predicate counters, exportable as JSONL or Chrome
+// trace_event. Tracing is opt-in: a nil tracer costs one predictable
+// branch per hook site and allocates nothing.
+type (
+	// Timeline records contiguous analysis phases; nil is a valid no-op.
+	Timeline = obs.Timeline
+	// Trace is a bounded engine event ring with per-predicate counters.
+	Trace = obs.Trace
+	// EngineTracer receives engine evaluation events.
+	EngineTracer = obs.EngineTracer
+	// TraceEvent is one recorded engine event.
+	TraceEvent = obs.Event
+	// PredCounters are per-predicate table totals ("top tables").
+	PredCounters = obs.PredCounters
+	// BuildInfo identifies the running binary.
+	BuildInfo = obs.Info
+)
+
+// NewTimeline returns an empty phase timeline.
+func NewTimeline() *Timeline { return obs.NewTimeline() }
+
+// NewTrace returns an engine event trace with the given ring capacity
+// (0 uses the default of obs.DefaultTraceCap events).
+func NewTrace(capacity int) *Trace { return obs.NewTrace(capacity) }
+
+// Build returns the binary's build information; a non-empty override
+// (an -ldflags -X version stamp) wins over the module version.
+func Build(override string) BuildInfo { return obs.Build(override) }
