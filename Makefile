@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet staticcheck build test race bench metrics bench-obs serve
+.PHONY: ci fmt vet staticcheck build test race bench metrics bench-obs bench-difftest difftest fuzz-smoke serve
 
-ci: fmt vet staticcheck build race metrics
+ci: fmt vet staticcheck build race metrics difftest fuzz-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -45,6 +45,27 @@ metrics:
 # Tracing-hook overhead vs the baseline committed in BENCH_obs.json.
 bench-obs:
 	$(GO) test -run '^$$' -bench BenchmarkTraceOverhead -benchtime 2s -benchmem .
+
+# Generator + differential-harness throughput vs BENCH_difftest.json.
+bench-difftest:
+	$(GO) test -run '^$$' -bench 'BenchmarkRandGen|BenchmarkDiffTest' -benchtime 2s -benchmem .
+
+# Differential testing: random programs through every backend-pair and
+# metamorphic oracle. Any disagreement is shrunk into
+# internal/difftest/testdata/regressions/ and fails the target.
+difftest:
+	$(GO) run ./cmd/xlp difftest -n 500 -seed 1
+
+# Run each native fuzz target briefly (committed seeds + FUZZTIME of
+# random inputs). A crasher is minimized into the package's
+# testdata/fuzz/ corpus by the Go fuzzing engine.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseProlog$$' -fuzztime $(FUZZTIME) ./internal/prolog
+	$(GO) test -run '^$$' -fuzz '^FuzzReadTermRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/prolog
+	$(GO) test -run '^$$' -fuzz '^FuzzUnify$$' -fuzztime $(FUZZTIME) ./internal/prolog
+	$(GO) test -run '^$$' -fuzz '^FuzzParseFL$$' -fuzztime $(FUZZTIME) ./internal/fl
+	$(GO) test -run '^$$' -fuzz '^FuzzAnalyzeGroundness$$' -fuzztime $(FUZZTIME) .
 
 serve:
 	$(GO) run ./cmd/xlpd

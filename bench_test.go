@@ -17,11 +17,13 @@ import (
 	"xlp/internal/corpus"
 	"xlp/internal/dataflow"
 	"xlp/internal/depthk"
+	"xlp/internal/difftest"
 	"xlp/internal/engine"
 	"xlp/internal/gaia"
 	"xlp/internal/lint"
 	"xlp/internal/obs"
 	"xlp/internal/prop"
+	"xlp/internal/randgen"
 	"xlp/internal/service"
 	"xlp/internal/strict"
 	"xlp/internal/term"
@@ -396,4 +398,32 @@ func BenchmarkTraceOverhead(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkRandGen measures random object-program generation, the inner
+// loop of both `xlp difftest` and the committed fuzz corpora. One
+// iteration generates a program of every shape (distinct seeds, so no
+// memoization can hide the cost).
+func BenchmarkRandGen(b *testing.B) {
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		for _, shape := range randgen.Shapes() {
+			p := randgen.Generate(randgen.Config{Shape: shape, Seed: int64(i)})
+			bytes += int64(len(p.Source))
+		}
+	}
+	b.SetBytes(bytes / int64(b.N))
+}
+
+// BenchmarkDiffTest measures the full differential harness: generation
+// plus every applicable backend-pair and metamorphic check, per
+// program. This is the sustained cost of one `xlp difftest` program.
+func BenchmarkDiffTest(b *testing.B) {
+	sum, err := difftest.Run(difftest.Options{N: b.N, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(sum.Findings) > 0 {
+		b.Fatalf("difftest found %d disagreements during benchmark", len(sum.Findings))
+	}
 }

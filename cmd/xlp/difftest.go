@@ -1,0 +1,138 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"xlp/internal/difftest"
+	"xlp/internal/randgen"
+)
+
+// runGen implements `xlp gen`: emit one random object program.
+func runGen(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xlp gen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	shapeName := fs.String("shape", "mixed", "program shape: "+shapeList())
+	seed := fs.Int64("seed", 1, "generator seed (same seed, same program)")
+	preds := fs.Int("preds", 0, "max predicates/functions (0 = default)")
+	clauses := fs.Int("clauses", 0, "max clauses per predicate (0 = default)")
+	arity := fs.Int("arity", 0, "max arity (0 = default)")
+	depth := fs.Int("depth", 0, "max ground-term depth (0 = default)")
+	meta := fs.Bool("meta", false, "print entry/predicate metadata as comments")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	shape, err := randgen.ParseShape(*shapeName)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	p := randgen.Generate(randgen.Config{
+		Shape: shape, Seed: *seed,
+		Preds: *preds, Clauses: *clauses, Arity: *arity, Depth: *depth,
+	})
+	if *meta {
+		fmt.Fprintf(stdout, "%% shape: %s\n%% seed: %d\n%% entry: %s\n%% preds: %s\n",
+			shape, *seed, p.Entry, strings.Join(p.Preds, ", "))
+	}
+	fmt.Fprint(stdout, p.Source)
+	return 0
+}
+
+// runDiffTest implements `xlp difftest`: generate N programs and check
+// every applicable backend pair and metamorphic transform for agreement.
+func runDiffTest(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xlp difftest", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 100, "number of generated programs")
+	seed := fs.Int64("seed", 1, "base seed")
+	shapesFlag := fs.String("shapes", "", "comma-separated shapes (default all): "+shapeList())
+	checksFlag := fs.String("checks", "", "comma-separated check names (default all)")
+	maxFindings := fs.Int("max-findings", 10, "stop after this many findings")
+	regDir := fs.String("regressions", "", "write shrunk counterexamples to this directory")
+	quiet := fs.Bool("quiet", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	opts := difftest.Options{
+		N: *n, Seed: *seed, MaxFindings: *maxFindings, RegressionDir: *regDir,
+	}
+	if !*quiet {
+		opts.Verbose = stderr
+	}
+	if *shapesFlag != "" {
+		for _, name := range strings.Split(*shapesFlag, ",") {
+			s, err := randgen.ParseShape(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			opts.Shapes = append(opts.Shapes, s)
+		}
+	}
+	if *checksFlag != "" {
+		for _, name := range strings.Split(*checksFlag, ",") {
+			opts.Checks = append(opts.Checks, strings.TrimSpace(name))
+		}
+	}
+	sum, err := difftest.Run(opts)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	printSummary(stdout, sum)
+	if len(sum.Findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func printSummary(w io.Writer, sum *difftest.Summary) {
+	shapes := make([]string, 0, len(sum.ShapeRuns))
+	for s := range sum.ShapeRuns {
+		shapes = append(shapes, s)
+	}
+	sort.Strings(shapes)
+	var parts []string
+	for _, s := range shapes {
+		parts = append(parts, fmt.Sprintf("%s=%d", s, sum.ShapeRuns[s]))
+	}
+	fmt.Fprintf(w, "difftest: %d programs (%s)\n", sum.Programs, strings.Join(parts, " "))
+	checks := make([]string, 0, len(sum.ChecksRun))
+	for c := range sum.ChecksRun {
+		checks = append(checks, c)
+	}
+	sort.Strings(checks)
+	for _, c := range checks {
+		fmt.Fprintf(w, "  %-22s %5d runs\n", c, sum.ChecksRun[c])
+	}
+	if len(sum.Findings) == 0 {
+		fmt.Fprintln(w, "difftest: all backends agree")
+		return
+	}
+	fmt.Fprintf(w, "difftest: %d findings\n", len(sum.Findings))
+	for _, f := range sum.Findings {
+		fmt.Fprintf(w, "FAIL %s %s seed=%d: %s\n", f.Check, f.Shape, f.Seed, f.Detail)
+		if f.File != "" {
+			fmt.Fprintf(w, "  shrunk counterexample: %s\n", f.File)
+		} else {
+			fmt.Fprintf(w, "  shrunk counterexample:\n%s", indent(f.Source))
+		}
+	}
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return "    " + strings.Join(lines, "\n    ") + "\n"
+}
+
+func shapeList() string {
+	names := make([]string, 0)
+	for _, s := range randgen.Shapes() {
+		names = append(names, s.String())
+	}
+	return strings.Join(names, ", ")
+}

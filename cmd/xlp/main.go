@@ -10,7 +10,14 @@
 //	xlp prog.pl            # read queries from stdin, one per line
 //	xlp lint [-json] [-fl] [-entry p/n,...] prog.pl ...
 //	xlp groundness|strictness|depthk [-phases] [-trace f] [-events f] [-top n] prog
+//	xlp gen [-shape s] [-seed n] [-meta]
+//	xlp difftest [-n N] [-seed S] [-shapes s,...] [-checks c,...] [-regressions dir]
 //	xlp version
+//
+// gen emits one random, lint-clean object program (internal/randgen);
+// difftest generates N programs and runs every applicable backend pair
+// and metamorphic transform as a differential oracle, shrinking any
+// disagreement to a minimal counterexample (exit 1 on findings).
 //
 // The analyze subcommands run one analyzer with observability attached:
 // -phases prints the parse/transform/load/solve/collect wall-time table,
@@ -40,6 +47,10 @@ func main() {
 			os.Exit(runLint(os.Args[2:], os.Stdout, os.Stderr))
 		case "groundness", "strictness", "depthk":
 			os.Exit(runAnalyze(os.Args[1], os.Args[2:], os.Stdout, os.Stderr))
+		case "gen":
+			os.Exit(runGen(os.Args[2:], os.Stdout, os.Stderr))
+		case "difftest":
+			os.Exit(runDiffTest(os.Args[2:], os.Stdout, os.Stderr))
 		case "version":
 			os.Exit(runVersion(os.Stdout))
 		}

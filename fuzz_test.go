@@ -1,0 +1,45 @@
+package xlp
+
+import (
+	"testing"
+
+	"xlp/internal/corpus"
+	"xlp/internal/randgen"
+)
+
+// FuzzAnalyzeGroundness drives the whole analysis pipeline — reader,
+// transform, tabled engine, collection — on arbitrary program text
+// under tight resource limits. Malformed input must fail with an error,
+// never a panic, and a successful analysis must be internally
+// consistent (per-predicate vectors sized to the arity).
+func FuzzAnalyzeGroundness(f *testing.F) {
+	for _, p := range corpus.LogicPrograms() {
+		f.Add(p.Source)
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		for _, shape := range randgen.Shapes() {
+			g := randgen.Generate(randgen.Config{Shape: shape, Seed: seed})
+			if g.Lang == randgen.LangProlog {
+				f.Add(g.Source)
+			}
+		}
+	}
+	f.Add(":- table p/1.\np(a).\np(f(X)) :- p(X).")
+	limits := Limits{MaxDepth: 10_000, MaxAnswers: 20_000, MaxSubgoals: 2_000}
+	f.Fuzz(func(t *testing.T, src string) {
+		a, err := AnalyzeGroundness(src, GroundnessOptions{Limits: limits})
+		if err != nil {
+			return
+		}
+		for ind, r := range a.Results {
+			if len(r.GroundArgs) != r.Arity {
+				t.Fatalf("%s: %d ground-arg entries for arity %d", ind, len(r.GroundArgs), r.Arity)
+			}
+			if r.Success == nil && r.Reachable && r.AnswerCount > 0 {
+				t.Fatalf("%s: reachable with %d answers but nil success formula", ind, r.AnswerCount)
+			}
+		}
+		// The linter shares the reader; it must also accept the program.
+		Lint(src, LintOptions{})
+	})
+}

@@ -1,0 +1,101 @@
+package corpus_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"xlp/internal/corpus"
+	"xlp/internal/randgen"
+)
+
+// TestRegenFuzzCorpora rewrites the committed fuzz seed corpora under
+// each package's testdata/fuzz/<Target>/ directory. The seeds mirror
+// what the targets f.Add at runtime — every embedded benchmark program
+// plus a few generated ones — so that `go test` exercises them even
+// without -fuzz, and so CI fuzzing starts from realistic inputs.
+//
+// It is gated behind XLP_REGEN_FUZZ_CORPUS=1 because it writes into
+// sibling packages' testdata; run it after changing the corpus or the
+// generator, then commit the result. Files it did not write (e.g.
+// minimized crashers kept as regressions) are left alone.
+func TestRegenFuzzCorpora(t *testing.T) {
+	if os.Getenv("XLP_REGEN_FUZZ_CORPUS") == "" {
+		t.Skip("set XLP_REGEN_FUZZ_CORPUS=1 to regenerate committed fuzz seeds")
+	}
+
+	write := func(dir, name string, args ...string) {
+		t.Helper()
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		body := "go test fuzz v1\n"
+		for _, a := range args {
+			body += "string(" + strconv.Quote(a) + ")\n"
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	logic := corpus.LogicPrograms()
+	funcs := corpus.FuncPrograms()
+
+	for _, dir := range []string{
+		"../prolog/testdata/fuzz/FuzzParseProlog",
+		"../../testdata/fuzz/FuzzAnalyzeGroundness",
+	} {
+		for _, p := range logic {
+			write(dir, "corpus-"+p.Name, p.Source)
+		}
+		for seed := int64(0); seed < 2; seed++ {
+			for _, shape := range randgen.PrologShapes() {
+				g := randgen.Generate(randgen.Config{Shape: shape, Seed: seed})
+				write(dir, fmt.Sprintf("gen-%s-%d", shape, seed), g.Source)
+			}
+		}
+	}
+
+	flDir := "../fl/testdata/fuzz/FuzzParseFL"
+	for _, p := range funcs {
+		write(flDir, "corpus-"+p.Name, p.Source)
+	}
+	for seed := int64(0); seed < 2; seed++ {
+		for _, shape := range []randgen.Shape{randgen.FLFirstOrder, randgen.FLHigherOrder} {
+			g := randgen.Generate(randgen.Config{Shape: shape, Seed: seed})
+			write(flDir, fmt.Sprintf("gen-%s-%d", shape, seed), g.Source)
+		}
+	}
+
+	// Terms that exercised real writer/reader bugs, plus operator corners.
+	rtDir := "../prolog/testdata/fuzz/FuzzReadTermRoundTrip"
+	for i, s := range []string{
+		"-(1)",                       // printed "- 1" once re-read as the integer -1
+		"- (1)",                      // prefix minus applied to a parenthesized number
+		"'quoted atom'(X)",           // quoted functor
+		"a :- b, (c ; d)",            // control constructs under operators
+		"[1, -2 | T]",                // negative numbers in list sugar
+		"f(- 1, -(g))",               // minus as prefix op vs. negative literal
+		"{X = Y + 1}",                // curly sugar around an operator term
+		"\\+ \\+ p(X)",               // stacked prefix operators
+		"0'a + 0' ",                  // character codes
+		"'it''s'('\\n', \"q\\\"s\")", // escapes in quoted atoms and strings
+	} {
+		write(rtDir, fmt.Sprintf("term-%02d", i), s)
+	}
+
+	uDir := "../prolog/testdata/fuzz/FuzzUnify"
+	for i, pair := range [][2]string{
+		{"f(X, b)", "f(a, Y)"},
+		{"X", "f(X)"}, // occurs-check divergence
+		{"[H | T]", "[1, 2, 3]"},
+		{"g(X, X)", "g(Y, f(Y))"},
+		{"p(A, B, A)", "p(B, c, C)"},
+		{"s(s(z))", "s(X)"},
+		{"f(X, Y, Z)", "f(Y, Z, g(X))"},
+	} {
+		write(uDir, fmt.Sprintf("pair-%02d", i), pair[0], pair[1])
+	}
+}

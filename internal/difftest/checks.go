@@ -1,0 +1,415 @@
+package difftest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"xlp/internal/bddprop"
+	"xlp/internal/bottomup"
+	"xlp/internal/depthk"
+	"xlp/internal/engine"
+	"xlp/internal/gaia"
+	"xlp/internal/prop"
+	"xlp/internal/randgen"
+	"xlp/internal/strict"
+	"xlp/internal/term"
+)
+
+// Meta is the program metadata a check needs beyond the source text. It
+// survives shrinking unchanged (a shrunk candidate that invalidates the
+// metadata — e.g. by dropping the entry predicate — fails with a
+// different class and is rejected).
+type Meta struct {
+	Shape randgen.Shape
+	Seed  int64
+	Entry string
+	Preds []string
+}
+
+// Check is one differential oracle: run returns nil when the pair
+// agrees, a "mismatch: ..." error on disagreement, and an "error: ..."
+// error when a backend fails outright.
+type Check struct {
+	Name string
+	Lang randgen.Lang
+	// DatalogOnly restricts the check to executable Datalog programs.
+	DatalogOnly bool
+	Run         func(m Meta, src string) error
+}
+
+// Applies reports whether the check runs on programs of the given shape.
+func (c Check) Applies(s randgen.Shape) bool {
+	if c.Lang != s.Lang() {
+		return false
+	}
+	if c.DatalogOnly && s != randgen.Datalog {
+		return false
+	}
+	return true
+}
+
+// Checks returns the full oracle suite in a fixed order.
+func Checks() []Check {
+	return []Check{
+		{Name: "prop-gaia", Lang: randgen.LangProlog, Run: propVsGaia},
+		{Name: "prop-bdd", Lang: randgen.LangProlog, Run: propVsBDD},
+		{Name: "prop-loadmode", Lang: randgen.LangProlog, Run: propLoadMode},
+		{Name: "prop-pureiff", Lang: randgen.LangProlog, Run: propPureIff},
+		{Name: "prop-slice", Lang: randgen.LangProlog, Run: propSlice},
+		{Name: "prop-alpha", Lang: randgen.LangProlog, Run: propAlpha},
+		{Name: "prop-predrename", Lang: randgen.LangProlog, Run: propPredRename},
+		{Name: "prop-clausereorder", Lang: randgen.LangProlog, Run: propClauseReorder},
+		{Name: "prop-goalreorder", Lang: randgen.LangProlog, Run: propGoalReorder},
+		{Name: "depthk-clausereorder", Lang: randgen.LangProlog, Run: depthkClauseReorder},
+		{Name: "depthk-alpha", Lang: randgen.LangProlog, Run: depthkAlpha},
+		{Name: "engine-bottomup", Lang: randgen.LangProlog, DatalogOnly: true, Run: engineVsBottomup},
+		{Name: "naive-seminaive", Lang: randgen.LangProlog, DatalogOnly: true, Run: naiveVsSemiNaive},
+		{Name: "strict-supp", Lang: randgen.LangFL, Run: strictSupp},
+		{Name: "strict-slice", Lang: randgen.LangFL, Run: strictSlice},
+		{Name: "strict-alpha", Lang: randgen.LangFL, Run: strictAlpha},
+		{Name: "strict-predrename", Lang: randgen.LangFL, Run: strictPredRename},
+		{Name: "strict-eqreorder", Lang: randgen.LangFL, Run: strictEqReorder},
+	}
+}
+
+// CheckByName resolves a check from the suite.
+func CheckByName(name string) (Check, bool) {
+	for _, c := range Checks() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Check{}, false
+}
+
+func propRun(src string, opts prop.Options) (map[string]string, error) {
+	a, err := prop.Analyze(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return propSummary(a, nil), nil
+}
+
+// propSuccessOnly keeps just the success truth tables (for comparison
+// against backends that compute only success patterns).
+func propSuccessOnly(a *prop.Analysis) map[string]string {
+	out := map[string]string{}
+	for ind, r := range a.Results {
+		out[ind] = "success=" + funRows(r.Success, r.Arity)
+	}
+	return out
+}
+
+// propVsGaia: the tabled declarative analyzer vs the hand-built
+// GAIA-style abstract interpreter (the paper's Table 2 identity).
+func propVsGaia(m Meta, src string) error {
+	pr, err := prop.Analyze(src, prop.Options{})
+	if err != nil {
+		return fmt.Errorf("error: prop: %w", err)
+	}
+	ga, err := gaia.Analyze(src)
+	if err != nil {
+		return fmt.Errorf("error: gaia: %w", err)
+	}
+	return diffSummaries("prop", "gaia", propSuccessOnly(pr), gaiaSummary(ga), true)
+}
+
+// propVsBDD: the tabled analyzer vs the ROBDD bottom-up evaluator.
+func propVsBDD(m Meta, src string) error {
+	pr, err := prop.Analyze(src, prop.Options{})
+	if err != nil {
+		return fmt.Errorf("error: prop: %w", err)
+	}
+	bd, err := bddprop.Analyze(src)
+	if err != nil {
+		return fmt.Errorf("error: bddprop: %w", err)
+	}
+	return diffSummaries("prop", "bdd", propSuccessOnly(pr), bddSummary(bd), true)
+}
+
+// propLoadMode: dynamic (assert-based) vs compiled clause loading must
+// not change analysis results, only cost.
+func propLoadMode(m Meta, src string) error {
+	dyn, err := propRun(src, prop.Options{Mode: engine.LoadDynamic})
+	if err != nil {
+		return fmt.Errorf("error: prop dynamic: %w", err)
+	}
+	comp, err := propRun(src, prop.Options{Mode: engine.LoadCompiled})
+	if err != nil {
+		return fmt.Errorf("error: prop compiled: %w", err)
+	}
+	return diffSummaries("dynamic", "compiled", dyn, comp, false)
+}
+
+// propPureIff: native iff/N builtin vs generated pure Prolog clauses.
+func propPureIff(m Meta, src string) error {
+	native, err := propRun(src, prop.Options{})
+	if err != nil {
+		return fmt.Errorf("error: prop native: %w", err)
+	}
+	pure, err := propRun(src, prop.Options{PureIff: true})
+	if err != nil {
+		return fmt.Errorf("error: prop pureiff: %w", err)
+	}
+	return diffSummaries("native-iff", "pure-iff", native, pure, false)
+}
+
+// propSlice: goal-directed analysis of the sliced program equals the
+// same goal-directed run over the full program.
+func propSlice(m Meta, src string) error {
+	full, err := propRun(src, prop.Options{Entry: []string{m.Entry}})
+	if err != nil {
+		return fmt.Errorf("error: prop entry: %w", err)
+	}
+	sliced, err := propRun(src, prop.Options{Entry: []string{m.Entry}, Slice: true})
+	if err != nil {
+		return fmt.Errorf("error: prop sliced: %w", err)
+	}
+	return diffSummaries("unsliced", "sliced", full, sliced, false)
+}
+
+func propAlpha(m Meta, src string) error {
+	base, err := propRun(src, prop.Options{})
+	if err != nil {
+		return fmt.Errorf("error: prop: %w", err)
+	}
+	ren, err := propRun(alphaRename(src), prop.Options{})
+	if err != nil {
+		return fmt.Errorf("error: prop alpha: %w", err)
+	}
+	return diffSummaries("base", "alpha", base, ren, false)
+}
+
+func propPredRename(m Meta, src string) error {
+	base, err := prop.Analyze(src, prop.Options{})
+	if err != nil {
+		return fmt.Errorf("error: prop: %w", err)
+	}
+	mapping := renameMap(m.Preds)
+	ren, err := prop.Analyze(renamePreds(src, mapping), prop.Options{})
+	if err != nil {
+		return fmt.Errorf("error: prop renamed: %w", err)
+	}
+	// Map the base results forward through the renaming and compare.
+	return diffSummaries("base", "renamed", propSummary(base, mapping), propSummary(ren, nil), false)
+}
+
+func propClauseReorder(m Meta, src string) error {
+	base, err := propRun(src, prop.Options{})
+	if err != nil {
+		return fmt.Errorf("error: prop: %w", err)
+	}
+	reord, err := propRun(reorderClauses(src, m.Seed+1), prop.Options{})
+	if err != nil {
+		return fmt.Errorf("error: prop reordered: %w", err)
+	}
+	return diffSummaries("base", "clause-reordered", base, reord, false)
+}
+
+func propGoalReorder(m Meta, src string) error {
+	base, err := propRun(src, prop.Options{})
+	if err != nil {
+		return fmt.Errorf("error: prop: %w", err)
+	}
+	shuffled, err := reorderGoals(src, m.Seed+2)
+	if err != nil {
+		return fmt.Errorf("error: goal reorder transform: %w", err)
+	}
+	reord, err := propRun(shuffled, prop.Options{})
+	if err != nil {
+		return fmt.Errorf("error: prop goal-reordered: %w", err)
+	}
+	return diffSummaries("base", "goal-reordered", base, reord, false)
+}
+
+const depthkK = 2
+
+func depthkClauseReorder(m Meta, src string) error {
+	base, err := depthk.Analyze(src, depthk.Options{K: depthkK})
+	if err != nil {
+		return fmt.Errorf("error: depthk: %w", err)
+	}
+	reord, err := depthk.Analyze(reorderClauses(src, m.Seed+3), depthk.Options{K: depthkK})
+	if err != nil {
+		return fmt.Errorf("error: depthk reordered: %w", err)
+	}
+	return diffSummaries("base", "clause-reordered", depthkSummary(base, nil), depthkSummary(reord, nil), false)
+}
+
+func depthkAlpha(m Meta, src string) error {
+	base, err := depthk.Analyze(src, depthk.Options{K: depthkK})
+	if err != nil {
+		return fmt.Errorf("error: depthk: %w", err)
+	}
+	ren, err := depthk.Analyze(alphaRename(src), depthk.Options{K: depthkK})
+	if err != nil {
+		return fmt.Errorf("error: depthk alpha: %w", err)
+	}
+	return diffSummaries("base", "alpha", depthkSummary(base, nil), depthkSummary(ren, nil), false)
+}
+
+// engineAnswers enumerates all answers to an open call of each predicate
+// on the tabled top-down engine.
+func engineAnswers(src string, preds []string) (map[string]string, error) {
+	m := engine.New()
+	if err := m.Consult(src); err != nil {
+		return nil, fmt.Errorf("consult: %w", err)
+	}
+	out := map[string]string{}
+	for _, ind := range preds {
+		goal, err := openCall(ind)
+		if err != nil {
+			return nil, err
+		}
+		var answers []term.Term
+		err = m.Solve(goal, func() bool {
+			answers = append(answers, term.Rename(term.Resolve(goal), nil))
+			return false
+		})
+		if err != nil {
+			return nil, fmt.Errorf("solve %s: %w", ind, err)
+		}
+		out[ind] = answerSet(answers)
+	}
+	return out, nil
+}
+
+// openCall builds an all-variables call term from an indicator.
+func openCall(ind string) (term.Term, error) {
+	i := strings.LastIndexByte(ind, '/')
+	if i < 0 {
+		return nil, fmt.Errorf("bad indicator %q", ind)
+	}
+	arity, err := strconv.Atoi(ind[i+1:])
+	if err != nil {
+		return nil, fmt.Errorf("bad indicator %q", ind)
+	}
+	args := make([]term.Term, arity)
+	for j := range args {
+		args[j] = term.NewVar(fmt.Sprintf("A%d", j))
+	}
+	return term.NewCompound(ind[:i], args...), nil
+}
+
+// bottomupFacts computes the fixpoint and returns the canonical fact set
+// per predicate.
+func bottomupFacts(src string, preds []string, naive bool) (map[string]string, error) {
+	sys := bottomup.New()
+	if err := sys.Consult(src); err != nil {
+		return nil, fmt.Errorf("consult: %w", err)
+	}
+	var err error
+	if naive {
+		_, err = sys.Naive()
+	} else {
+		_, err = sys.SemiNaive()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fixpoint: %w", err)
+	}
+	out := map[string]string{}
+	for _, ind := range preds {
+		out[ind] = answerSet(sys.Facts(ind))
+	}
+	return out, nil
+}
+
+// engineVsBottomup: on executable Datalog, the tabled top-down engine
+// and the bottom-up semi-naive evaluator must derive the same fact sets
+// (the paper's Table 1 vs Table 3 setting).
+func engineVsBottomup(m Meta, src string) error {
+	top, err := engineAnswers(src, m.Preds)
+	if err != nil {
+		return fmt.Errorf("error: engine: %w", err)
+	}
+	bottom, err := bottomupFacts(src, m.Preds, false)
+	if err != nil {
+		return fmt.Errorf("error: bottomup: %w", err)
+	}
+	return diffSummaries("engine", "bottomup", top, bottom, false)
+}
+
+// naiveVsSemiNaive: the two fixpoint strategies must agree exactly.
+func naiveVsSemiNaive(m Meta, src string) error {
+	nv, err := bottomupFacts(src, m.Preds, true)
+	if err != nil {
+		return fmt.Errorf("error: naive: %w", err)
+	}
+	sn, err := bottomupFacts(src, m.Preds, false)
+	if err != nil {
+		return fmt.Errorf("error: seminaive: %w", err)
+	}
+	return diffSummaries("naive", "seminaive", nv, sn, false)
+}
+
+func strictRun(src string, opts strict.Options, rename map[string]string) (map[string]string, error) {
+	a, err := strict.Analyze(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return strictSummary(a, rename), nil
+}
+
+// strictSupp: the supplementary-tabling optimization must not change
+// demand results.
+func strictSupp(m Meta, src string) error {
+	base, err := strictRun(src, strict.Options{}, nil)
+	if err != nil {
+		return fmt.Errorf("error: strict: %w", err)
+	}
+	nosupp, err := strictRun(src, strict.Options{NoSupplementary: true}, nil)
+	if err != nil {
+		return fmt.Errorf("error: strict nosupp: %w", err)
+	}
+	return diffSummaries("supp", "nosupp", base, nosupp, false)
+}
+
+func strictSlice(m Meta, src string) error {
+	full, err := strictRun(src, strict.Options{Entry: []string{m.Entry}}, nil)
+	if err != nil {
+		return fmt.Errorf("error: strict entry: %w", err)
+	}
+	sliced, err := strictRun(src, strict.Options{Entry: []string{m.Entry}, Slice: true}, nil)
+	if err != nil {
+		return fmt.Errorf("error: strict sliced: %w", err)
+	}
+	return diffSummaries("unsliced", "sliced", full, sliced, false)
+}
+
+func strictAlpha(m Meta, src string) error {
+	base, err := strictRun(src, strict.Options{}, nil)
+	if err != nil {
+		return fmt.Errorf("error: strict: %w", err)
+	}
+	ren, err := strictRun(alphaRename(src), strict.Options{}, nil)
+	if err != nil {
+		return fmt.Errorf("error: strict alpha: %w", err)
+	}
+	return diffSummaries("base", "alpha", base, ren, false)
+}
+
+func strictPredRename(m Meta, src string) error {
+	mapping := renameMap(m.Preds)
+	base, err := strictRun(src, strict.Options{}, mapping)
+	if err != nil {
+		return fmt.Errorf("error: strict: %w", err)
+	}
+	ren, err := strictRun(renamePreds(src, mapping), strict.Options{}, nil)
+	if err != nil {
+		return fmt.Errorf("error: strict renamed: %w", err)
+	}
+	return diffSummaries("base", "renamed", base, ren, false)
+}
+
+func strictEqReorder(m Meta, src string) error {
+	base, err := strictRun(src, strict.Options{}, nil)
+	if err != nil {
+		return fmt.Errorf("error: strict: %w", err)
+	}
+	reord, err := strictRun(reorderClauses(src, m.Seed+4), strict.Options{}, nil)
+	if err != nil {
+		return fmt.Errorf("error: strict reordered: %w", err)
+	}
+	return diffSummaries("base", "eq-reordered", base, reord, false)
+}

@@ -1,0 +1,69 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"xlp/internal/gaia"
+	"xlp/internal/prop"
+	"xlp/internal/randgen"
+)
+
+// TestSummariesNotVacuous guards the harness against comparing empty
+// maps: a generated program must produce a non-empty summary per
+// backend, and the summaries must reflect semantics (a ground fact vs an
+// open fact differ).
+func TestSummariesNotVacuous(t *testing.T) {
+	p := randgen.Generate(randgen.Config{Shape: randgen.Mixed, Seed: 5})
+	pr, err := prop.Analyze(p.Source, prop.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(propSummary(pr, nil)) == 0 {
+		t.Fatal("empty prop summary on a generated program")
+	}
+	ga, err := gaia.Analyze(p.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := gaiaSummary(ga)
+	if len(gs) == 0 {
+		t.Fatal("empty gaia summary on a generated program")
+	}
+
+	ground, err := prop.Analyze("p(a).", prop.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	open, err := prop.Analyze("p(V0) :- q(V0).\nq(V0) :- p(V0).\n:- table p/1.\n:- table q/1.", prop.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := propSummary(ground, nil), propSummary(open, nil)
+	if a["p/1"] == b["p/1"] {
+		t.Errorf("summary insensitive to groundness: %q", a["p/1"])
+	}
+}
+
+func TestDiffSummariesReportsMismatch(t *testing.T) {
+	a := map[string]string{"p/1": "success=10", "q/1": "success=11"}
+	b := map[string]string{"p/1": "success=10", "q/1": "success=01"}
+	err := diffSummaries("left", "right", a, b, false)
+	if err == nil || !strings.HasPrefix(err.Error(), "mismatch:") {
+		t.Fatalf("diffSummaries = %v, want mismatch", err)
+	}
+	if !strings.Contains(err.Error(), "q/1") {
+		t.Errorf("mismatch does not name the disagreeing indicator: %v", err)
+	}
+	if err := diffSummaries("left", "right", a, a, false); err != nil {
+		t.Errorf("identical summaries reported: %v", err)
+	}
+	// Missing keys: flagged strictly, tolerated with onlyShared.
+	c := map[string]string{"p/1": "success=10"}
+	if err := diffSummaries("left", "right", a, c, false); err == nil {
+		t.Error("missing indicator not flagged in strict mode")
+	}
+	if err := diffSummaries("left", "right", a, c, true); err != nil {
+		t.Errorf("shared-only comparison flagged a missing indicator: %v", err)
+	}
+}

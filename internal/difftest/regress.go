@@ -1,0 +1,174 @@
+package difftest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xlp/internal/randgen"
+)
+
+// Regression files: one shrunk counterexample per file, self-describing
+// via '%' header comments so the replay test can re-run the exact
+// failing check. The format is valid Prolog/FL source (headers are
+// comments), so regressions double as ordinary test inputs.
+
+// Regression is a parsed regression file.
+type Regression struct {
+	Path   string
+	Check  string
+	Meta   Meta
+	Detail string
+	Source string
+}
+
+// writeRegression persists a finding as <check>_<shape>_<seed>.pl|.fl.
+func writeRegression(dir string, f Finding) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	ext := ".pl"
+	if f.Shape.Lang() == randgen.LangFL {
+		ext = ".fl"
+	}
+	name := fmt.Sprintf("%s_%s_%d%s", f.Check, f.Shape, f.Seed, ext)
+	path := filepath.Join(dir, name)
+	var sb strings.Builder
+	sb.WriteString("% xlp difftest regression (shrunk counterexample)\n")
+	fmt.Fprintf(&sb, "%% check: %s\n", f.Check)
+	fmt.Fprintf(&sb, "%% shape: %s\n", f.Shape)
+	fmt.Fprintf(&sb, "%% seed: %d\n", f.Seed)
+	fmt.Fprintf(&sb, "%% entry: %s\n", f.Entry)
+	fmt.Fprintf(&sb, "%% detail: %s\n", strings.ReplaceAll(f.Detail, "\n", " "))
+	sb.WriteString("\n")
+	sb.WriteString(f.Source)
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadRegressions parses every .pl/.fl file in dir (missing dir = none).
+func LoadRegressions(dir string) ([]Regression, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []Regression
+	for _, e := range entries {
+		ext := filepath.Ext(e.Name())
+		if e.IsDir() || (ext != ".pl" && ext != ".fl") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		r, err := parseRegression(path)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+func parseRegression(path string) (Regression, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Regression{}, err
+	}
+	r := Regression{Path: path}
+	var body []string
+	for _, ln := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(ln)
+		if strings.HasPrefix(trimmed, "% ") {
+			key, val, ok := strings.Cut(strings.TrimPrefix(trimmed, "% "), ": ")
+			if !ok {
+				continue
+			}
+			switch key {
+			case "check":
+				r.Check = val
+			case "shape":
+				s, err := randgen.ParseShape(val)
+				if err != nil {
+					return Regression{}, err
+				}
+				r.Meta.Shape = s
+			case "seed":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return Regression{}, fmt.Errorf("bad seed %q", val)
+				}
+				r.Meta.Seed = n
+			case "entry":
+				r.Meta.Entry = val
+			case "detail":
+				r.Detail = val
+			}
+			continue
+		}
+		body = append(body, ln)
+	}
+	if r.Check == "" {
+		return Regression{}, fmt.Errorf("missing '%% check:' header")
+	}
+	r.Source = strings.TrimLeft(strings.Join(body, "\n"), "\n")
+	r.Meta.Preds = predsOf(r.Source, r.Meta.Shape)
+	return r, nil
+}
+
+// predsOf recovers predicate metadata from a (possibly hand-edited)
+// regression source: the set of clause-head indicators in definition
+// order, via the generator's line discipline (one clause per line).
+func predsOf(src string, shape randgen.Shape) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, ln := range nonEmptyLines(src) {
+		if strings.HasPrefix(ln, ":- ") || strings.HasPrefix(ln, "%") {
+			continue
+		}
+		name := clauseKey(ln)
+		if name == "" {
+			continue
+		}
+		arity := headArity(ln, name)
+		ind := fmt.Sprintf("%s/%d", name, arity)
+		if !seen[ind] {
+			seen[ind] = true
+			out = append(out, ind)
+		}
+	}
+	return out
+}
+
+// headArity counts the top-level comma-separated arguments of the head
+// term starting right after name in line.
+func headArity(line, name string) int {
+	rest := line[len(name):]
+	if !strings.HasPrefix(rest, "(") {
+		return 0
+	}
+	depth, args := 0, 1
+	for i := 0; i < len(rest); i++ {
+		switch rest[i] {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+			if depth == 0 {
+				return args
+			}
+		case ',':
+			if depth == 1 {
+				args++
+			}
+		}
+	}
+	return args
+}

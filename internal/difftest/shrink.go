@@ -1,0 +1,116 @@
+package difftest
+
+import (
+	"strings"
+
+	"xlp/internal/prolog"
+	"xlp/internal/term"
+)
+
+// maxShrinkEvals bounds the number of candidate re-checks one shrink
+// may spend; each candidate runs the failing check (two analyses), so
+// this caps shrink cost at a few hundred milliseconds.
+const maxShrinkEvals = 400
+
+// Shrink reduces src to a smaller program on which check still fails
+// with the same failure class ("mismatch" stays a mismatch, "error"
+// stays an error). Greedy clause (line) removal runs to a fixpoint,
+// then body goals are dropped one at a time per rule. The result is
+// always a failing program; when nothing can be removed it is src
+// itself.
+func Shrink(c Check, m Meta, src string, orig error) string {
+	class := failureClass(orig)
+	evals := 0
+	fails := func(cand string) bool {
+		if evals >= maxShrinkEvals {
+			return false
+		}
+		evals++
+		err := c.Run(m, cand)
+		return err != nil && failureClass(err) == class
+	}
+
+	lines := nonEmptyLines(src)
+	// Pass 1: greedy line removal to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(lines); i++ {
+			if len(lines) == 1 {
+				break
+			}
+			cand := make([]string, 0, len(lines)-1)
+			cand = append(cand, lines[:i]...)
+			cand = append(cand, lines[i+1:]...)
+			if fails(joinLines(cand)) {
+				lines = cand
+				changed = true
+				i--
+			}
+		}
+	}
+	// Pass 2: body-goal dropping inside surviving rules.
+	for changed := true; changed; {
+		changed = false
+		for i, ln := range lines {
+			for _, v := range dropGoalVariants(ln) {
+				cand := make([]string, len(lines))
+				copy(cand, lines)
+				cand[i] = v
+				if fails(joinLines(cand)) {
+					lines[i] = v
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return joinLines(lines)
+}
+
+// failureClass is the error-string prefix up to the first ':' —
+// "mismatch" or "error" for all checks in the suite.
+func failureClass(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func joinLines(lines []string) string {
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// dropGoalVariants proposes smaller versions of one rule line: the bare
+// head as a fact, and the rule with each top-level body conjunct
+// removed. Non-rules (facts, directives, FL equations) have no
+// variants.
+func dropGoalVariants(line string) []string {
+	if strings.HasPrefix(line, ":- ") || !strings.Contains(line, ":-") {
+		return nil
+	}
+	clauses, err := prolog.ParseProgram(line)
+	if err != nil || len(clauses) != 1 {
+		return nil
+	}
+	head, body := prolog.SplitClause(clauses[0])
+	if head == nil {
+		return nil
+	}
+	goals := prolog.Conjuncts(body)
+	out := []string{prolog.WriteClause(head)}
+	if len(goals) < 2 {
+		return out
+	}
+	for i := range goals {
+		rest := make([]term.Term, 0, len(goals)-1)
+		rest = append(rest, goals[:i]...)
+		rest = append(rest, goals[i+1:]...)
+		rebuilt := rest[len(rest)-1]
+		for j := len(rest) - 2; j >= 0; j-- {
+			rebuilt = term.Comp(",", rest[j], rebuilt)
+		}
+		out = append(out, prolog.WriteClause(term.Comp(":-", head, rebuilt)))
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package difftest
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+
+	"xlp/internal/prolog"
+	"xlp/internal/term"
+)
+
+// The metamorphic transforms. Each maps source text to source text under
+// a semantics-preserving rewrite, deterministically from a seed, so a
+// transform-induced disagreement reproduces from the finding's seed.
+
+var alphaTok = regexp.MustCompile(`\bV(\d+)\b`)
+
+// alphaRename renames every generated variable token V<n> to Y<n> —
+// analysis results must be untouched (variables are positional in every
+// backend's abstraction).
+func alphaRename(src string) string {
+	return alphaTok.ReplaceAllString(src, "Y$1")
+}
+
+// renamePreds renames each predicate (or FL function) name per mapping,
+// token-wise. Generated predicate names never collide with generated
+// data constructors, so a word-boundary match is exact.
+func renamePreds(src string, mapping map[string]string) string {
+	if len(mapping) == 0 {
+		return src
+	}
+	names := make([]string, 0, len(mapping))
+	for from := range mapping {
+		names = append(names, regexp.QuoteMeta(from))
+	}
+	re := regexp.MustCompile(`\b(` + strings.Join(names, "|") + `)\b`)
+	return re.ReplaceAllStringFunc(src, func(tok string) string {
+		return mapping[tok]
+	})
+}
+
+// renameMap builds the rename mapping for a program's predicates: every
+// defined name gets an "rn_" prefix (which no generator template ever
+// produces, so renamed names are collision-free).
+func renameMap(preds []string) map[string]string {
+	out := map[string]string{}
+	for _, ind := range preds {
+		name := ind
+		if i := strings.LastIndexByte(ind, '/'); i >= 0 {
+			name = ind[:i]
+		}
+		out[name] = "rn_" + name
+	}
+	return out
+}
+
+// mapIndicator applies a name mapping to a predicate indicator.
+func mapIndicator(ind string, mapping map[string]string) string {
+	i := strings.LastIndexByte(ind, '/')
+	if i < 0 {
+		return ind
+	}
+	if to, ok := mapping[ind[:i]]; ok {
+		return to + ind[i:]
+	}
+	return ind
+}
+
+// reorderClauses permutes the program's clause lines. Directive lines
+// keep their positions (a ':- table' must precede use on the engine
+// path), and — for FL safety — consecutive clauses of the same
+// predicate move as one block, preserving their relative order.
+func reorderClauses(src string, seed int64) string {
+	lines := nonEmptyLines(src)
+	type block struct {
+		key   string
+		lines []string
+	}
+	var blocks []*block
+	var directives []string // (index into output, line) — kept in place
+	var dirIdx []int
+	pos := 0
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, ":- ") {
+			directives = append(directives, ln)
+			dirIdx = append(dirIdx, pos)
+			pos++
+			continue
+		}
+		key := clauseKey(ln)
+		if n := len(blocks); n > 0 && blocks[n-1].key == key {
+			blocks[n-1].lines = append(blocks[n-1].lines, ln)
+			continue
+		}
+		blocks = append(blocks, &block{key: key, lines: []string{ln}})
+		pos++
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(blocks), func(i, j int) { blocks[i], blocks[j] = blocks[j], blocks[i] })
+	var out []string
+	bi := 0
+	for i := 0; i < pos; i++ {
+		if len(dirIdx) > 0 && dirIdx[0] == i {
+			out = append(out, directives[0])
+			directives, dirIdx = directives[1:], dirIdx[1:]
+			continue
+		}
+		out = append(out, blocks[bi].lines...)
+		bi++
+	}
+	return strings.Join(out, "\n") + "\n"
+}
+
+// clauseKey extracts the defining name of a clause line ("p0(..." → "p0").
+func clauseKey(line string) string {
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if c == '(' || c == ' ' || c == '.' {
+			return line[:i]
+		}
+	}
+	return line
+}
+
+// reorderGoals shuffles the top-level body conjuncts of every rule line.
+// The Prop/depth-k abstractions of conjunction are commutative, so
+// analysis results must be invariant (object-level execution order is
+// not preserved, so this transform is only paired with analyzers).
+func reorderGoals(src string, seed int64) (string, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var out []string
+	for _, ln := range nonEmptyLines(src) {
+		if strings.HasPrefix(ln, ":- ") || !strings.Contains(ln, ":-") {
+			out = append(out, ln)
+			continue
+		}
+		clauses, err := prolog.ParseProgram(ln)
+		if err != nil || len(clauses) != 1 {
+			return "", err
+		}
+		head, body := prolog.SplitClause(clauses[0])
+		goals := prolog.Conjuncts(body)
+		if head == nil || len(goals) < 2 {
+			out = append(out, ln)
+			continue
+		}
+		rng.Shuffle(len(goals), func(i, j int) { goals[i], goals[j] = goals[j], goals[i] })
+		rebuilt := goals[len(goals)-1]
+		for i := len(goals) - 2; i >= 0; i-- {
+			rebuilt = term.Comp(",", goals[i], rebuilt)
+		}
+		out = append(out, prolog.WriteClause(term.Comp(":-", head, rebuilt)))
+	}
+	return strings.Join(out, "\n") + "\n", nil
+}
+
+func nonEmptyLines(src string) []string {
+	var out []string
+	for _, ln := range strings.Split(src, "\n") {
+		ln = strings.TrimSpace(ln)
+		if ln != "" {
+			out = append(out, ln)
+		}
+	}
+	return out
+}

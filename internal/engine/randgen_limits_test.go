@@ -1,0 +1,183 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"xlp/internal/engine"
+	"xlp/internal/randgen"
+)
+
+// These tests drive the engine's resource limits and cancellation paths
+// with generated programs rather than hand-written ones: whatever shape
+// the search space takes, hitting a limit must surface exactly one of
+// the sentinel errors, leave the machine reusable after ResetTables,
+// keep Stats within the configured bounds, and leak no goroutines.
+
+func genPrologPrograms(seeds int64) []randgen.Program {
+	var out []randgen.Program
+	for seed := int64(0); seed < seeds; seed++ {
+		for _, shape := range randgen.PrologShapes() {
+			out = append(out, randgen.Generate(randgen.Config{Shape: shape, Seed: seed}))
+		}
+	}
+	return out
+}
+
+// baseLimits bound the baseline run. Generated entries may recurse
+// without bound, and the engine's defaults would overflow the Go stack
+// long before tripping. MaxDepth bounds only the nesting of one
+// resolution chain — each producer run restarts the counter — so the
+// native stack can reach roughly (subgoals + answers) x depth frames,
+// and all three limits must be jointly small.
+var baseLimits = engine.Limits{MaxDepth: 300, MaxAnswers: 1_000, MaxSubgoals: 100}
+
+// baselineErr runs the entry goal under baseLimits on a fresh machine
+// and returns its outcome. Some shapes produce entries that error
+// legitimately under concrete evaluation (arithmetic on an open
+// argument, or a depth sentinel on unbounded recursion); the limited
+// and canceled runs below must reproduce exactly that outcome whenever
+// they don't abort with their own sentinel.
+func baselineErr(t *testing.T, g randgen.Program) error {
+	t.Helper()
+	m := engine.New()
+	m.Limits = baseLimits
+	if err := m.Consult(g.Source); err != nil {
+		t.Fatalf("%s seed %d: consult: %v", g.Config.Shape, g.Config.Seed, err)
+	}
+	_, err := m.Query(g.Entry)
+	return err
+}
+
+// sameOutcome reports whether err matches the baseline outcome.
+func sameOutcome(err, baseline error) bool {
+	if (err == nil) != (baseline == nil) {
+		return false
+	}
+	return err == nil || err.Error() == baseline.Error()
+}
+
+func TestRandgenLimitsAbortCleanly(t *testing.T) {
+	// Every case keeps a stack-safe MaxDepth: a case that bounded only
+	// answers or subgoals would leave MaxDepth at its 1e6 default and
+	// let deep non-tabled recursion overflow the Go stack before its
+	// own limit could trip.
+	limitCases := []struct {
+		name string
+		lim  engine.Limits
+	}{
+		{"depth", engine.Limits{MaxDepth: 25, MaxAnswers: baseLimits.MaxAnswers, MaxSubgoals: baseLimits.MaxSubgoals}},
+		{"answers", engine.Limits{MaxDepth: baseLimits.MaxDepth, MaxAnswers: 3, MaxSubgoals: baseLimits.MaxSubgoals}},
+		{"subgoals", engine.Limits{MaxDepth: baseLimits.MaxDepth, MaxAnswers: baseLimits.MaxAnswers, MaxSubgoals: 2}},
+		{"all", engine.Limits{MaxDepth: 25, MaxAnswers: 3, MaxSubgoals: 2}},
+	}
+	for _, g := range genPrologPrograms(4) {
+		baseline := baselineErr(t, g)
+		for _, lc := range limitCases {
+			m := engine.New()
+			m.Limits = lc.lim
+			if err := m.Consult(g.Source); err != nil {
+				t.Fatalf("%s/%s: consult: %v", g.Config.Shape, lc.name, err)
+			}
+			_, err := m.Query(g.Entry)
+			sentinel := errors.Is(err, engine.ErrDepthLimit) ||
+				errors.Is(err, engine.ErrAnswerLimit) ||
+				errors.Is(err, engine.ErrSubgoalLimit)
+			if !sentinel && !sameOutcome(err, baseline) {
+				t.Fatalf("%s seed %d/%s: unexpected error %v (baseline %v)",
+					g.Config.Shape, g.Config.Seed, lc.name, err, baseline)
+			}
+			s := m.Stats()
+			if lc.lim.MaxAnswers > 0 && s.Answers > lc.lim.MaxAnswers {
+				t.Fatalf("%s seed %d/%s: %d answers exceed limit %d",
+					g.Config.Shape, g.Config.Seed, lc.name, s.Answers, lc.lim.MaxAnswers)
+			}
+			if lc.lim.MaxSubgoals > 0 && s.Subgoals > lc.lim.MaxSubgoals {
+				t.Fatalf("%s seed %d/%s: %d subgoals exceed limit %d",
+					g.Config.Shape, g.Config.Seed, lc.name, s.Subgoals, lc.lim.MaxSubgoals)
+			}
+			// An aborted machine must come back clean: with tables reset
+			// and the limits relaxed to the baseline's, the same query
+			// reproduces the baseline outcome.
+			m.ResetTables()
+			m.Limits = baseLimits
+			if _, err := m.Query(g.Entry); !sameOutcome(err, baseline) {
+				t.Fatalf("%s seed %d/%s: after reset got %v, baseline %v",
+					g.Config.Shape, g.Config.Seed, lc.name, err, baseline)
+			}
+		}
+	}
+}
+
+func TestRandgenStatsMonotonic(t *testing.T) {
+	for _, g := range genPrologPrograms(3) {
+		// Repeated-query monotonicity only makes sense for programs whose
+		// evaluation completes; entries that abort leave partial tables
+		// whose re-query behavior is covered by the abort test above.
+		if baselineErr(t, g) != nil {
+			continue
+		}
+		m := engine.New()
+		m.Limits = baseLimits
+		if err := m.Consult(g.Source); err != nil {
+			t.Fatalf("%s: consult: %v", g.Config.Shape, err)
+		}
+		var prev engine.Stats
+		for round := 0; round < 3; round++ {
+			if _, err := m.Query(g.Entry); err != nil {
+				t.Fatalf("%s seed %d: round %d: %v", g.Config.Shape, g.Config.Seed, round, err)
+			}
+			s := m.Stats()
+			if s.Resolutions < prev.Resolutions || s.BuiltinCalls < prev.BuiltinCalls ||
+				s.Subgoals < prev.Subgoals || s.Answers < prev.Answers ||
+				s.ProducerRuns < prev.ProducerRuns || s.ProducerPasses < prev.ProducerPasses ||
+				s.TableBytes < prev.TableBytes {
+				t.Fatalf("%s seed %d: stats went backwards: %+v -> %+v",
+					g.Config.Shape, g.Config.Seed, prev, s)
+			}
+			prev = s
+		}
+	}
+}
+
+func TestRandgenCancelAndDeadline(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for _, g := range genPrologPrograms(3) {
+		baseline := baselineErr(t, g)
+		// A context canceled before Solve starts: the run either ends in
+		// ErrCanceled at the first poll, or reaches the baseline outcome
+		// if the program completes before any poll is due.
+		m := engine.New()
+		m.Limits = baseLimits
+		if err := m.Consult(g.Source); err != nil {
+			t.Fatalf("%s: consult: %v", g.Config.Shape, err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		m.SetContext(ctx)
+		if _, err := m.Query(g.Entry); !errors.Is(err, engine.ErrCanceled) && !sameOutcome(err, baseline) {
+			t.Fatalf("%s seed %d: canceled run: unexpected error %v (baseline %v)",
+				g.Config.Shape, g.Config.Seed, err, baseline)
+		}
+		// An already-expired deadline maps to ErrDeadline instead.
+		m.ResetTables()
+		dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		m.SetContext(dctx)
+		if _, err := m.Query(g.Entry); !errors.Is(err, engine.ErrDeadline) && !sameOutcome(err, baseline) {
+			t.Fatalf("%s seed %d: expired run: unexpected error %v (baseline %v)",
+				g.Config.Shape, g.Config.Seed, err, baseline)
+		}
+		dcancel()
+	}
+	// The engine is single-goroutine: cancellation must not strand any.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}

@@ -232,7 +232,7 @@ func (m *Machine) runProducer(sg *subgoal) {
 
 	m.stack = m.stack[:len(m.stack)-1]
 	sg.active = false
-	if sg.minlink == sg.dfn {
+	if sg.minlink == sg.dfn && !m.regionHasActive(sg) {
 		// Leader: complete the whole region created since sg.
 		for len(m.complStack) > 0 {
 			top := m.complStack[len(m.complStack)-1]
@@ -251,6 +251,29 @@ func (m *Machine) runProducer(sg *subgoal) {
 	if parent := m.curProducer(); parent != nil && sg.minlink < parent.minlink {
 		parent.minlink = sg.minlink
 	}
+}
+
+// regionHasActive reports whether sg's completion region (the
+// completion-stack entries numbered since sg) contains a subgoal whose
+// producer frame is still running. Numbering order normally matches
+// producer-stack order, but re-entering an inactive incomplete subgoal
+// nests its (old, low-numbered) frame inside newer ones, so a subgoal
+// can look like an SCC leader while a member's producer is still live
+// below it on the call stack. Completing then freezes tables that the
+// live frame goes on to extend — and answers added to a "complete"
+// table no longer wake its consumers. Such a leader must defer
+// completion to an outer leader instead.
+func (m *Machine) regionHasActive(sg *subgoal) bool {
+	for i := len(m.complStack) - 1; i >= 0; i-- {
+		mem := m.complStack[i]
+		if mem.dfn < sg.dfn {
+			break
+		}
+		if mem != sg && mem.active {
+			return true
+		}
+	}
+	return false
 }
 
 // markWatchersDirty marks the direct consumers of sg's table as needing
@@ -272,6 +295,11 @@ func markWatchersDirty(sg *subgoal) {
 // footnote: "only unique answers are entered in the table, and
 // duplicates are filtered out using variant checks").
 func (m *Machine) addAnswer(sg *subgoal, inst term.Term) {
+	if sg.complete {
+		// A completed table is frozen: its consumers are never woken
+		// again, so a late answer would be silently unobservable.
+		m.throwf("internal: answer for completed table %s", sg.key)
+	}
 	if m.AnswerAbstraction != nil {
 		inst = m.AnswerAbstraction(term.Resolve(inst))
 	}

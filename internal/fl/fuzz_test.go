@@ -1,0 +1,55 @@
+package fl
+
+import (
+	"testing"
+
+	"xlp/internal/corpus"
+	"xlp/internal/randgen"
+)
+
+// FuzzParseFL asserts the equation reader never panics and that a
+// successful parse is deterministic and internally consistent: every
+// function in Order is defined, arities are sane, and re-parsing the
+// same text gives the same program shape.
+func FuzzParseFL(f *testing.F) {
+	for _, p := range corpus.FuncPrograms() {
+		f.Add(p.Source)
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		for _, shape := range []randgen.Shape{randgen.FLFirstOrder, randgen.FLHigherOrder} {
+			f.Add(randgen.Generate(randgen.Config{Shape: shape, Seed: seed}).Source)
+		}
+	}
+	f.Add("f(0) = 1.\nf(s(N)) = f(N) + 1.\nmain(X) = f(X).")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if len(prog.Order) != len(prog.Funcs) {
+			t.Fatalf("Order has %d entries for %d functions", len(prog.Order), len(prog.Funcs))
+		}
+		for _, ind := range prog.Order {
+			fn, ok := prog.Funcs[ind]
+			if !ok {
+				t.Fatalf("Order lists undefined function %q", ind)
+			}
+			if fn.Arity < 0 || len(fn.Equations) == 0 {
+				t.Fatalf("function %q: arity %d, %d equations", ind, fn.Arity, len(fn.Equations))
+			}
+			for _, eq := range fn.Equations {
+				if len(eq.Patterns) != fn.Arity {
+					t.Fatalf("function %q: equation with %d patterns, arity %d", ind, len(eq.Patterns), fn.Arity)
+				}
+			}
+		}
+		again, err := Parse(src)
+		if err != nil {
+			t.Fatalf("second parse of accepted input failed: %v", err)
+		}
+		if len(again.Funcs) != len(prog.Funcs) || again.Lines != prog.Lines {
+			t.Fatalf("parse not deterministic: %d/%d funcs, %d/%d lines",
+				len(prog.Funcs), len(again.Funcs), prog.Lines, again.Lines)
+		}
+	})
+}

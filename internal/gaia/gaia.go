@@ -228,6 +228,9 @@ func (az *analyzer) load(head term.Term, body term.Term) error {
 		return fmt.Errorf("gaia: non-callable head %v", head)
 	}
 	_, args, _ := term.FunctorArity(head)
+	if len(args) > MaxEnv {
+		return fmt.Errorf("gaia: %s exceeds the %d-argument limit of the boolean domain", ind, MaxEnv)
+	}
 	p, ok := az.preds[ind]
 	if !ok {
 		p = &pred{ind: ind, arity: len(args)}

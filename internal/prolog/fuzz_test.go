@@ -1,0 +1,152 @@
+package prolog
+
+import (
+	"strings"
+	"testing"
+
+	"xlp/internal/corpus"
+	"xlp/internal/randgen"
+	"xlp/internal/term"
+)
+
+// Fuzz targets for the reader and unifier. Beyond not panicking, each
+// asserts a semantic property: printing is parse-stable (a second
+// write is a fixpoint of parse∘write), and unification is symmetric,
+// solution-producing, and fully undone by the trail.
+
+func addCorpusSeeds(f *testing.F, fl bool) {
+	for _, p := range corpus.LogicPrograms() {
+		f.Add(p.Source)
+	}
+	if fl {
+		for _, p := range corpus.FuncPrograms() {
+			f.Add(p.Source)
+		}
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		for _, shape := range randgen.Shapes() {
+			g := randgen.Generate(randgen.Config{Shape: shape, Seed: seed})
+			if g.Lang == randgen.LangProlog || fl {
+				f.Add(g.Source)
+			}
+		}
+	}
+}
+
+func FuzzParseProlog(f *testing.F) {
+	addCorpusSeeds(f, false)
+	f.Add(":- table p/1.\np(a).\np(X) :- p(X), \\+ q(X), X = f(Y), Y is 1 + 2.")
+	f.Fuzz(func(t *testing.T, src string) {
+		clauses, err := ParseProgram(src)
+		if err != nil {
+			return
+		}
+		// Printing the parse must itself parse, to the same number of
+		// clauses, and printing that re-parse must be a fixpoint.
+		var sb strings.Builder
+		for _, c := range clauses {
+			sb.WriteString(WriteClause(c))
+			sb.WriteByte('\n')
+		}
+		printed := sb.String()
+		back, err := ParseProgram(printed)
+		if err != nil {
+			t.Fatalf("printed program does not re-parse: %v\n%s", err, printed)
+		}
+		if len(back) != len(clauses) {
+			t.Fatalf("clause count changed %d -> %d:\n%s", len(clauses), len(back), printed)
+		}
+		for i := range back {
+			if !term.Variant(clauses[i], back[i]) {
+				t.Fatalf("re-parse changed clause %d: %q vs %q",
+					i, WriteClause(clauses[i]), WriteClause(back[i]))
+			}
+		}
+	})
+}
+
+func FuzzReadTermRoundTrip(f *testing.F) {
+	for _, s := range []string{
+		"foo", "f(X, Y)", "[1, 2 | T]", "A = B + C * 2", "(a , b ; c -> d)",
+		"\\+ p(X)", "-(1)", "'quoted atom'", "p((a, b))", "f(-1, [])",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tm, _, err := ParseTerm(src)
+		if err != nil {
+			return
+		}
+		out := WriteTerm(tm)
+		back, _, err := ParseTerm(out)
+		if err != nil {
+			t.Fatalf("%q printed as unparseable %q: %v", src, out, err)
+		}
+		if !term.Variant(tm, back) {
+			t.Fatalf("round trip changed the term: %q -> %q (%v vs %v)", src, out, tm, back)
+		}
+		// Variables print with fresh ids each time, so exact string
+		// stability is only promised for ground terms.
+		if term.IsGround(tm) {
+			if again := WriteTerm(back); again != out {
+				t.Fatalf("write not a fixpoint: %q -> %q", out, again)
+			}
+		}
+	})
+}
+
+func FuzzUnify(f *testing.F) {
+	pairs := [][2]string{
+		{"f(X, b)", "f(a, Y)"},
+		{"X", "f(X)"},
+		{"[H | T]", "[1, 2, 3]"},
+		{"g(X, X)", "g(Y, f(Y))"},
+		{"p(A, B, A)", "p(B, c, C)"},
+		{"s(s(z))", "s(X)"},
+	}
+	for _, p := range pairs {
+		f.Add(p[0], p[1])
+	}
+	f.Fuzz(func(t *testing.T, aSrc, bSrc string) {
+		parse := func() (term.Term, term.Term, bool) {
+			a, _, errA := ParseTerm(aSrc)
+			b, _, errB := ParseTerm(bSrc)
+			return a, b, errA == nil && errB == nil
+		}
+		a, b, ok := parse()
+		if !ok {
+			return
+		}
+		// Occurs-check unification is used for every property below:
+		// plain Unify may build rational (cyclic) terms on which Resolve
+		// and Canonical do not terminate.
+		var tr term.Trail
+		mark := tr.Mark()
+		before := term.Canonical(a) + "~" + term.Canonical(b)
+		if term.UnifyOC(a, b, &tr) {
+			// A solution: both sides resolve to the same term.
+			ra, rb := term.Resolve(a), term.Resolve(b)
+			if term.Canonical(ra) != term.Canonical(rb) {
+				t.Fatalf("unified but unequal: %v vs %v", ra, rb)
+			}
+			// Plain unification must succeed whenever the occurs-check
+			// version does (on fresh copies).
+			a2, b2, _ := parse()
+			var tr2 term.Trail
+			if !term.Unify(a2, b2, &tr2) {
+				t.Fatalf("UnifyOC succeeded but Unify failed: %q ~ %q", aSrc, bSrc)
+			}
+		}
+		tr.Undo(mark)
+		if after := term.Canonical(a) + "~" + term.Canonical(b); after != before {
+			t.Fatalf("trail undo did not restore: %q -> %q", before, after)
+		}
+		// Symmetry, on fresh copies.
+		a3, b3, _ := parse()
+		a4, b4, _ := parse()
+		var tr3, tr4 term.Trail
+		if term.UnifyOC(a3, b3, &tr3) != term.UnifyOC(b4, a4, &tr4) {
+			t.Fatalf("unification not symmetric: %q ~ %q", aSrc, bSrc)
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 type tokenKind int
@@ -319,6 +320,11 @@ func (lx *lexer) lexQuoted(line, col int) (token, error) {
 				sb.WriteByte('\'')
 				continue
 			}
+			if !utf8.ValidString(sb.String()) {
+				// The writer cannot re-quote such an atom faithfully, so
+				// admitting it would break print/read round-tripping.
+				return token{}, &SyntaxError{Line: line, Col: col, Msg: "invalid encoding in quoted atom"}
+			}
 			t := token{kind: tokAtom, text: sb.String(), line: line, col: col}
 			if c, ok := lx.peekRune(); ok && c == '(' {
 				t.functor = true
@@ -355,6 +361,9 @@ func (lx *lexer) lexString(line, col int) (token, error) {
 				lx.advance()
 				sb.WriteByte('"')
 				continue
+			}
+			if !utf8.ValidString(sb.String()) {
+				return token{}, &SyntaxError{Line: line, Col: col, Msg: "invalid encoding in string"}
 			}
 			return token{kind: tokStr, text: sb.String(), line: line, col: col}, nil
 		case '\\':

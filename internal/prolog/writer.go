@@ -41,6 +41,15 @@ func (w *writer) term(t term.Term, maxPrec int) {
 	t = term.Deref(t)
 	c, ok := t.(*term.Compound)
 	if !ok {
+		// An atom that names an operator carries that operator's
+		// priority when read back, so in a tighter context it must be
+		// parenthesized ("a $ (+)", not "a $ +").
+		if a, isAtom := t.(term.Atom); isAtom && w.atomPrec(string(a)) > maxPrec {
+			w.sb.WriteByte('(')
+			w.sb.WriteString(t.String())
+			w.sb.WriteByte(')')
+			return
+		}
 		w.sb.WriteString(t.String())
 		return
 	}
@@ -64,7 +73,7 @@ func (w *writer) term(t term.Term, maxPrec int) {
 			if open {
 				w.sb.WriteByte('(')
 			}
-			w.term(c.Args[0], lmax)
+			w.operand(c.Args[0], lmax)
 			if isAlphaOp(c.Functor) || c.Functor == "," {
 				// ',' binds tight on the left, space on the right
 				if c.Functor == "," {
@@ -79,7 +88,7 @@ func (w *writer) term(t term.Term, maxPrec int) {
 				w.sb.WriteString(c.Functor)
 				w.sb.WriteByte(' ')
 			}
-			w.term(c.Args[1], rmax)
+			w.operand(c.Args[1], rmax)
 			if open {
 				w.sb.WriteByte(')')
 			}
@@ -89,18 +98,22 @@ func (w *writer) term(t term.Term, maxPrec int) {
 	// prefix operators
 	if len(c.Args) == 1 {
 		if d, ok := w.ops.prefixOp(c.Functor); ok {
-			_, rmax := d.argPrec()
-			open := d.prec > maxPrec
-			if open {
-				w.sb.WriteByte('(')
+			// "- 1" would read back as the integer -1, not the compound
+			// -(1); keep the sign applied to a number in functor form.
+			if !(c.Functor == "-" && isNumber(c.Args[0])) {
+				_, rmax := d.argPrec()
+				open := d.prec > maxPrec
+				if open {
+					w.sb.WriteByte('(')
+				}
+				w.sb.WriteString(c.Functor)
+				w.sb.WriteByte(' ')
+				w.operand(c.Args[0], rmax)
+				if open {
+					w.sb.WriteByte(')')
+				}
+				return
 			}
-			w.sb.WriteString(c.Functor)
-			w.sb.WriteByte(' ')
-			w.term(c.Args[0], rmax)
-			if open {
-				w.sb.WriteByte(')')
-			}
-			return
 		}
 	}
 	// canonical functor notation
@@ -138,4 +151,42 @@ func (w *writer) list(c *term.Compound) {
 
 func isAlphaOp(s string) bool {
 	return len(s) > 0 && s[0] >= 'a' && s[0] <= 'z'
+}
+
+func isNumber(t term.Term) bool {
+	_, ok := term.Deref(t).(term.Int)
+	return ok
+}
+
+// atomPrec is the priority an atom carries when it names an operator
+// (0 for ordinary atoms), mirroring the reader's primary-parse rule.
+func (w *writer) atomPrec(name string) int {
+	p := 0
+	if d, ok := w.ops.infixOp(name); ok && d.prec > p {
+		p = d.prec
+	}
+	if d, ok := w.ops.prefixOp(name); ok && d.prec > p {
+		p = d.prec
+	}
+	return p
+}
+
+func (w *writer) isOpAtom(t term.Term) bool {
+	a, ok := term.Deref(t).(term.Atom)
+	return ok && w.atomPrec(string(a)) > 0
+}
+
+// operand writes t as the operand of an operator printed in operator
+// notation. An atom that itself names an operator is parenthesized
+// there regardless of priority: adjacency is ambiguous ("+ + 0" reads
+// back with the first + as a prefix operator, "+ $" demotes the prefix
+// + to an atom).
+func (w *writer) operand(t term.Term, maxPrec int) {
+	if w.isOpAtom(t) {
+		w.sb.WriteByte('(')
+		w.sb.WriteString(term.Deref(t).String())
+		w.sb.WriteByte(')')
+		return
+	}
+	w.term(t, maxPrec)
 }

@@ -1,0 +1,128 @@
+package randgen
+
+import "fmt"
+
+// unaryExpr builds an expression over the single bound variable v,
+// optionally calling an already-defined unary function.
+func (g *gen) unaryExpr(v string) string {
+	unary := ""
+	for _, p := range g.preds {
+		if p.arity == 1 {
+			unary = p.name
+		}
+	}
+	switch r := g.intn(6); {
+	case r == 0:
+		return v
+	case r == 1:
+		return v + " + 1"
+	case r == 2:
+		return "c1(" + v + ")"
+	case r == 3:
+		return fmt.Sprintf("if(%s < %d, 0, %s)", v, g.intn(3), v)
+	case r == 4 && unary != "":
+		return unary + "(" + v + ")"
+	default:
+		return fmt.Sprintf("%s * %d", v, 1+g.intn(3))
+	}
+}
+
+// flFirstOrder: first-order functional programs over lists, s-naturals,
+// arithmetic, and conditionals, rooted at main/1.
+func (g *gen) flFirstOrder() {
+	k := 2 + g.intn(g.cfg.Preds)
+	for i := 0; i < k; i++ {
+		name := fmt.Sprintf("f%d", i)
+		switch g.intn(5) {
+		case 0: // map over a list
+			g.preds = append(g.preds, spec{name, 1})
+			g.emit("%s(nil) = nil.", name)
+			g.emit("%s(cons(V0, V1)) = cons(%s, %s(V1)).", name, g.unaryExpr("V0"), name)
+		case 1: // sum-style fold
+			g.preds = append(g.preds, spec{name, 1})
+			g.emit("%s(nil) = %d.", name, g.intn(3))
+			g.emit("%s(cons(V0, V1)) = V0 + %s(V1).", name, name)
+		case 2: // Peano recursion
+			g.preds = append(g.preds, spec{name, 1})
+			g.emit("%s(z) = %s.", name, g.pick([]string{"0", "z", "nil"}))
+			if g.intn(2) == 0 {
+				g.emit("%s(s(V0)) = s(%s(V0)).", name, name)
+			} else {
+				g.emit("%s(s(V0)) = 1 + %s(V0).", name, name)
+			}
+		case 3: // filter with a guarded accumulator argument
+			g.preds = append(g.preds, spec{name, 2})
+			g.emit("%s(nil, V0) = V0.", name)
+			g.emit("%s(cons(V0, V1), V2) = if(V0 < %d, %s(V1, V2), cons(V0, %s(V1, V2))).",
+				name, 1+g.intn(3), name, name)
+		default: // element-wise chain through an earlier unary function
+			g.preds = append(g.preds, spec{name, 1})
+			g.emit("%s(nil) = nil.", name)
+			g.emit("%s(cons(V0, V1)) = cons(%s, %s(V1)).", name, g.unaryExpr("V0"), name)
+		}
+	}
+	g.flMain()
+}
+
+// flHigherOrder: defunctionalized higher-order programs — function-token
+// constructors dispatched by apply/apply2, consumed by map and fold.
+func (g *gen) flHigherOrder() {
+	m := 1 + g.intn(3)
+	apply := spec{"apply", 2}
+	g.preds = append(g.preds, apply)
+	for j := 0; j < m; j++ {
+		g.emit("apply(t%d, V0) = %s.", j, g.unaryExpr("V0"))
+	}
+	mp := spec{"map", 2}
+	g.preds = append(g.preds, mp)
+	g.emit("map(V0, nil) = nil.")
+	g.emit("map(V0, cons(V1, V2)) = cons(apply(V0, V1), map(V0, V2)).")
+	withFold := g.intn(2) == 0
+	if withFold {
+		apply2 := spec{"apply2", 3}
+		g.preds = append(g.preds, apply2)
+		for j := 0; j < 1+g.intn(2); j++ {
+			rhs := g.pick([]string{
+				"V0 + V1", "g(V0, V1)", "if(V0 < V1, V0, V1)", "V1",
+			})
+			g.emit("apply2(u%d, V0, V1) = %s.", j, rhs)
+		}
+		fold := spec{"fold", 3}
+		g.preds = append(g.preds, fold)
+		g.emit("fold(V0, V1, nil) = V1.")
+		g.emit("fold(V0, V1, cons(V2, V3)) = apply2(V0, V2, fold(V0, V1, V3)).")
+	}
+	main := spec{"main", 1}
+	g.preds = append(g.preds, main)
+	if withFold {
+		g.emit("main(V0) = fold(u0, %d, map(t0, V0)).", g.intn(3))
+	} else {
+		g.emit("main(V0) = map(t%d, V0).", g.intn(m))
+	}
+	g.entry = "main/1"
+}
+
+// flMain emits a main/1 driver calling the first generated function
+// (composed through a second one when arities line up).
+func (g *gen) flMain() {
+	var unary []spec
+	var binary []spec
+	for _, p := range g.preds {
+		if p.arity == 1 {
+			unary = append(unary, p)
+		} else {
+			binary = append(binary, p)
+		}
+	}
+	main := spec{"main", 1}
+	switch {
+	case len(unary) >= 2 && g.intn(2) == 0:
+		g.emit("main(V0) = %s(%s(V0)).", unary[0].name, unary[1].name)
+	case len(unary) >= 1:
+		g.emit("main(V0) = %s(V0).", unary[0].name)
+	default:
+		g.emit("main(V0) = %s(V0, %s).", binary[0].name, g.pick([]string{"0", "nil"}))
+	}
+	g.preds = append(g.preds, main)
+	g.entry = "main/1"
+}

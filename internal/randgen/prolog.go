@@ -1,0 +1,355 @@
+package randgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// factsOnly: ground facts with nested-term arguments.
+func (g *gen) factsOnly() {
+	n := 1 + g.intn(g.cfg.Preds)
+	for i := 0; i < n; i++ {
+		p := spec{fmt.Sprintf("p%d", i), 1 + g.intn(g.cfg.Arity)}
+		g.preds = append(g.preds, p)
+		for j := 0; j < 1+g.intn(g.cfg.Clauses); j++ {
+			args := make([]string, p.arity)
+			for k := range args {
+				args[k] = g.groundTerm(g.intn(g.cfg.Depth + 1))
+			}
+			g.emit("%s(%s).", p.name, strings.Join(args, ", "))
+		}
+	}
+	g.entry = openGoal(g.preds[0])
+}
+
+// linearRec: structurally descending list/accumulator recursion. Every
+// recursive call descends on the first argument, so lint's
+// untabled-recursion check (which exempts structural descent) stays
+// quiet without table directives.
+func (g *gen) linearRec() {
+	n := 1 + g.intn(g.cfg.Preds)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("p%d", i)
+		switch t := g.intn(4); {
+		case t == 0: // walk: project a result through the recursion
+			g.preds = append(g.preds, spec{name, 2})
+			g.emit("%s([], %s).", name, g.groundTerm(g.intn(g.cfg.Depth+1)))
+			g.emit("%s([V0|V1], V2) :- %s(V1, V2).", name, name)
+		case t == 1: // map: rebuild the spine with a per-element wrapper
+			g.preds = append(g.preds, spec{name, 2})
+			g.emit("%s([], []).", name)
+			g.emit("%s([V0|V1], [g(V0, %s)|V2]) :- %s(V1, V2).",
+				name, g.groundTerm(1), name)
+		case t == 2: // accumulator
+			g.preds = append(g.preds, spec{name, 3})
+			g.emit("%s([], V0, V0).", name)
+			g.emit("%s([V0|V1], V2, V3) :- %s(V1, g(V0, V2), V3).", name, name)
+		default: // chain: recurse and call an earlier arity-2 predicate
+			prev := ""
+			for _, q := range g.preds {
+				if q.arity == 2 {
+					prev = q.name
+				}
+			}
+			g.preds = append(g.preds, spec{name, 2})
+			if prev == "" {
+				prev = name
+			}
+			g.emit("%s([], []).", name)
+			g.emit("%s([V0|V1], [V2|V3]) :- %s([V0], V2), %s(V1, V3).",
+				name, prev, name)
+		}
+	}
+	// Driver predicate: a ground-list call that makes goal-directed
+	// analysis interesting (ground input pattern on the callee).
+	p := g.preds[g.intn(len(g.preds))]
+	list := g.groundList(1+g.intn(3), 1)
+	q := spec{"q0", 1}
+	switch p.arity {
+	case 2:
+		g.emit("q0(V0) :- %s(%s, V0).", p.name, list)
+	default:
+		g.emit("q0(V0) :- %s(%s, %s, V0).", p.name, list, g.groundTerm(1))
+	}
+	g.preds = append(g.preds, q)
+	g.entry = "q0(V0)"
+}
+
+// mutualRec: a clique of mutually recursive predicates over s-naturals,
+// descending structurally around the cycle.
+func (g *gen) mutualRec() {
+	m := 2 + g.intn(2)
+	arity := 1 + g.intn(2)
+	clique := make([]spec, m)
+	for i := range clique {
+		clique[i] = spec{fmt.Sprintf("m%d", i), arity}
+	}
+	g.preds = append(g.preds, clique...)
+	if g.intn(2) == 0 {
+		g.table(clique...)
+	}
+	for i, p := range clique {
+		next := clique[(i+1)%m].name
+		if arity == 1 {
+			g.emit("%s(z).", p.name)
+			g.emit("%s(s(V0)) :- %s(V0).", p.name, next)
+		} else {
+			g.emit("%s(z, %s).", p.name, g.groundTerm(g.intn(g.cfg.Depth+1)))
+			g.emit("%s(s(V0), f(V1)) :- %s(V0, V1).", p.name, next)
+		}
+	}
+	// Ground-input driver.
+	nat := "z"
+	for i := 2 + g.intn(4); i > 0; i-- {
+		nat = "s(" + nat + ")"
+	}
+	q := spec{"q0", 1}
+	if arity == 1 {
+		g.emit("q0(V0) :- V0 = %s, m0(V0).", nat)
+	} else {
+		g.emit("q0(V0) :- m0(%s, V0).", nat)
+	}
+	g.preds = append(g.preds, q)
+	g.entry = "q0(V0)"
+}
+
+// deepTerms: deeply nested terms in facts and in '=' unifications.
+func (g *gen) deepTerms() {
+	d := g.cfg.Depth + 2 + g.intn(3)
+	p0, p1, p2, p3 := spec{"p0", 1}, spec{"p1", 2}, spec{"p2", 1}, spec{"p3", 2}
+	g.preds = append(g.preds, p0, p1, p2, p3)
+	for j := 0; j < 1+g.intn(g.cfg.Clauses); j++ {
+		g.emit("p0(%s).", g.groundTerm(d))
+	}
+	g.emit("p1(V0, V1) :- V0 = g(%s, V1), p0(V1).", g.groundTerm(d))
+	g.emit("p2(V0) :- p1(V1, V0), p0(V1).")
+	for j := 0; j < 1+g.intn(2); j++ {
+		g.emit("p3(%s, %s).", g.groundList(2, d-1), g.groundTerm(d))
+	}
+	g.entry = "p2(V0)"
+}
+
+// mixCl tracks the variable pool of one Mixed-shape clause.
+type mixCl struct {
+	g     *gen
+	arity int
+	next  int
+}
+
+func (c *mixCl) headVar() string { return fmt.Sprintf("V%d", c.g.intn(c.arity)) }
+
+func (c *mixCl) fresh() string {
+	v := fmt.Sprintf("V%d", c.next)
+	c.next++
+	return v
+}
+
+func (c *mixCl) anyVar() string {
+	if c.g.intn(2) == 0 {
+		return c.headVar()
+	}
+	return c.fresh()
+}
+
+// arg builds one call-argument: mostly head variables, sometimes a fresh
+// variable or a ground term.
+func (c *mixCl) arg() string {
+	switch r := c.g.intn(10); {
+	case r < 5:
+		return c.headVar()
+	case r < 8:
+		return c.fresh()
+	default:
+		return c.g.groundTerm(c.g.intn(3))
+	}
+}
+
+// call builds a call to a random generated predicate.
+func (c *mixCl) call() string {
+	p := c.g.preds[c.g.intn(len(c.g.preds))]
+	args := make([]string, p.arity)
+	for i := range args {
+		args[i] = c.arg()
+	}
+	return p.name + "(" + strings.Join(args, ", ") + ")"
+}
+
+// unify builds an '=' goal against a structured right-hand side.
+func (c *mixCl) unify() string {
+	lhs := c.anyVar()
+	var rhs string
+	switch c.g.intn(4) {
+	case 0:
+		rhs = "f(" + c.anyVar() + ")"
+	case 1:
+		rhs = "g(" + c.anyVar() + ", " + c.g.groundTerm(1) + ")"
+	case 2:
+		rhs = "[" + c.anyVar() + "|" + c.anyVar() + "]"
+	default:
+		rhs = c.g.groundTerm(c.g.intn(c.g.cfg.Depth + 1))
+	}
+	return lhs + " = " + rhs
+}
+
+// simpleGoal is a call or a unification (used inside control constructs).
+func (c *mixCl) simpleGoal() string {
+	if c.g.intn(2) == 0 {
+		return c.call()
+	}
+	return c.unify()
+}
+
+// goal builds one body goal across the full supported diet.
+func (c *mixCl) goal() string {
+	switch c.g.intn(10) {
+	case 0, 1, 2:
+		return c.call()
+	case 3, 4:
+		return c.unify()
+	case 5:
+		return fmt.Sprintf("%s is %s + %d", c.anyVar(), c.headVar(), c.g.intn(3))
+	case 6:
+		return c.anyVar() + " == " + c.anyVar()
+	case 7:
+		return "( " + c.simpleGoal() + " ; " + c.simpleGoal() + " )"
+	case 8:
+		return "( " + c.call() + " -> " + c.simpleGoal() + " ; " + c.simpleGoal() + " )"
+	default:
+		return "\\+ " + c.call()
+	}
+}
+
+// mixed: rules over calls, unification, arithmetic, comparison,
+// disjunction, if-then-else, and negation. Calls may form arbitrary
+// cycles, so every predicate is tabled (which also satisfies lint's
+// untabled-recursion check for whatever SCCs arise).
+func (g *gen) mixed() {
+	n := 2 + g.intn(maxInt(1, g.cfg.Preds-1))
+	maxA := g.cfg.Arity
+	if maxA > 3 {
+		maxA = 3
+	}
+	for i := 0; i < n; i++ {
+		g.preds = append(g.preds, spec{fmt.Sprintf("p%d", i), 1 + g.intn(maxA)})
+	}
+	g.table(g.preds...)
+	for _, p := range g.preds {
+		for j := 0; j < 1+g.intn(2); j++ {
+			args := make([]string, p.arity)
+			for k := range args {
+				args[k] = g.groundTerm(g.intn(g.cfg.Depth))
+			}
+			g.emit("%s(%s).", p.name, strings.Join(args, ", "))
+		}
+	}
+	rules := 0
+	for _, p := range g.preds {
+		for j := g.intn(g.cfg.Clauses); j > 0; j-- {
+			g.rule(p)
+			rules++
+		}
+	}
+	if rules == 0 {
+		g.rule(g.preds[0])
+	}
+	g.entry = openGoal(g.preds[0])
+}
+
+// rule emits one Mixed-shape rule for p.
+func (g *gen) rule(p spec) {
+	c := &mixCl{g: g, arity: p.arity, next: p.arity}
+	head := make([]string, p.arity)
+	for i := range head {
+		head[i] = fmt.Sprintf("V%d", i)
+	}
+	goals := make([]string, 1+g.intn(3))
+	for i := range goals {
+		goals[i] = c.goal()
+	}
+	g.emit("%s(%s) :- %s.", p.name, strings.Join(head, ", "), strings.Join(goals, ", "))
+}
+
+// datalog: function-free, range-restricted programs with recursive
+// closure rules — the shape both engines (tabled top-down and bottom-up
+// semi-naive) execute and must agree on fact-for-fact.
+func (g *gen) datalog() {
+	consts := []string{"a", "b", "c", "d"}
+	nb := 1 + g.intn(2)
+	base := make([]spec, nb)
+	for i := range base {
+		base[i] = spec{fmt.Sprintf("e%d", i), 2}
+		g.preds = append(g.preds, base[i])
+	}
+	nd := 1 + g.intn(g.cfg.Preds)
+	derived := make([]spec, nd)
+	for i := range derived {
+		derived[i] = spec{fmt.Sprintf("p%d", i), 1 + g.intn(2)}
+		g.preds = append(g.preds, derived[i])
+	}
+	g.table(derived...)
+	for _, b := range base {
+		for j := 0; j < 2+g.intn(3); j++ {
+			g.emit("%s(%s, %s).", b.name, g.pick(consts), g.pick(consts))
+		}
+	}
+	// Argument pools by arity; rules may reference any predicate,
+	// including later ones (mutual recursion is fine — everything is
+	// tabled and the domain is finite).
+	var pool1, pool2 []spec
+	for _, p := range append(append([]spec{}, base...), derived...) {
+		if p.arity == 1 {
+			pool1 = append(pool1, p)
+		} else {
+			pool2 = append(pool2, p)
+		}
+	}
+	bin := func() string { return pool2[g.intn(len(pool2))].name }
+	for _, p := range derived {
+		nr := 1 + g.intn(g.cfg.Clauses)
+		for j := 0; j < nr; j++ {
+			if p.arity == 1 {
+				switch g.intn(3) {
+				case 0:
+					g.emit("%s(V0) :- %s(V0, V1).", p.name, bin())
+				case 1:
+					g.emit("%s(V0) :- %s(V0, V1), %s(V1, V2).", p.name, bin(), bin())
+				default:
+					if len(pool1) > 0 && g.intn(2) == 0 {
+						g.emit("%s(V0) :- %s(V0), %s(V0, V1).",
+							p.name, pool1[g.intn(len(pool1))].name, bin())
+					} else {
+						g.emit("%s(V0) :- %s(V1, V0).", p.name, bin())
+					}
+				}
+				continue
+			}
+			switch g.intn(5) {
+			case 0:
+				g.emit("%s(V0, V1) :- %s(V0, V1).", p.name, bin())
+			case 1:
+				g.emit("%s(V0, V1) :- %s(V0, V2), %s(V2, V1).", p.name, bin(), bin())
+			case 2:
+				g.emit("%s(V0, V1) :- %s(V1, V0).", p.name, bin())
+			case 3:
+				g.emit("%s(V0, V0) :- %s(V0, V1).", p.name, bin())
+			default: // transitive-closure step (left-recursive: tabled)
+				g.emit("%s(V0, V1) :- %s(V0, V2), %s(V2, V1).", p.name, p.name, bin())
+			}
+		}
+		if g.intn(3) == 0 { // seed the derived relation directly
+			if p.arity == 1 {
+				g.emit("%s(%s).", p.name, g.pick(consts))
+			} else {
+				g.emit("%s(%s, %s).", p.name, g.pick(consts), g.pick(consts))
+			}
+		}
+	}
+	g.entry = openGoal(derived[0])
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

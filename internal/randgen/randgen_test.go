@@ -1,0 +1,134 @@
+package randgen
+
+import (
+	"strings"
+	"testing"
+
+	"xlp/internal/fl"
+	"xlp/internal/lint"
+	"xlp/internal/prolog"
+	"xlp/internal/term"
+)
+
+const seedsPerShape = 40
+
+func TestDeterministic(t *testing.T) {
+	for _, s := range Shapes() {
+		for seed := int64(0); seed < 10; seed++ {
+			cfg := Config{Shape: s, Seed: seed}
+			a := Generate(cfg)
+			b := Generate(cfg)
+			if a.Source != b.Source {
+				t.Fatalf("%v seed %d: generation is not deterministic:\n%s\n--- vs ---\n%s",
+					s, seed, a.Source, b.Source)
+			}
+			if a.Entry != b.Entry || strings.Join(a.Preds, ",") != strings.Join(b.Preds, ",") {
+				t.Fatalf("%v seed %d: metadata not deterministic", s, seed)
+			}
+		}
+	}
+}
+
+func TestGeneratedProgramsParse(t *testing.T) {
+	for _, s := range Shapes() {
+		for seed := int64(0); seed < seedsPerShape; seed++ {
+			p := Generate(Config{Shape: s, Seed: seed})
+			if p.Source == "" {
+				t.Fatalf("%v seed %d: empty program", s, seed)
+			}
+			if p.Lang == LangFL {
+				if _, err := fl.Parse(p.Source); err != nil {
+					t.Fatalf("%v seed %d: fl parse: %v\n%s", s, seed, err, p.Source)
+				}
+				continue
+			}
+			if _, err := prolog.ParseProgram(p.Source); err != nil {
+				t.Fatalf("%v seed %d: parse: %v\n%s", s, seed, err, p.Source)
+			}
+		}
+	}
+}
+
+// TestLintClean is the generator's core contract: generated programs
+// carry no lint diagnostics at all, so any backend disagreement on one
+// is a backend bug, not an input artifact.
+func TestLintClean(t *testing.T) {
+	for _, s := range Shapes() {
+		for seed := int64(0); seed < seedsPerShape; seed++ {
+			p := Generate(Config{Shape: s, Seed: seed})
+			var res *lint.Result
+			if p.Lang == LangFL {
+				res = lint.FL(p.Source, lint.Options{})
+			} else {
+				res = lint.Prolog(p.Source, lint.Options{})
+			}
+			if len(res.Diagnostics) != 0 {
+				t.Fatalf("%v seed %d: lint diagnostics %v\n%s",
+					s, seed, res.Diagnostics, p.Source)
+			}
+		}
+	}
+}
+
+// TestEntryDefined checks the Entry metadata names a defined
+// predicate/function so goal-directed checks can rely on it.
+func TestEntryDefined(t *testing.T) {
+	for _, s := range Shapes() {
+		for seed := int64(0); seed < seedsPerShape; seed++ {
+			p := Generate(Config{Shape: s, Seed: seed})
+			if p.Entry == "" {
+				t.Fatalf("%v seed %d: no entry", s, seed)
+			}
+			if len(p.Preds) == 0 {
+				t.Fatalf("%v seed %d: no predicate metadata", s, seed)
+			}
+			if p.Lang == LangFL {
+				prog, err := fl.Parse(p.Source)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, ok := prog.Funcs[p.Entry]; !ok {
+					t.Fatalf("%v seed %d: entry %q not a defined function", s, seed, p.Entry)
+				}
+				continue
+			}
+			goal, _, err := prolog.ParseTerm(p.Entry)
+			if err != nil {
+				t.Fatalf("%v seed %d: entry %q: %v", s, seed, p.Entry, err)
+			}
+			ind, ok := term.Indicator(goal)
+			if !ok {
+				t.Fatalf("%v seed %d: entry %q is not callable", s, seed, p.Entry)
+			}
+			res := lint.Prolog(p.Source, lint.Options{})
+			if _, ok := res.Graph.Preds[ind]; !ok {
+				t.Fatalf("%v seed %d: entry %q (ind %s) not defined; have %v",
+					s, seed, p.Entry, ind, p.Preds)
+			}
+		}
+	}
+}
+
+func TestParseShapeRoundTrip(t *testing.T) {
+	for _, s := range Shapes() {
+		got, err := ParseShape(s.String())
+		if err != nil || got != s {
+			t.Fatalf("ParseShape(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseShape("nope"); err == nil {
+		t.Fatal("ParseShape accepted junk")
+	}
+}
+
+func TestKnobsRespected(t *testing.T) {
+	p := Generate(Config{Shape: Mixed, Seed: 7, Preds: 2, Clauses: 1, Arity: 1, Depth: 1})
+	if len(p.Preds) > 3+1 { // n := 2 + intn(max(1, Preds-1)) <= 2+Preds-1
+		t.Fatalf("Preds knob ignored: %v", p.Preds)
+	}
+	for _, ind := range p.Preds {
+		if !strings.HasSuffix(ind, "/1") {
+			t.Fatalf("Arity knob ignored: %v", p.Preds)
+		}
+	}
+}

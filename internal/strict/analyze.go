@@ -223,9 +223,19 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 	a.PreprocTime = time.Since(t0)
 
 	// ---- Phase 2: analysis (evaluate sp_f under e- and d-demands). ----
+	// Solve in sorted indicator order: the demand ops read unbound
+	// demand variables as n, so the derived program is not monotone and
+	// recorded answer sets can depend on evaluation order — a map-order
+	// walk here made results differ from run to run on the same input.
 	tl.Start("solve")
 	t1 := time.Now()
-	for ind, sp := range tf.SpPreds {
+	inds := make([]string, 0, len(tf.SpPreds))
+	for ind := range tf.SpPreds {
+		inds = append(inds, ind)
+	}
+	sort.Strings(inds)
+	for _, ind := range inds {
+		sp := tf.SpPreds[ind]
 		if !entryMatch(opts.Entry, ind) {
 			continue
 		}
