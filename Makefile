@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet staticcheck build test race bench metrics bench-obs bench-difftest difftest fuzz-smoke serve
+.PHONY: ci fmt vet staticcheck build test race bench metrics bench-obs bench-difftest bench-check difftest fuzz-smoke serve
 
-ci: fmt vet staticcheck build race metrics difftest fuzz-smoke
+ci: fmt vet staticcheck build race metrics difftest fuzz-smoke bench-check
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -50,6 +50,13 @@ bench-obs:
 bench-difftest:
 	$(GO) test -run '^$$' -bench 'BenchmarkRandGen|BenchmarkDiffTest' -benchtime 2s -benchmem .
 
+# Bench-regression gate: BenchmarkSolveCorpus (full-corpus sweep under
+# both table representations) against the baseline in BENCH_engine.json.
+# Fails on a >15% time/allocation regression or if trie tables lose
+# their >=20% allocation win. XLP_BENCH_WRITE=1 refreshes the baseline.
+bench-check:
+	XLP_BENCH_CHECK=1 $(GO) test -count=1 -run '^TestBenchRegressionGate$$' -v .
+
 # Differential testing: random programs through every backend-pair and
 # metamorphic oracle. Any disagreement is shrunk into
 # internal/difftest/testdata/regressions/ and fails the target.
@@ -64,6 +71,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseProlog$$' -fuzztime $(FUZZTIME) ./internal/prolog
 	$(GO) test -run '^$$' -fuzz '^FuzzReadTermRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/prolog
 	$(GO) test -run '^$$' -fuzz '^FuzzUnify$$' -fuzztime $(FUZZTIME) ./internal/prolog
+	$(GO) test -run '^$$' -fuzz '^FuzzTrieInsertLookup$$' -fuzztime $(FUZZTIME) ./internal/prolog
 	$(GO) test -run '^$$' -fuzz '^FuzzParseFL$$' -fuzztime $(FUZZTIME) ./internal/fl
 	$(GO) test -run '^$$' -fuzz '^FuzzAnalyzeGroundness$$' -fuzztime $(FUZZTIME) .
 

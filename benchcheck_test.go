@@ -1,0 +1,171 @@
+// Bench-regression gate for the engine's table representations.
+//
+// BenchmarkSolveCorpus drives the whole benchmark corpus (Table 1
+// groundness over the 12 logic programs, Table 3 strictness over the 10
+// functional programs) through each table implementation; one op is one
+// full corpus sweep. TestBenchRegressionGate re-runs the same workload
+// under testing.Benchmark and compares it against the committed baseline
+// in BENCH_engine.json, failing on a >15% regression in time or
+// allocations, and holding the trie representation to its headline win:
+// at least 20% fewer allocations per sweep than the string-map path.
+//
+// The gate is opt-in (it costs several benchmark seconds):
+//
+//	XLP_BENCH_CHECK=1 go test -run TestBenchRegressionGate .   # or: make bench-check
+//	XLP_BENCH_WRITE=1 go test -run TestBenchRegressionGate .   # refresh the baseline
+package xlp
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"xlp/internal/corpus"
+	"xlp/internal/engine"
+	"xlp/internal/prop"
+	"xlp/internal/strict"
+)
+
+// solveCorpus is the gate's workload: every corpus program analyzed on
+// the tabled engine with the given table representation.
+func solveCorpus(tb testing.TB, impl engine.TablesImpl) {
+	for _, p := range corpus.LogicPrograms() {
+		if _, err := prop.Analyze(p.Source, prop.Options{Tables: impl}); err != nil {
+			tb.Fatalf("%s: %v", p.Name, err)
+		}
+	}
+	for _, p := range corpus.FuncPrograms() {
+		if _, err := strict.Analyze(p.Source, strict.Options{Tables: impl}); err != nil {
+			tb.Fatalf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func tableImpls() []engine.TablesImpl {
+	return []engine.TablesImpl{engine.TablesTrie, engine.TablesStringMap}
+}
+
+func BenchmarkSolveCorpus(b *testing.B) {
+	for _, impl := range tableImpls() {
+		b.Run(impl.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				solveCorpus(b, impl)
+			}
+		})
+	}
+}
+
+// benchBaseline mirrors BENCH_engine.json.
+type benchBaseline struct {
+	Benchmark string                `json:"benchmark"`
+	Date      string                `json:"date"`
+	Workload  string                `json:"workload"`
+	Results   map[string]benchEntry `json:"results"`
+}
+
+type benchEntry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+const benchBaselineFile = "BENCH_engine.json"
+
+// benchTolerance is the regression band: measured/baseline above this
+// ratio fails the gate. Allocation counts are near-deterministic; the
+// same band on ns/op absorbs scheduler noise on a multi-second workload.
+const benchTolerance = 1.15
+
+// trieAllocsTarget is the acceptance bar on the representation itself:
+// the trie sweep must allocate at most this fraction of the string-map
+// sweep (a >=20% reduction).
+const trieAllocsTarget = 0.80
+
+func TestBenchRegressionGate(t *testing.T) {
+	write := os.Getenv("XLP_BENCH_WRITE") != ""
+	if os.Getenv("XLP_BENCH_CHECK") == "" && !write {
+		t.Skip("set XLP_BENCH_CHECK=1 (compare) or XLP_BENCH_WRITE=1 (rebaseline) to run")
+	}
+
+	// Best of three runs per implementation: minimum ns/op is the
+	// standard noise-robust statistic, and allocation counts are
+	// near-deterministic anyway.
+	measured := map[string]testing.BenchmarkResult{}
+	for _, impl := range tableImpls() {
+		impl := impl
+		var best testing.BenchmarkResult
+		for run := 0; run < 3; run++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					solveCorpus(b, impl)
+				}
+			})
+			if run == 0 || r.NsPerOp() < best.NsPerOp() {
+				best = r
+			}
+		}
+		measured[impl.String()] = best
+	}
+
+	trie, smap := measured[engine.TablesTrie.String()], measured[engine.TablesStringMap.String()]
+	if ratio := float64(trie.AllocsPerOp()) / float64(smap.AllocsPerOp()); ratio > trieAllocsTarget {
+		t.Errorf("trie tables allocate %.0f%% of the string-map sweep, want <= %.0f%% (trie %d, stringmap %d allocs/op)",
+			ratio*100, trieAllocsTarget*100, trie.AllocsPerOp(), smap.AllocsPerOp())
+	}
+
+	if write {
+		base := benchBaseline{
+			Benchmark: "BenchmarkSolveCorpus",
+			Date:      time.Now().Format("2006-01-02"),
+			Workload:  "one op = full corpus sweep: prop groundness over the 12 logic programs + strict strictness over the 10 functional programs, per table implementation",
+			Results:   map[string]benchEntry{},
+		}
+		for name, r := range measured {
+			base.Results[name] = benchEntry{
+				NsPerOp:     float64(r.NsPerOp()),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			}
+		}
+		out, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(benchBaselineFile, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", benchBaselineFile)
+		return
+	}
+
+	raw, err := os.ReadFile(benchBaselineFile)
+	if err != nil {
+		t.Fatalf("no committed baseline: %v (run with XLP_BENCH_WRITE=1 to create one)", err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("corrupt %s: %v", benchBaselineFile, err)
+	}
+	for _, impl := range tableImpls() {
+		name := impl.String()
+		b, ok := base.Results[name]
+		if !ok {
+			t.Errorf("%s: no baseline entry in %s", name, benchBaselineFile)
+			continue
+		}
+		r := measured[name]
+		t.Logf("%s: %d ns/op (baseline %.0f), %d allocs/op (baseline %d), N=%d",
+			name, r.NsPerOp(), b.NsPerOp, r.AllocsPerOp(), b.AllocsPerOp, r.N)
+		if got := float64(r.NsPerOp()); got > b.NsPerOp*benchTolerance {
+			t.Errorf("%s: time regressed %.1f%% over baseline (%.0f ns/op vs %.0f)",
+				name, (got/b.NsPerOp-1)*100, got, b.NsPerOp)
+		}
+		if got := float64(r.AllocsPerOp()); got > float64(b.AllocsPerOp)*benchTolerance {
+			t.Errorf("%s: allocations regressed %.1f%% over baseline (%d allocs/op vs %d)",
+				name, (got/float64(b.AllocsPerOp)-1)*100, r.AllocsPerOp(), b.AllocsPerOp)
+		}
+	}
+}

@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	table := flag.Int("table", 0, "run a single table (1-8); 0 = all")
+	table := flag.Int("table", 0, "run a single table (1-9); 0 = all")
 	md := flag.Bool("md", false, "markdown output")
 	k := flag.Int("k", 1, "depth bound for Table 4")
 	flag.Parse()
@@ -31,6 +31,7 @@ func main() {
 		6: harness.Table6,
 		7: harness.Table7,
 		8: harness.Table8,
+		9: harness.Table9,
 	}
 
 	emit := func(t *harness.Table) {
@@ -55,7 +56,7 @@ func main() {
 		emit(t)
 		return
 	}
-	for i := 1; i <= 8; i++ {
+	for i := 1; i <= 9; i++ {
 		t, err := runners[i]()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: table %d: %v\n", i, err)

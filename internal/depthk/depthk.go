@@ -419,8 +419,11 @@ func builtinAbstraction(f string, args []term.Term) ([]term.Term, bool) {
 
 // Options configure a depth-k analysis run.
 type Options struct {
-	K      int // depth bound (default 2)
-	Mode   engine.LoadMode
+	K    int // depth bound (default 2)
+	Mode engine.LoadMode
+	// Tables selects the engine's table representation: trie-indexed
+	// (default) or canonical-string maps (engine.TablesStringMap).
+	Tables engine.TablesImpl
 	Limits engine.Limits
 	// Entry restricts the analysis to the given predicates ("p/n", or
 	// bare "p" matching every arity): only they are open-called, so
@@ -473,6 +476,7 @@ type Analysis struct {
 	AnalysisTime   time.Duration
 	CollectionTime time.Duration
 	TableBytes     int
+	TableNodes     int // trie nodes backing the tables (0 under string maps)
 	EngineStats    engine.Stats
 	Timeline       *obs.Timeline // phase spans, when requested via Options
 }
@@ -510,6 +514,7 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 	tl.Start("load")
 	m := engine.New()
 	m.Mode = opts.Mode
+	m.Tables = opts.Tables
 	m.Limits = opts.Limits
 	m.SetContext(opts.Ctx)
 	m.SetTracer(opts.Tracer)
@@ -583,11 +588,21 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 
 	tl.Start("solve")
 	t1 := time.Now()
-	for ind, abs := range tf.Preds {
+	// Solve in sorted indicator order. Results are a fixpoint and do not
+	// depend on it, but the evaluation trajectory (resolution and
+	// producer-pass counts) does; a map-order walk here made those
+	// counters differ from run to run on the same input, which the
+	// tables_trie_vs_stringmap oracle compares exactly.
+	inds := make([]string, 0, len(tf.Preds))
+	for ind := range tf.Preds {
+		inds = append(inds, ind)
+	}
+	sort.Strings(inds)
+	for _, ind := range inds {
 		if !entryMatch(opts.Entry, ind) {
 			continue
 		}
-		goal := openCall(abs)
+		goal := openCall(tf.Preds[ind])
 		if err := m.Solve(goal, func() bool { return false }); err != nil {
 			return nil, fmt.Errorf("depthk: analyzing %s: %w", ind, err)
 		}
@@ -609,6 +624,7 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 		a.Results[ind] = collect(m, ind, fmt.Sprintf("%s/%d", absName(name), arity))
 	}
 	a.TableBytes = m.TableSpace()
+	a.TableNodes = m.TableNodes()
 	a.EngineStats = m.Stats()
 	a.CollectionTime = time.Since(t2)
 	return a, nil
@@ -656,7 +672,7 @@ func collect(m *engine.Machine, srcInd, absInd string) *PredResult {
 	fmt.Sscanf(absInd[i+1:], "%d", &arity)
 	res := &PredResult{Indicator: srcInd, Arity: arity}
 	seen := map[string]bool{}
-	for _, dump := range m.Tables(absInd) {
+	for _, dump := range m.DumpTables(absInd) {
 		for _, ans := range dump.Answers {
 			key := term.Canonical(ans)
 			if seen[key] {

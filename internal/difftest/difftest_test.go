@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"xlp/internal/corpus"
 	"xlp/internal/prolog"
 	"xlp/internal/randgen"
 )
@@ -35,6 +36,34 @@ func TestSweepAllShapes(t *testing.T) {
 		if sum.ChecksRun[c.Name] == 0 {
 			t.Errorf("check %s never ran", c.Name)
 		}
+	}
+}
+
+// TestTablesImplCorpusSweep runs the full benchmark corpus — every
+// Table 1 logic program and every Table 3 functional program — through
+// the tables_trie_vs_stringmap oracle: the two table representations
+// must produce identical analysis results and identical evaluation
+// counters on real programs, not just generated ones.
+func TestTablesImplCorpusSweep(t *testing.T) {
+	c, ok := CheckByName("tables_trie_vs_stringmap")
+	if !ok {
+		t.Fatal("tables_trie_vs_stringmap not registered")
+	}
+	for _, p := range corpus.LogicPrograms() {
+		p := p
+		t.Run("prolog/"+p.Name, func(t *testing.T) {
+			if err := c.Run(Meta{Shape: randgen.Mixed}, p.Source); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	for _, p := range corpus.FuncPrograms() {
+		p := p
+		t.Run("fl/"+p.Name, func(t *testing.T) {
+			if err := c.Run(Meta{Shape: randgen.FLFirstOrder}, p.Source); err != nil {
+				t.Error(err)
+			}
+		})
 	}
 }
 

@@ -154,7 +154,7 @@ func TestTablesRecordCallsAndAnswers(t *testing.T) {
 	if _, err := m.Query("r(a)"); err != nil {
 		t.Fatal(err)
 	}
-	dumps := m.Tables("q/2")
+	dumps := m.DumpTables("q/2")
 	if len(dumps) != 1 {
 		t.Fatalf("expected 1 call-table entry, got %d", len(dumps))
 	}
@@ -439,7 +439,7 @@ func TestResetTables(t *testing.T) {
 		t.Fatal("expected one subgoal")
 	}
 	m.ResetTables()
-	if m.Stats().Subgoals != 0 || len(m.Tables("")) != 0 {
+	if m.Stats().Subgoals != 0 || len(m.DumpTables("")) != 0 {
 		t.Fatal("tables not cleared")
 	}
 	if _, err := m.Query("p(X)"); err != nil {

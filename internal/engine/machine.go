@@ -83,7 +83,14 @@ type Stats struct {
 	Answers        int // distinct tabled answers
 	ProducerRuns   int // producer (re-)activations
 	ProducerPasses int // full clause passes inside producers
-	TableBytes     int // canonical bytes of calls + answers (paper's "table space")
+	// TableBytes is the paper's "table space" measure and always equals
+	// CallBytes + AnswerBytes. Under TablesStringMap it counts canonical
+	// key bytes; under TablesTrie it counts allocated trie nodes at
+	// term.TrieNodeBytes each (prefix sharing makes it smaller).
+	TableBytes  int
+	CallBytes   int // table space charged to call-table keys
+	AnswerBytes int // table space charged to answer-table keys
+	TableNodes  int // trie nodes allocated (0 under TablesStringMap)
 }
 
 // Clause is a stored program clause with flattened body. The skeleton
@@ -127,10 +134,43 @@ type Pred struct {
 // "stop" result; it must leave the trail balanced for failed attempts.
 type Builtin func(m *Machine, args []term.Term, k func() bool) bool
 
+// TablesImpl selects the data structure backing the call and answer
+// tables (see table.go).
+type TablesImpl int
+
+const (
+	// TablesTrie (the default) keys tables by XSB-style term tries over
+	// interned symbols: subgoal lookup and answer dedup are a single
+	// term walk with no intermediate canonical string, and terms
+	// sharing a prefix share trie nodes.
+	TablesTrie TablesImpl = iota
+	// TablesStringMap keys tables by term.Canonical strings in Go maps —
+	// the original implementation, kept for differential testing
+	// (difftest's tables_trie_vs_stringmap oracle) and as the
+	// reference point of the table-space comparison in EXPERIMENTS.md.
+	TablesStringMap
+)
+
+func (t TablesImpl) String() string {
+	if t == TablesStringMap {
+		return "stringmap"
+	}
+	return "trie"
+}
+
+// TrieNodeBytes is the per-node charge of the trie representation's
+// table-space accounting (re-exported from internal/term so stats
+// consumers need not import the term package for it).
+const TrieNodeBytes = term.TrieNodeBytes
+
 // Machine is a logic program plus its evaluation state.
 type Machine struct {
 	Mode   LoadMode
 	Limits Limits
+	// Tables selects the table representation (default TablesTrie). Set
+	// it before the first query; changing it between queries without
+	// ResetTables has no effect on already-built tables.
+	Tables TablesImpl
 	Out    io.Writer // target of write/1 etc.; defaults to os.Stdout
 
 	// AnswerAbstraction, if set, maps a tabled answer instance to its
@@ -155,7 +195,15 @@ type Machine struct {
 	builtins map[pkey]Builtin
 	trail    term.Trail
 
-	tables     map[string]*subgoal
+	// Call-table index: exactly one of tables (TablesStringMap) and
+	// callTrie (TablesTrie) is live, chosen lazily from m.Tables at the
+	// first tabled call. subgoals lists every entry in creation order
+	// for iteration under either index.
+	tables   map[string]*subgoal
+	callTrie *term.Trie
+	symCache *term.SymCache // intern memo shared by this machine's tries
+	subgoals []*subgoal
+
 	stack      []*subgoal // active producers
 	complStack []*subgoal // completion stack
 	nextDfn    int
@@ -179,7 +227,6 @@ func New() *Machine {
 	m := &Machine{
 		preds:    map[pkey]*Pred{},
 		builtins: map[pkey]Builtin{},
-		tables:   map[string]*subgoal{},
 		Out:      os.Stdout,
 	}
 	registerBuiltins(m)
@@ -198,7 +245,9 @@ func (m *Machine) SetTracer(t obs.EngineTracer) { m.tracer = t }
 // ResetTables discards all tabled calls and answers (keeping the
 // program), so a fresh query re-derives everything.
 func (m *Machine) ResetTables() {
-	m.tables = map[string]*subgoal{}
+	m.tables = nil
+	m.callTrie = nil
+	m.subgoals = nil
 	m.stack = nil
 	m.complStack = nil
 	m.nextDfn = 0

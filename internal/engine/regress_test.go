@@ -38,7 +38,7 @@ func TestFlushLoopSurvivesCompletionPops(t *testing.T) {
 		t.Fatalf("a(1,W) solutions = %d, want 4 (reaches 1,2,3,4)", len(sols))
 	}
 	// All tables complete after the query.
-	for _, d := range m.Tables("") {
+	for _, d := range m.DumpTables("") {
 		if !d.Complete {
 			t.Fatalf("incomplete table for %v", d.Call)
 		}

@@ -180,6 +180,92 @@ func TestPerPredCountersSumToGlobals(t *testing.T) {
 	}
 }
 
+// TestTableSpacePartition checks the table-space accounting invariants
+// under both table representations: the global charge partitions exactly
+// between call keys and answer keys, the trie charge is exactly the node
+// count at TrieNodeBytes each, and the tracer's per-predicate node
+// counters partition the global node count.
+func TestTableSpacePartition(t *testing.T) {
+	for _, impl := range []TablesImpl{TablesTrie, TablesStringMap} {
+		t.Run(impl.String(), func(t *testing.T) {
+			m := New()
+			m.Tables = impl
+			tr := obs.NewTrace(0)
+			m.SetTracer(tr)
+			if err := m.Consult(statsProg); err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range []string{"go(Y)", "path(b, W)"} {
+				if _, err := m.Query(q); err != nil {
+					t.Fatalf("%s: %v", q, err)
+				}
+			}
+			st := m.Stats()
+			if st.TableBytes == 0 || st.CallBytes == 0 || st.AnswerBytes == 0 {
+				t.Fatalf("trivial accounting: %+v", st)
+			}
+			if st.CallBytes+st.AnswerBytes != st.TableBytes {
+				t.Errorf("partition broken: call %d + answer %d != total %d",
+					st.CallBytes, st.AnswerBytes, st.TableBytes)
+			}
+			if m.TableSpace() != st.TableBytes || m.CallSpace() != st.CallBytes ||
+				m.AnswerSpace() != st.AnswerBytes || m.TableNodes() != st.TableNodes {
+				t.Errorf("accessors disagree with Stats: %+v", st)
+			}
+			switch impl {
+			case TablesTrie:
+				if st.TableNodes == 0 {
+					t.Error("trie tables allocated no nodes")
+				}
+				if st.TableBytes != st.TableNodes*TrieNodeBytes {
+					t.Errorf("trie charge %d != %d nodes * %d",
+						st.TableBytes, st.TableNodes, TrieNodeBytes)
+				}
+			case TablesStringMap:
+				if st.TableNodes != 0 {
+					t.Errorf("string-map tables report %d trie nodes", st.TableNodes)
+				}
+			}
+			var nodeSum, byteSum int
+			for _, pc := range tr.PredStats() {
+				nodeSum += pc.TableNodes
+				byteSum += pc.TableBytes
+			}
+			if nodeSum != st.TableNodes {
+				t.Errorf("table nodes: per-pred sum %d != global %d", nodeSum, st.TableNodes)
+			}
+			if byteSum != st.TableBytes {
+				t.Errorf("table bytes: per-pred sum %d != global %d", byteSum, st.TableBytes)
+			}
+		})
+	}
+}
+
+// TestTablesImplsAgree checks that both table representations drive the
+// engine through the identical evaluation trajectory: every counter
+// except the table-space charges must match exactly.
+func TestTablesImplsAgree(t *testing.T) {
+	run := func(impl TablesImpl) Stats {
+		m := New()
+		m.Tables = impl
+		if err := m.Consult(statsProg); err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range []string{"go(Y)", "path(b, W)", "path(c, W)"} {
+			if _, err := m.Query(q); err != nil {
+				t.Fatalf("%s: %v", q, err)
+			}
+		}
+		return m.Stats()
+	}
+	a, b := run(TablesTrie), run(TablesStringMap)
+	if a.Subgoals != b.Subgoals || a.Answers != b.Answers ||
+		a.Resolutions != b.Resolutions || a.BuiltinCalls != b.BuiltinCalls ||
+		a.ProducerRuns != b.ProducerRuns || a.ProducerPasses != b.ProducerPasses {
+		t.Fatalf("trajectories diverge:\ntrie: %+v\nsmap: %+v", a, b)
+	}
+}
+
 // TestTracerDisabledByNil checks SetTracer(nil) turns tracing off again.
 func TestTracerDisabledByNil(t *testing.T) {
 	m := New()

@@ -26,13 +26,16 @@ import (
 // below the leader, the link would have propagated to the leader and it
 // would not be a leader).
 type subgoal struct {
-	key  string
+	key  string    // canonical call key (TablesStringMap only)
 	goal term.Term // detached copy of the call
 	pred *Pred
 
 	answers    []term.Term // detached instances of goal, insertion order
 	answersGnd []bool      // per-answer: ground (no rename needed on use)
+	// Answer dedup index: answerKeys under TablesStringMap, ansTrie
+	// under TablesTrie.
 	answerKeys map[string]struct{}
+	ansTrie    *term.Trie
 
 	complete     bool
 	active       bool
@@ -63,24 +66,8 @@ func (m *Machine) solveTabled(p *Pred, goal term.Term, k func() bool) bool {
 		// sees exactly the answers that apply to it.
 		lookup = m.CallAbstraction(term.Resolve(goal))
 	}
-	key := term.Canonical(lookup)
-	sg, ok := m.tables[key]
-	if !ok {
-		if len(m.tables) >= m.Limits.maxSubgoals() {
-			m.throwErr(fmt.Errorf("%w (%d)", ErrSubgoalLimit, m.Limits.maxSubgoals()))
-		}
-		sg = &subgoal{
-			key:        key,
-			goal:       term.Rename(term.Resolve(lookup), nil),
-			pred:       p,
-			answerKeys: map[string]struct{}{},
-		}
-		m.tables[key] = sg
-		m.stats.Subgoals++
-		m.stats.TableBytes += len(key)
-		if m.tracer != nil {
-			m.tracer.Emit(obs.EvSubgoalNew, p.Indicator, len(key))
-		}
+	sg, created := m.lookupOrCreate(p, lookup)
+	if created {
 		m.runProducer(sg)
 	} else if !sg.complete && !sg.active && sg.dirty {
 		// Incomplete, not on the producer stack, and some dependency's
@@ -129,6 +116,69 @@ func (m *Machine) solveTabled(p *Pred, goal term.Term, k func() bool) bool {
 		m.trail.Undo(mark)
 	}
 	return false
+}
+
+// useTrie reports whether the machine's tables are trie-indexed.
+func (m *Machine) useTrie() bool { return m.Tables != TablesStringMap }
+
+// lookupOrCreate resolves lookup to its call-table entry, creating one
+// (with the subgoal-limit check and table-space accounting) on first
+// sight of the variant class. Under TablesTrie the lookup is one walk
+// of the term; under TablesStringMap it materializes the canonical key.
+func (m *Machine) lookupOrCreate(p *Pred, lookup term.Term) (sg *subgoal, created bool) {
+	var charge, nodes int
+	var leaf *term.TrieNode
+	if m.useTrie() {
+		if m.callTrie == nil {
+			m.symCache = &term.SymCache{}
+			m.callTrie = term.NewTrie()
+			m.callTrie.UseSymCache(m.symCache)
+		}
+		var newNodes int
+		leaf, newNodes = m.callTrie.Insert(lookup)
+		if v, ok := leaf.Value(); ok {
+			return v.(*subgoal), false
+		}
+		charge, nodes = newNodes*term.TrieNodeBytes, newNodes
+	} else {
+		key := term.Canonical(lookup)
+		if sg, ok := m.tables[key]; ok {
+			return sg, false
+		}
+		charge = len(key)
+		sg = &subgoal{key: key}
+	}
+	if m.stats.Subgoals >= m.Limits.maxSubgoals() {
+		m.throwErr(fmt.Errorf("%w (%d)", ErrSubgoalLimit, m.Limits.maxSubgoals()))
+	}
+	if sg == nil {
+		sg = &subgoal{}
+	}
+	sg.goal = term.Rename(term.Resolve(lookup), nil)
+	sg.pred = p
+	if m.useTrie() {
+		sg.ansTrie = term.NewTrie()
+		sg.ansTrie.UseSymCache(m.symCache)
+		leaf.SetValue(sg)
+	} else {
+		sg.answerKeys = map[string]struct{}{}
+		if m.tables == nil {
+			m.tables = map[string]*subgoal{}
+		}
+		m.tables[sg.key] = sg
+	}
+	m.subgoals = append(m.subgoals, sg)
+	m.stats.Subgoals++
+	m.stats.CallBytes += charge
+	m.stats.TableBytes += charge
+	m.stats.TableNodes += nodes
+	if m.tracer != nil {
+		m.tracer.Emit(obs.EvSubgoalNew, p.Indicator, charge)
+		if nodes > 0 {
+			m.tracer.Emit(obs.EvTableNodes, p.Indicator, nodes)
+		}
+	}
+	return sg, true
 }
 
 func (m *Machine) curProducer() *subgoal {
@@ -298,29 +348,57 @@ func (m *Machine) addAnswer(sg *subgoal, inst term.Term) {
 	if sg.complete {
 		// A completed table is frozen: its consumers are never woken
 		// again, so a late answer would be silently unobservable.
-		m.throwf("internal: answer for completed table %s", sg.key)
+		m.throwf("internal: answer for completed table %v", sg.goal)
 	}
 	if m.AnswerAbstraction != nil {
 		inst = m.AnswerAbstraction(term.Resolve(inst))
 	}
-	key := term.Canonical(inst)
-	if _, dup := sg.answerKeys[key]; dup {
-		if m.tracer != nil {
-			m.tracer.Emit(obs.EvAnswerDup, sg.pred.Indicator, 0)
+	// Dedup through the table index: a trie walk (allocation-free on the
+	// duplicate path, the hottest case — producers re-derive every
+	// answer on each pass) or a canonical-string map probe.
+	var charge, nodes int
+	var leaf *term.TrieNode
+	var key string
+	if sg.ansTrie != nil {
+		var newNodes int
+		leaf, newNodes = sg.ansTrie.Insert(inst)
+		if _, dup := leaf.Value(); dup {
+			if m.tracer != nil {
+				m.tracer.Emit(obs.EvAnswerDup, sg.pred.Indicator, 0)
+			}
+			return
 		}
-		return
+		charge, nodes = newNodes*term.TrieNodeBytes, newNodes
+	} else {
+		key = term.Canonical(inst)
+		if _, dup := sg.answerKeys[key]; dup {
+			if m.tracer != nil {
+				m.tracer.Emit(obs.EvAnswerDup, sg.pred.Indicator, 0)
+			}
+			return
+		}
+		charge = len(key)
 	}
 	if m.stats.Answers >= m.Limits.maxAnswers() {
 		m.throwErr(fmt.Errorf("%w (%d)", ErrAnswerLimit, m.Limits.maxAnswers()))
 	}
-	sg.answerKeys[key] = struct{}{}
+	if leaf != nil {
+		leaf.SetValue(nil)
+	} else {
+		sg.answerKeys[key] = struct{}{}
+	}
 	detached := term.Rename(term.Resolve(inst), nil)
 	sg.answers = append(sg.answers, detached)
 	sg.answersGnd = append(sg.answersGnd, term.IsGround(detached))
 	m.stats.Answers++
-	m.stats.TableBytes += len(key)
+	m.stats.AnswerBytes += charge
+	m.stats.TableBytes += charge
+	m.stats.TableNodes += nodes
 	if m.tracer != nil {
-		m.tracer.Emit(obs.EvAnswerNew, sg.pred.Indicator, len(key))
+		m.tracer.Emit(obs.EvAnswerNew, sg.pred.Indicator, charge)
+		if nodes > 0 {
+			m.tracer.Emit(obs.EvTableNodes, sg.pred.Indicator, nodes)
+		}
 	}
 	markWatchersDirty(sg)
 }
@@ -336,44 +414,70 @@ type TableDump struct {
 	Complete bool
 }
 
-// Tables returns snapshots of all call-table entries for the predicate
-// with the given indicator ("name/arity"), sorted by call key. With an
-// empty indicator it returns every entry.
-func (m *Machine) Tables(indicator string) []TableDump {
-	var keys []string
-	for key, sg := range m.tables {
+// sortedSubgoals returns the (optionally indicator-filtered) table
+// entries sorted by canonical call key — the historical iteration order
+// of the string-keyed map, preserved under both implementations so
+// collection phases see answers in a stable order. Cold path: dumps run
+// once per analysis, after solving.
+func (m *Machine) sortedSubgoals(indicator string) []*subgoal {
+	var sgs []*subgoal
+	for _, sg := range m.subgoals {
 		if indicator == "" || sg.pred.Indicator == indicator {
-			keys = append(keys, key)
+			sgs = append(sgs, sg)
 		}
 	}
-	sort.Strings(keys)
-	out := make([]TableDump, 0, len(keys))
-	for _, key := range keys {
-		sg := m.tables[key]
-		dump := TableDump{
+	sort.Slice(sgs, func(i, j int) bool {
+		return m.callKey(sgs[i]) < m.callKey(sgs[j])
+	})
+	return sgs
+}
+
+// callKey returns the canonical call key of a table entry, computing it
+// on demand under the trie implementation (which stores no strings).
+func (m *Machine) callKey(sg *subgoal) string {
+	if sg.key == "" {
+		sg.key = term.Canonical(sg.goal)
+	}
+	return sg.key
+}
+
+// DumpTables returns snapshots of all call-table entries for the
+// predicate with the given indicator ("name/arity"), sorted by call
+// key. With an empty indicator it returns every entry.
+func (m *Machine) DumpTables(indicator string) []TableDump {
+	sgs := m.sortedSubgoals(indicator)
+	out := make([]TableDump, 0, len(sgs))
+	for _, sg := range sgs {
+		out = append(out, TableDump{
 			Call:     sg.goal,
 			Answers:  append([]term.Term{}, sg.answers...),
 			Complete: sg.complete,
-		}
-		out = append(out, dump)
+		})
 	}
 	return out
 }
 
-// TableSpace returns the canonical-bytes measure of the call and answer
-// tables, the analogue of the paper's "Table space (bytes)" column.
+// TableSpace returns the table-space measure of the call and answer
+// tables, the analogue of the paper's "Table space (bytes)" column:
+// canonical key bytes under TablesStringMap, allocated trie nodes times
+// term.TrieNodeBytes under TablesTrie. It always equals
+// CallSpace() + AnswerSpace().
 func (m *Machine) TableSpace() int { return m.stats.TableBytes }
+
+// CallSpace returns the table space charged to call-table keys.
+func (m *Machine) CallSpace() int { return m.stats.CallBytes }
+
+// AnswerSpace returns the table space charged to answer-table keys.
+func (m *Machine) AnswerSpace() int { return m.stats.AnswerBytes }
+
+// TableNodes returns the number of trie nodes backing the call and
+// answer tables (0 under TablesStringMap).
+func (m *Machine) TableNodes() int { return m.stats.TableNodes }
 
 // DumpTablesString renders all tables for debugging and the cmd/xlp tool.
 func (m *Machine) DumpTablesString() string {
 	var sb strings.Builder
-	var keys []string
-	for key := range m.tables {
-		keys = append(keys, key)
-	}
-	sort.Strings(keys)
-	for _, key := range keys {
-		sg := m.tables[key]
+	for _, sg := range m.sortedSubgoals("") {
 		sb.WriteString(sg.goal.String())
 		if sg.complete {
 			sb.WriteString("  [complete]\n")

@@ -338,6 +338,66 @@ func Table8() (*Table, error) {
 	return t, nil
 }
 
+// Table9 re-measures the table-space column of Tables 1 and 3 under the
+// two table representations: canonical-string maps (key bytes, the
+// historical column) against term tries (allocated nodes at
+// engine.TrieNodeBytes each). Subgoal and answer counts are verified
+// identical between the representations on every benchmark.
+func Table9() (*Table, error) {
+	t := &Table{
+		Title: "Table 9: table space, canonical-string maps vs term tries",
+		Columns: []string{"Program", "Subgoals", "Answers",
+			"Stringmap(B)", "Trie(B)", "Trie nodes", "Trie/Map"},
+	}
+	row := func(name string, sm, tr engine.Stats, trNodes int) error {
+		if sm.Subgoals != tr.Subgoals || sm.Answers != tr.Answers {
+			return fmt.Errorf("%s: table impls disagree: %d/%d subgoals, %d/%d answers",
+				name, sm.Subgoals, tr.Subgoals, sm.Answers, tr.Answers)
+		}
+		ratio := "-"
+		if sm.TableBytes > 0 {
+			ratio = fmt.Sprintf("%.2f", float64(tr.TableBytes)/float64(sm.TableBytes))
+		}
+		t.Rows = append(t.Rows, []string{
+			name, fmt.Sprint(tr.Subgoals), fmt.Sprint(tr.Answers),
+			fmt.Sprint(sm.TableBytes), fmt.Sprint(tr.TableBytes),
+			fmt.Sprint(trNodes), ratio,
+		})
+		return nil
+	}
+	for _, p := range corpus.LogicPrograms() {
+		sm, err := prop.Analyze(p.Source, prop.Options{Tables: engine.TablesStringMap})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.Name, err)
+		}
+		tr, err := prop.Analyze(p.Source, prop.Options{Tables: engine.TablesTrie})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.Name, err)
+		}
+		if err := row("prop/"+p.Name, sm.EngineStats, tr.EngineStats, tr.TableNodes); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range corpus.FuncPrograms() {
+		sm, err := strict.Analyze(p.Source, strict.Options{Tables: engine.TablesStringMap})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.Name, err)
+		}
+		tr, err := strict.Analyze(p.Source, strict.Options{Tables: engine.TablesTrie})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.Name, err)
+		}
+		if err := row("strict/"+p.Name, sm.EngineStats, tr.EngineStats, tr.TableNodes); err != nil {
+			return nil, err
+		}
+	}
+	t.Notes = append(t.Notes,
+		"stringmap charges canonical key bytes; trie charges allocated nodes x "+
+			fmt.Sprint(engine.TrieNodeBytes)+"B — shared prefixes make the trie sublinear in answer count",
+		"subgoal and answer counts verified identical between the representations")
+	return t, nil
+}
+
 // All runs every table. Table indices follow DESIGN.md's experiment
 // index.
 func All() ([]*Table, error) {
@@ -345,7 +405,7 @@ func All() ([]*Table, error) {
 	for _, f := range []func() (*Table, error){
 		Table1, Table2, Table3,
 		func() (*Table, error) { return Table4(1) },
-		Table5, Table6, Table7, Table8,
+		Table5, Table6, Table7, Table8, Table9,
 	} {
 		t, err := f()
 		if err != nil {

@@ -56,6 +56,16 @@ func TestTable3Shape(t *testing.T) {
 	}
 }
 
+func TestTable9Shape(t *testing.T) {
+	tbl, err := Table9()
+	if err != nil {
+		t.Fatal(err) // also fails if the two table impls disagree
+	}
+	if len(tbl.Rows) != 12+10 {
+		t.Fatalf("Table 9 must cover the Table 1 and Table 3 corpora (22 rows), got %d", len(tbl.Rows))
+	}
+}
+
 func TestTable2CrossValidates(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full corpus comparison in -short mode")

@@ -32,6 +32,11 @@ const (
 	// but is never recorded in the event ring (resolutions outnumber
 	// every other event by orders of magnitude).
 	EvResolutions
+	// EvTableNodes: n table-trie nodes were allocated while entering a
+	// subgoal or answer for the predicate (trie-backed tables only).
+	// Counter-only, like EvResolutions: the matching EvSubgoalNew /
+	// EvAnswerNew event already lands in the ring.
+	EvTableNodes
 )
 
 var kindNames = [...]string{
@@ -42,6 +47,7 @@ var kindNames = [...]string{
 	EvProducerPass: "producer_pass",
 	EvComplete:     "complete",
 	EvResolutions:  "resolutions",
+	EvTableNodes:   "table_nodes",
 }
 
 func (k EventKind) String() string {
@@ -81,6 +87,7 @@ type PredCounters struct {
 	ProducerPasses int    `json:"producer_passes"`
 	Completions    int    `json:"completions"`
 	TableBytes     int    `json:"table_bytes"`
+	TableNodes     int    `json:"table_nodes"`
 }
 
 // Trace is an EngineTracer that records events into a bounded ring
@@ -136,6 +143,9 @@ func (t *Trace) Emit(kind EventKind, pred string, n int) {
 		pc.Completions++
 	case EvResolutions:
 		pc.Resolutions += n
+		return // counter-only, keep the ring for structural events
+	case EvTableNodes:
+		pc.TableNodes += n
 		return // counter-only, keep the ring for structural events
 	}
 	ev := Event{At: time.Since(t.t0), Kind: kind, Pred: pred, N: n}

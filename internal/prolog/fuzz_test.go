@@ -95,6 +95,63 @@ func FuzzReadTermRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzTrieInsertLookup checks the term trie against Canonical on
+// arbitrary parsed terms: trie-leaf identity must coincide exactly with
+// canonical-string equality (the variant relation), inserts must be
+// idempotent, and lookups must find exactly the inserted classes.
+func FuzzTrieInsertLookup(f *testing.F) {
+	for _, s := range []string{
+		"foo", "f(X, Y)", "f(X, X)", "[1, 2 | T]", "[a, [b, c], -3]",
+		"g(X, f(X, Y), X)", "'quoted atom'", "p((a, b))", "f(-1, [])",
+		"s(s(s(z)))", "pair([H | T], H)",
+	} {
+		f.Add(s, s)
+	}
+	// Corpus-derived seeds: every clause of the benchmark programs.
+	for _, p := range corpus.LogicPrograms() {
+		clauses, err := ParseProgram(p.Source)
+		if err != nil {
+			continue
+		}
+		for i := 0; i+1 < len(clauses); i += 7 {
+			f.Add(WriteClause(clauses[i]), WriteClause(clauses[i+1]))
+		}
+	}
+	f.Fuzz(func(t *testing.T, aSrc, bSrc string) {
+		a, _, errA := ParseTerm(aSrc)
+		b, _, errB := ParseTerm(bSrc)
+		if errA != nil || errB != nil {
+			return
+		}
+		tr := term.NewTrie()
+		la, _ := tr.Insert(a)
+		la.SetValue("a")
+		lb, nb := tr.Insert(b)
+		sameCanon := term.Canonical(a) == term.Canonical(b)
+		if (la == lb) != sameCanon {
+			t.Fatalf("leaf identity %v but canonical equality %v: %q vs %q",
+				la == lb, sameCanon, aSrc, bSrc)
+		}
+		if sameCanon && nb != 0 {
+			t.Fatalf("inserting a variant of %q allocated %d nodes", aSrc, nb)
+		}
+		// Lookup must find both inserted terms via fresh variants.
+		if leaf, ok := tr.Lookup(term.Rename(a, nil)); !ok || leaf != la {
+			t.Fatalf("lookup of inserted %q failed", aSrc)
+		}
+		if leaf, ok := tr.Lookup(term.Rename(b, nil)); !ok || leaf != lb {
+			t.Fatalf("lookup of inserted %q failed", bSrc)
+		}
+		// Re-inserting both terms is a no-op on the node count.
+		before := tr.Nodes()
+		tr.Insert(a)
+		tr.Insert(b)
+		if tr.Nodes() != before {
+			t.Fatalf("re-insert allocated nodes: %d -> %d", before, tr.Nodes())
+		}
+	})
+}
+
 func FuzzUnify(f *testing.F) {
 	pairs := [][2]string{
 		{"f(X, b)", "f(a, Y)"},

@@ -20,6 +20,10 @@ type Options struct {
 	// Mode selects dynamic loading (the paper's recommended assert-based
 	// path) or full compilation with indexing (§4's comparison point).
 	Mode engine.LoadMode
+	// Tables selects the engine's table representation: trie-indexed
+	// (default) or the canonical-string maps kept for differential
+	// testing (engine.TablesStringMap).
+	Tables engine.TablesImpl
 	// Entry lists source-level entry goals, e.g. "main(X)". When given,
 	// the analysis is goal-directed: only calls reachable from the
 	// entries are analyzed and the recorded calls yield input groundness.
@@ -116,6 +120,7 @@ type Analysis struct {
 	AnalysisTime   time.Duration // tabled evaluation ("Analysis")
 	CollectionTime time.Duration // result extraction ("Collection")
 	TableBytes     int           // "Table space (bytes)"
+	TableNodes     int           // trie nodes backing the tables (0 under string maps)
 	EngineStats    engine.Stats
 	Timeline       *obs.Timeline // phase spans, when requested via Options
 	AbstractSize   int           // number of abstract clauses
@@ -180,6 +185,7 @@ func AnalyzeClauses(clauses []term.Term, opts Options) (*Analysis, error) {
 	tl.Start("load")
 	m := engine.New()
 	m.Mode = opts.Mode
+	m.Tables = opts.Tables
 	m.Limits = opts.Limits
 	m.SetContext(opts.Ctx)
 	m.SetTracer(opts.Tracer)
@@ -226,8 +232,18 @@ func AnalyzeClauses(clauses []term.Term, opts Options) (*Analysis, error) {
 			}
 		}
 	} else {
-		for ind, abs := range tf.Preds {
-			goal := openCall(abs)
+		// Solve in sorted indicator order. Results are a fixpoint and do
+		// not depend on it, but the evaluation trajectory (resolution and
+		// producer-pass counts) does; a map-order walk here made those
+		// counters differ from run to run on the same input, which the
+		// tables_trie_vs_stringmap oracle compares exactly.
+		inds := make([]string, 0, len(tf.Preds))
+		for ind := range tf.Preds {
+			inds = append(inds, ind)
+		}
+		sort.Strings(inds)
+		for _, ind := range inds {
+			goal := openCall(tf.Preds[ind])
 			if err := m.Solve(goal, func() bool { return false }); err != nil {
 				return nil, fmt.Errorf("prop: analyzing %s: %w", ind, err)
 			}
@@ -258,6 +274,7 @@ func AnalyzeClauses(clauses []term.Term, opts Options) (*Analysis, error) {
 		a.Results[ind] = res
 	}
 	a.TableBytes = m.TableSpace()
+	a.TableNodes = m.TableNodes()
 	a.EngineStats = m.Stats()
 	a.CollectionTime = time.Since(t2)
 	return a, nil
@@ -330,7 +347,7 @@ func collect(m *engine.Machine, srcInd, absInd string) *PredResult {
 	}
 	seenCalls := map[string]bool{}
 	seenAnswers := map[string]bool{}
-	for _, dump := range m.Tables(absInd) {
+	for _, dump := range m.DumpTables(absInd) {
 		res.Reachable = true
 		if cp, ok := callPattern(dump.Call); ok && !seenCalls[cp.String()] {
 			seenCalls[cp.String()] = true

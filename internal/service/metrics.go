@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"xlp/internal/obs"
+	"xlp/internal/term"
 )
 
 // routePatterns lists every HTTP route the handler serves, in the mux's
@@ -73,7 +74,11 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	eng("answers_total", "Distinct tabled answers across executed runs.", st.Engine.Answers)
 	eng("producer_runs_total", "Producer (re-)activations across executed runs.", st.Engine.ProducerRuns)
 	eng("producer_passes_total", "Full producer clause passes across executed runs.", st.Engine.ProducerPasses)
-	eng("table_bytes_total", "Canonical table bytes across executed runs.", st.Engine.TableBytes)
+	eng("table_bytes_total", "Table space bytes across executed runs.", st.Engine.TableBytes)
+	eng("call_bytes_total", "Table space charged to call-table keys across executed runs.", st.Engine.CallBytes)
+	eng("answer_bytes_total", "Table space charged to answer-table keys across executed runs.", st.Engine.AnswerBytes)
+	eng("table_nodes_total", "Table-trie nodes allocated across executed runs.", st.Engine.TableNodes)
+	pw.Gauge("xlpd_interned_symbols", "Interned atom/functor symbols in the process-wide table.", float64(term.InternedSyms()))
 
 	for _, k := range Kinds() {
 		pw.Histogram("xlpd_request_duration_seconds",

@@ -150,6 +150,7 @@ type Service struct {
 	// Engine-counter aggregates over executed runs (see Stats.Engine).
 	engResolutions, engBuiltinCalls, engSubgoals, engAnswers atomic.Int64
 	engProducerRuns, engProducerPasses, engTableBytes        atomic.Int64
+	engCallBytes, engAnswerBytes, engTableNodes              atomic.Int64
 
 	// latency holds one request-duration histogram per kind; routes
 	// holds one per HTTP route. Both maps are fixed at New and only read
@@ -209,6 +210,9 @@ func (s *Service) Stats() Stats {
 			ProducerRuns:   s.engProducerRuns.Load(),
 			ProducerPasses: s.engProducerPasses.Load(),
 			TableBytes:     s.engTableBytes.Load(),
+			CallBytes:      s.engCallBytes.Load(),
+			AnswerBytes:    s.engAnswerBytes.Load(),
+			TableNodes:     s.engTableNodes.Load(),
 		},
 	}
 }
@@ -374,6 +378,9 @@ func (s *Service) run(j *job) (*Response, error) {
 		s.engProducerRuns.Add(e.ProducerRuns)
 		s.engProducerPasses.Add(e.ProducerPasses)
 		s.engTableBytes.Add(e.TableBytes)
+		s.engCallBytes.Add(e.CallBytes)
+		s.engAnswerBytes.Add(e.AnswerBytes)
+		s.engTableNodes.Add(e.TableNodes)
 	}
 	if j.req.Kind == KindLint || (j.req.Options.Lint && j.req.Kind != KindQuery) {
 		s.lintRequests.Add(1)
@@ -390,6 +397,7 @@ func execute(ctx context.Context, req *Request) (*Response, error) {
 	case KindGroundness:
 		a, err := prop.Analyze(req.Source, prop.Options{
 			Mode:   o.engineMode(),
+			Tables: o.engineTables(),
 			Entry:  o.Entry,
 			Slice:  o.Slice,
 			Limits: o.engineLimits(),
@@ -414,6 +422,7 @@ func execute(ctx context.Context, req *Request) (*Response, error) {
 	case KindStrictness:
 		a, err := strict.Analyze(req.Source, strict.Options{
 			Mode:            o.engineMode(),
+			Tables:          o.engineTables(),
 			Entry:           o.Entry,
 			Slice:           o.Slice,
 			Limits:          o.engineLimits(),
@@ -428,6 +437,7 @@ func execute(ctx context.Context, req *Request) (*Response, error) {
 		a, err := depthk.Analyze(req.Source, depthk.Options{
 			K:               o.K,
 			Mode:            o.engineMode(),
+			Tables:          o.engineTables(),
 			Entry:           o.Entry,
 			Slice:           o.Slice,
 			Limits:          o.engineLimits(),
@@ -462,6 +472,7 @@ func executeQuery(ctx context.Context, req *Request) (*Response, error) {
 	t0 := time.Now()
 	m := engine.New()
 	m.Mode = o.engineMode()
+	m.Tables = o.engineTables()
 	m.Limits = o.engineLimits()
 	m.SetContext(ctx)
 	if err := m.Consult(req.Source); err != nil {

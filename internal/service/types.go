@@ -62,6 +62,10 @@ func (k Kind) Valid() bool {
 type Options struct {
 	// Mode selects clause loading: "dynamic" (default) or "compiled".
 	Mode string `json:"mode,omitempty"`
+	// Tables selects the engine's table representation: "trie" (default)
+	// or "stringmap" (the canonical-string baseline). Answer sets are
+	// identical either way; only table-space accounting differs.
+	Tables string `json:"tables,omitempty"`
 	// Entry lists entry goals or predicate indicators: goal-directed
 	// analysis entry points (groundness, depthk, strictness, gaia) and
 	// lint reachability roots.
@@ -116,6 +120,11 @@ func (r *Request) Validate() error {
 	default:
 		return fmt.Errorf("%w: unknown mode %q", ErrBadRequest, r.Options.Mode)
 	}
+	switch r.Options.Tables {
+	case "", "trie", "stringmap":
+	default:
+		return fmt.Errorf("%w: unknown tables impl %q", ErrBadRequest, r.Options.Tables)
+	}
 	switch r.Options.Lang {
 	case "", "prolog", "fl":
 	default:
@@ -134,6 +143,11 @@ func (r *Request) canonicalOptions() Options {
 	o := r.Options
 	if o.Mode == "" {
 		o.Mode = "dynamic"
+	}
+	// Tables changes the response's table-space accounting (bytes and
+	// node counts), so the two impls must not share a cache entry.
+	if o.Tables == "" {
+		o.Tables = "trie"
 	}
 	switch r.Kind {
 	case KindGroundness:
@@ -193,6 +207,14 @@ func (o Options) engineMode() engine.LoadMode {
 	return engine.LoadDynamic
 }
 
+// engineTables maps the wire tables impl to the engine's TablesImpl.
+func (o Options) engineTables() engine.TablesImpl {
+	if o.Tables == "stringmap" {
+		return engine.TablesStringMap
+	}
+	return engine.TablesTrie
+}
+
 // engineLimits maps the wire limits to engine.Limits.
 func (o Options) engineLimits() engine.Limits {
 	return engine.Limits{
@@ -220,6 +242,13 @@ type EngineReport struct {
 	ProducerRuns   int64 `json:"producer_runs"`
 	ProducerPasses int64 `json:"producer_passes"`
 	TableBytes     int64 `json:"table_bytes"`
+	// CallBytes + AnswerBytes partition TableBytes between the call
+	// table and the answer tables.
+	CallBytes   int64 `json:"call_bytes"`
+	AnswerBytes int64 `json:"answer_bytes"`
+	// TableNodes counts trie nodes backing the tables (0 under the
+	// canonical-string-map representation).
+	TableNodes int64 `json:"table_nodes"`
 }
 
 func engineReport(st engine.Stats) *EngineReport {
@@ -231,6 +260,9 @@ func engineReport(st engine.Stats) *EngineReport {
 		ProducerRuns:   int64(st.ProducerRuns),
 		ProducerPasses: int64(st.ProducerPasses),
 		TableBytes:     int64(st.TableBytes),
+		CallBytes:      int64(st.CallBytes),
+		AnswerBytes:    int64(st.AnswerBytes),
+		TableNodes:     int64(st.TableNodes),
 	}
 }
 

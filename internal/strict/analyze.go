@@ -71,7 +71,10 @@ func RegisterDemandOps(m *engine.Machine) {
 
 // Options configure a strictness-analysis run.
 type Options struct {
-	Mode   engine.LoadMode
+	Mode engine.LoadMode
+	// Tables selects the engine's table representation: trie-indexed
+	// (default) or canonical-string maps (engine.TablesStringMap).
+	Tables engine.TablesImpl
 	Limits engine.Limits
 	// Entry restricts the analysis to the given functions ("f/n", or
 	// bare "f" matching every arity): only their sp predicates are
@@ -141,6 +144,7 @@ type Analysis struct {
 	AnalysisTime   time.Duration
 	CollectionTime time.Duration
 	TableBytes     int
+	TableNodes     int // trie nodes backing the tables (0 under string maps)
 	EngineStats    engine.Stats
 	Timeline       *obs.Timeline // phase spans, when requested via Options
 	SourceLines    int
@@ -201,6 +205,7 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 	tl.Start("load")
 	m := engine.New()
 	m.Mode = opts.Mode
+	m.Tables = opts.Tables
 	m.Limits = opts.Limits
 	m.SetContext(opts.Ctx)
 	m.SetTracer(opts.Tracer)
@@ -264,6 +269,7 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 		a.Results[ind] = collect(m, ind, fmt.Sprintf("%s/%d", spName(name, arity), arity+1))
 	}
 	a.TableBytes = m.TableSpace()
+	a.TableNodes = m.TableNodes()
 	a.EngineStats = m.Stats()
 	a.CollectionTime = time.Since(t2)
 	return a, nil
@@ -312,7 +318,7 @@ func collect(m *engine.Machine, ind, spInd string) *FuncResult {
 		res.UnderD[i] = E
 	}
 	sawE, sawD := false, false
-	for _, dump := range m.Tables(spInd) {
+	for _, dump := range m.DumpTables(spInd) {
 		_, callArgs, _ := term.FunctorArity(dump.Call)
 		if len(callArgs) == 0 {
 			continue

@@ -1,0 +1,225 @@
+package term
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// genTerm builds a random term of bounded depth. vars is the pool of
+// variables the term may draw from (sharing within a term is what makes
+// variant classes interesting).
+func genTerm(r *rand.Rand, depth int, vars []*Var) Term {
+	if depth <= 0 {
+		switch r.Intn(3) {
+		case 0:
+			return Atom(fmt.Sprintf("a%d", r.Intn(6)))
+		case 1:
+			return Int(r.Intn(10) - 5)
+		default:
+			return vars[r.Intn(len(vars))]
+		}
+	}
+	switch r.Intn(5) {
+	case 0:
+		return Atom(fmt.Sprintf("a%d", r.Intn(6)))
+	case 1:
+		return Int(r.Intn(10) - 5)
+	case 2:
+		return vars[r.Intn(len(vars))]
+	default:
+		n := 1 + r.Intn(3)
+		args := make([]Term, n)
+		for i := range args {
+			args[i] = genTerm(r, depth-1, vars)
+		}
+		return NewCompound(fmt.Sprintf("f%d", r.Intn(4)), args...)
+	}
+}
+
+func freshVars(n int) []*Var {
+	vs := make([]*Var, n)
+	for i := range vs {
+		vs[i] = NewVar(fmt.Sprintf("V%d", i))
+	}
+	return vs
+}
+
+// TestTrieVariantsShareLeaf: variant-equivalent terms (equal up to
+// consistent renaming of variables) must reach the same leaf, and the
+// second walk must allocate no nodes.
+func TestTrieVariantsShareLeaf(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	tr := NewTrie()
+	for i := 0; i < 500; i++ {
+		a := genTerm(r, 3, freshVars(3))
+		b := Rename(a, nil) // fresh variables, same shape: a variant
+		if !Variant(a, b) {
+			t.Fatalf("Rename did not produce a variant of %v", a)
+		}
+		la, na := tr.Insert(a)
+		lb, nb := tr.Insert(b)
+		if la != lb {
+			t.Fatalf("variants %v and %v reached different leaves", a, b)
+		}
+		if nb != 0 {
+			t.Fatalf("re-inserting variant %v allocated %d nodes", b, nb)
+		}
+		_ = na
+	}
+}
+
+// TestTrieMatchesCanonical is the core soundness/completeness property:
+// two terms reach the same leaf iff their canonical strings are equal
+// (leaf identity == Variant equivalence == Canonical equality).
+func TestTrieMatchesCanonical(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	tr := NewTrie()
+	leafByCanon := map[string]*TrieNode{}
+	canonByLeaf := map[*TrieNode]string{}
+	for i := 0; i < 3000; i++ {
+		u := genTerm(r, 4, freshVars(4))
+		key := Canonical(u)
+		leaf, _ := tr.Insert(u)
+		if prev, ok := leafByCanon[key]; ok {
+			if prev != leaf {
+				t.Fatalf("variant class %q split across leaves (term %v)", key, u)
+			}
+		} else {
+			leafByCanon[key] = leaf
+		}
+		if prevKey, ok := canonByLeaf[leaf]; ok {
+			if prevKey != key {
+				t.Fatalf("leaf collision: %q and %q (term %v)", prevKey, key, u)
+			}
+		} else {
+			canonByLeaf[leaf] = key
+		}
+	}
+	if len(leafByCanon) < 100 {
+		t.Fatalf("generator too tame: only %d distinct classes", len(leafByCanon))
+	}
+}
+
+// TestTrieInsertLookupRoundTrip: Lookup finds exactly the inserted
+// variant classes, via any variant of the inserted term, and misses
+// non-inserted ones.
+func TestTrieInsertLookupRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	tr := NewTrie()
+	var inserted []Term
+	for i := 0; i < 200; i++ {
+		u := genTerm(r, 3, freshVars(3))
+		leaf, _ := tr.Insert(u)
+		leaf.SetValue(i)
+		inserted = append(inserted, u)
+	}
+	for i, u := range inserted {
+		leaf, ok := tr.Lookup(Rename(u, nil))
+		if !ok {
+			t.Fatalf("lookup lost inserted term %v", u)
+		}
+		if _, set := leaf.Value(); !set {
+			t.Fatalf("leaf of %v has no value", u)
+		}
+		_ = i
+	}
+	// A term deeper than anything inserted cannot be present.
+	probe := NewCompound("zz_unseen", Atom("x"), NewCompound("zz_unseen", Int(7)))
+	if leaf, ok := tr.Lookup(probe); ok {
+		if _, set := leaf.Value(); set {
+			t.Fatalf("lookup fabricated a value for %v", probe)
+		}
+	}
+}
+
+// TestTrieBoundVarsWalkAsBindings: the walk must dereference bindings —
+// a variable bound to a term spells that term, not a variable cell.
+func TestTrieBoundVarsWalkAsBindings(t *testing.T) {
+	tr := NewTrie()
+	v := NewVar("X")
+	var trail Trail
+	trail.Bind(v, Atom("a"))
+	bound := NewCompound("p", v)
+	direct := NewCompound("p", Atom("a"))
+	l1, _ := tr.Insert(bound)
+	l2, n2 := tr.Insert(direct)
+	if l1 != l2 || n2 != 0 {
+		t.Fatalf("p(X){X=a} and p(a) reached different leaves")
+	}
+	trail.Undo(0)
+	l3, _ := tr.Insert(bound) // now unbound: a different class
+	if l3 == l1 {
+		t.Fatalf("p(X) with X unbound conflated with p(a)")
+	}
+}
+
+// TestTrieVarNumberingFirstOccurrence: variable cells use first-occurrence
+// numbering, so p(X,Y,X) and p(Y,X,Y) are the same class while p(X,Y,Y)
+// is not.
+func TestTrieVarNumberingFirstOccurrence(t *testing.T) {
+	tr := NewTrie()
+	x, y := NewVar("X"), NewVar("Y")
+	l1, _ := tr.Insert(NewCompound("p", x, y, x))
+	l2, n2 := tr.Insert(NewCompound("p", y, x, y))
+	if l1 != l2 || n2 != 0 {
+		t.Fatalf("p(X,Y,X) and p(Y,X,Y) are variants but split leaves")
+	}
+	l3, _ := tr.Insert(NewCompound("p", x, y, y))
+	if l3 == l1 {
+		t.Fatalf("p(X,Y,Y) conflated with p(X,Y,X)")
+	}
+}
+
+// TestTrieNodesAccounting: node counts grow exactly by the per-insert
+// newNodes deltas and Bytes follows at TrieNodeBytes each.
+func TestTrieNodesAccounting(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	tr := NewTrie()
+	total := 0
+	for i := 0; i < 300; i++ {
+		_, n := tr.Insert(genTerm(r, 3, freshVars(3)))
+		total += n
+	}
+	if tr.Nodes() != total {
+		t.Fatalf("Nodes() = %d, sum of deltas = %d", tr.Nodes(), total)
+	}
+	if tr.Bytes() != total*TrieNodeBytes {
+		t.Fatalf("Bytes() = %d, want %d", tr.Bytes(), total*TrieNodeBytes)
+	}
+}
+
+// TestTrieSpillFanout: a node whose fanout crosses spillFanout keeps
+// resolving all earlier and later children.
+func TestTrieSpillFanout(t *testing.T) {
+	tr := NewTrie()
+	leaves := map[int]*TrieNode{}
+	for i := 0; i < 3*spillFanout; i++ {
+		leaf, n := tr.Insert(NewCompound("p", Int(i)))
+		if n == 0 {
+			t.Fatalf("p(%d) allocated no nodes", i)
+		}
+		leaves[i] = leaf
+	}
+	for i := 0; i < 3*spillFanout; i++ {
+		leaf, ok := tr.Lookup(NewCompound("p", Int(i)))
+		if !ok || leaf != leaves[i] {
+			t.Fatalf("p(%d) lost after spill", i)
+		}
+	}
+}
+
+// TestInternRoundTrip: interning is stable and Name inverts it.
+func TestInternRoundTrip(t *testing.T) {
+	s1 := Intern("trie_test_atom_α")
+	s2 := Intern("trie_test_atom_α")
+	if s1 != s2 {
+		t.Fatalf("interning the same name twice gave %d and %d", s1, s2)
+	}
+	if s1.Name() != "trie_test_atom_α" {
+		t.Fatalf("Name() = %q", s1.Name())
+	}
+	if InternedSyms() <= 0 {
+		t.Fatalf("InternedSyms() = %d", InternedSyms())
+	}
+}
