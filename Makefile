@@ -74,6 +74,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzTrieInsertLookup$$' -fuzztime $(FUZZTIME) ./internal/prolog
 	$(GO) test -run '^$$' -fuzz '^FuzzParseFL$$' -fuzztime $(FUZZTIME) ./internal/fl
 	$(GO) test -run '^$$' -fuzz '^FuzzAnalyzeGroundness$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzCompileSolve$$' -fuzztime $(FUZZTIME) .
 
 serve:
 	$(GO) run ./cmd/xlpd

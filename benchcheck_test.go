@@ -1,13 +1,17 @@
-// Bench-regression gate for the engine's table representations.
+// Bench-regression gate for the engine's table representations and
+// clause backends.
 //
 // BenchmarkSolveCorpus drives the whole benchmark corpus (Table 1
 // groundness over the 12 logic programs, Table 3 strictness over the 10
-// functional programs) through each table implementation; one op is one
-// full corpus sweep. TestBenchRegressionGate re-runs the same workload
-// under testing.Benchmark and compares it against the committed baseline
-// in BENCH_engine.json, failing on a >15% regression in time or
-// allocations, and holding the trie representation to its headline win:
-// at least 20% fewer allocations per sweep than the string-map path.
+// functional programs) through each configuration — trie tables with the
+// interpreter, string-map tables with the interpreter, and trie tables
+// with the closure-compiled clause backend; one op is one full corpus
+// sweep. TestBenchRegressionGate re-runs the same workload under
+// testing.Benchmark and compares it against the committed baseline in
+// BENCH_engine.json, failing on a >15% regression in time or
+// allocations, and holding the headline wins: trie tables must allocate
+// at least 20% less than the string-map sweep, and the closure backend
+// must beat the interpreted sweep on wall time.
 //
 // The gate is opt-in (it costs several benchmark seconds):
 //
@@ -27,31 +31,43 @@ import (
 	"xlp/internal/strict"
 )
 
+// benchConfig is one gated engine configuration: a table representation
+// plus a clause backend. Names key the entries in BENCH_engine.json.
+type benchConfig struct {
+	name   string
+	tables engine.TablesImpl
+	mode   engine.LoadMode
+}
+
+func benchConfigs() []benchConfig {
+	return []benchConfig{
+		{"trie", engine.TablesTrie, engine.LoadDynamic},
+		{"stringmap", engine.TablesStringMap, engine.LoadDynamic},
+		{"closure", engine.TablesTrie, engine.ModeClosure},
+	}
+}
+
 // solveCorpus is the gate's workload: every corpus program analyzed on
-// the tabled engine with the given table representation.
-func solveCorpus(tb testing.TB, impl engine.TablesImpl) {
+// the tabled engine under the given configuration.
+func solveCorpus(tb testing.TB, cfg benchConfig) {
 	for _, p := range corpus.LogicPrograms() {
-		if _, err := prop.Analyze(p.Source, prop.Options{Tables: impl}); err != nil {
+		if _, err := prop.Analyze(p.Source, prop.Options{Tables: cfg.tables, Mode: cfg.mode}); err != nil {
 			tb.Fatalf("%s: %v", p.Name, err)
 		}
 	}
 	for _, p := range corpus.FuncPrograms() {
-		if _, err := strict.Analyze(p.Source, strict.Options{Tables: impl}); err != nil {
+		if _, err := strict.Analyze(p.Source, strict.Options{Tables: cfg.tables, Mode: cfg.mode}); err != nil {
 			tb.Fatalf("%s: %v", p.Name, err)
 		}
 	}
 }
 
-func tableImpls() []engine.TablesImpl {
-	return []engine.TablesImpl{engine.TablesTrie, engine.TablesStringMap}
-}
-
 func BenchmarkSolveCorpus(b *testing.B) {
-	for _, impl := range tableImpls() {
-		b.Run(impl.String(), func(b *testing.B) {
+	for _, cfg := range benchConfigs() {
+		b.Run(cfg.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				solveCorpus(b, impl)
+				solveCorpus(b, cfg)
 			}
 		})
 	}
@@ -89,38 +105,50 @@ func TestBenchRegressionGate(t *testing.T) {
 		t.Skip("set XLP_BENCH_CHECK=1 (compare) or XLP_BENCH_WRITE=1 (rebaseline) to run")
 	}
 
-	// Best of three runs per implementation: minimum ns/op is the
+	// Best of three runs per configuration: minimum ns/op is the
 	// standard noise-robust statistic, and allocation counts are
 	// near-deterministic anyway.
 	measured := map[string]testing.BenchmarkResult{}
-	for _, impl := range tableImpls() {
-		impl := impl
+	for _, cfg := range benchConfigs() {
+		cfg := cfg
 		var best testing.BenchmarkResult
 		for run := 0; run < 3; run++ {
 			r := testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					solveCorpus(b, impl)
+					solveCorpus(b, cfg)
 				}
 			})
 			if run == 0 || r.NsPerOp() < best.NsPerOp() {
 				best = r
 			}
 		}
-		measured[impl.String()] = best
+		measured[cfg.name] = best
 	}
 
-	trie, smap := measured[engine.TablesTrie.String()], measured[engine.TablesStringMap.String()]
+	trie, smap := measured["trie"], measured["stringmap"]
 	if ratio := float64(trie.AllocsPerOp()) / float64(smap.AllocsPerOp()); ratio > trieAllocsTarget {
 		t.Errorf("trie tables allocate %.0f%% of the string-map sweep, want <= %.0f%% (trie %d, stringmap %d allocs/op)",
 			ratio*100, trieAllocsTarget*100, trie.AllocsPerOp(), smap.AllocsPerOp())
+	}
+
+	// The closure backend's acceptance bar: compiling clauses to Go
+	// closures (including compile time, paid once per machine) must beat
+	// interpreting them over the same trie-table sweep.
+	closure := measured["closure"]
+	if closure.NsPerOp() >= trie.NsPerOp() {
+		t.Errorf("closure backend is not faster than the interpreter: closure %d ns/op vs interpreted %d ns/op",
+			closure.NsPerOp(), trie.NsPerOp())
+	} else {
+		t.Logf("closure backend: %.1f%% faster than the interpreter (%d vs %d ns/op)",
+			(1-float64(closure.NsPerOp())/float64(trie.NsPerOp()))*100, closure.NsPerOp(), trie.NsPerOp())
 	}
 
 	if write {
 		base := benchBaseline{
 			Benchmark: "BenchmarkSolveCorpus",
 			Date:      time.Now().Format("2006-01-02"),
-			Workload:  "one op = full corpus sweep: prop groundness over the 12 logic programs + strict strictness over the 10 functional programs, per table implementation",
+			Workload:  "one op = full corpus sweep: prop groundness over the 12 logic programs + strict strictness over the 10 functional programs, per engine configuration (tables x clause backend)",
 			Results:   map[string]benchEntry{},
 		}
 		for name, r := range measured {
@@ -149,8 +177,8 @@ func TestBenchRegressionGate(t *testing.T) {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		t.Fatalf("corrupt %s: %v", benchBaselineFile, err)
 	}
-	for _, impl := range tableImpls() {
-		name := impl.String()
+	for _, cfg := range benchConfigs() {
+		name := cfg.name
 		b, ok := base.Results[name]
 		if !ok {
 			t.Errorf("%s: no baseline entry in %s", name, benchBaselineFile)

@@ -26,6 +26,7 @@ type analyzeFlags struct {
 	entry    string
 	k        int
 	compiled bool
+	loadMode string
 	bench    string
 	phases   bool
 	trace    string
@@ -39,7 +40,8 @@ func newAnalyzeFlags(name string, withK bool) *analyzeFlags {
 	if withK {
 		af.fs.IntVar(&af.k, "k", 2, "term-depth bound")
 	}
-	af.fs.BoolVar(&af.compiled, "compiled", false, "use compiled loading (first-argument indexing)")
+	af.fs.BoolVar(&af.compiled, "compiled", false, "use compiled loading (first-argument indexing); shorthand for -mode compiled")
+	af.fs.StringVar(&af.loadMode, "mode", "", "clause loading mode: dynamic (default), compiled, or closure")
 	af.fs.StringVar(&af.bench, "bench", "", "analyze a named corpus benchmark instead of a file")
 	af.fs.BoolVar(&af.phases, "phases", false, "print the phase-timing table (parse/transform/load/solve/collect)")
 	af.fs.StringVar(&af.trace, "trace", "", "write a Chrome trace_event file (open in chrome://tracing)")
@@ -48,11 +50,24 @@ func newAnalyzeFlags(name string, withK bool) *analyzeFlags {
 	return af
 }
 
-func (af *analyzeFlags) mode() engine.LoadMode {
-	if af.compiled {
-		return engine.LoadCompiled
+// mode resolves -mode (with -compiled as legacy shorthand) to the
+// engine's LoadMode; an unknown name is reported via the error.
+func (af *analyzeFlags) mode() (engine.LoadMode, error) {
+	switch af.loadMode {
+	case "":
+		if af.compiled {
+			return engine.LoadCompiled, nil
+		}
+		return engine.LoadDynamic, nil
+	case "dynamic":
+		return engine.LoadDynamic, nil
+	case "compiled":
+		return engine.LoadCompiled, nil
+	case "closure":
+		return engine.ModeClosure, nil
+	default:
+		return engine.LoadDynamic, fmt.Errorf("unknown -mode %q (want dynamic, compiled, or closure)", af.loadMode)
 	}
-	return engine.LoadDynamic
 }
 
 // tracer returns a Trace when any trace-consuming flag is set; tracing
@@ -136,6 +151,11 @@ func runAnalyze(kind string, args []string, stdout, stderr io.Writer) int {
 	if err := af.fs.Parse(args); err != nil {
 		return 2
 	}
+	mode, err := af.mode()
+	if err != nil {
+		fmt.Fprintf(stderr, "xlp: %v\n", err)
+		return 2
+	}
 	src, name, ok := af.source(stderr)
 	if !ok {
 		return 2
@@ -151,7 +171,7 @@ func runAnalyze(kind string, args []string, stdout, stderr io.Writer) int {
 	var summary string
 	switch kind {
 	case "groundness":
-		opts := prop.Options{Mode: af.mode(), Timeline: tl, Tracer: tracer}
+		opts := prop.Options{Mode: mode, Timeline: tl, Tracer: tracer}
 		if af.entry != "" {
 			opts.Entry = []string{af.entry}
 		}
@@ -163,7 +183,7 @@ func runAnalyze(kind string, args []string, stdout, stderr io.Writer) int {
 		summary = fmt.Sprintf("%s: Prop groundness: %d predicates, %d subgoals, %d answers, tables %d bytes",
 			name, len(a.Results), a.EngineStats.Subgoals, a.EngineStats.Answers, a.TableBytes)
 	case "strictness":
-		opts := strict.Options{Mode: af.mode(), Timeline: tl, Tracer: tracer}
+		opts := strict.Options{Mode: mode, Timeline: tl, Tracer: tracer}
 		if af.entry != "" {
 			opts.Entry = []string{af.entry}
 		}
@@ -175,7 +195,7 @@ func runAnalyze(kind string, args []string, stdout, stderr io.Writer) int {
 		summary = fmt.Sprintf("%s: strictness: %d functions, %d subgoals, %d answers, tables %d bytes",
 			name, len(a.Results), a.EngineStats.Subgoals, a.EngineStats.Answers, a.TableBytes)
 	case "depthk":
-		opts := depthk.Options{K: af.k, Mode: af.mode(), Timeline: tl, Tracer: tracer}
+		opts := depthk.Options{K: af.k, Mode: mode, Timeline: tl, Tracer: tracer}
 		if af.entry != "" {
 			opts.Entry = []string{af.entry}
 		}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"xlp/internal/corpus"
+	"xlp/internal/engine"
+)
+
+// runCompile implements "xlp compile": consult a program, compile every
+// predicate through the closure backend (internal/compile), and print
+// each predicate's specialization plan — the first-argument index
+// buckets and the per-clause head ops (get_atom/get_var/get_struct/...)
+// with their body continuations. -json emits the same plans as a JSON
+// array for tooling.
+func runCompile(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xlp compile", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dump := fs.Bool("dump", false, "print the per-clause specialization plan")
+	asJSON := fs.Bool("json", false, "emit plans as JSON (implies -dump)")
+	bench := fs.String("bench", "", "compile a named corpus benchmark instead of a file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var src, name string
+	if *bench != "" {
+		p, err := corpus.Get(*bench)
+		if err != nil {
+			fmt.Fprintf(stderr, "xlp: %v\n", err)
+			return 2
+		}
+		src, name = p.Source, *bench
+	} else {
+		fargs := fs.Args()
+		if len(fargs) != 1 {
+			fmt.Fprintf(stderr, "usage: xlp compile [-dump] [-json] prog (or -bench name)\n")
+			return 2
+		}
+		data, err := os.ReadFile(fargs[0])
+		if err != nil {
+			fmt.Fprintf(stderr, "xlp: %v\n", err)
+			return 2
+		}
+		src, name = string(data), fargs[0]
+	}
+
+	m := engine.New()
+	m.Mode = engine.ModeClosure
+	if err := m.Consult(src); err != nil {
+		fmt.Fprintf(stderr, "xlp: %s: %v\n", name, err)
+		return 1
+	}
+	plans := m.ClausePlans()
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(plans); err != nil {
+			fmt.Fprintf(stderr, "xlp: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+	if !*dump {
+		st := m.Stats()
+		fmt.Fprintf(stdout, "%s: compiled %d predicates in %.3fms\n",
+			name, st.PredsCompiled, float64(st.CompileNanos)/1e6)
+		return 0
+	}
+	for i, p := range plans {
+		if i > 0 {
+			fmt.Fprintln(stdout)
+		}
+		fmt.Fprint(stdout, p.Text())
+	}
+	return 0
+}

@@ -9,7 +9,8 @@
 //	xlp [-compiled] [-tables] prog.pl ... -q 'goal(X, Y)'
 //	xlp prog.pl            # read queries from stdin, one per line
 //	xlp lint [-json] [-fl] [-entry p/n,...] prog.pl ...
-//	xlp groundness|strictness|depthk [-phases] [-trace f] [-events f] [-top n] prog
+//	xlp groundness|strictness|depthk [-mode m] [-phases] [-trace f] [-events f] [-top n] prog
+//	xlp compile [-dump] [-json] prog
 //	xlp gen [-shape s] [-seed n] [-meta]
 //	xlp difftest [-n N] [-seed S] [-shapes s,...] [-checks c,...] [-regressions dir]
 //	xlp version
@@ -47,6 +48,8 @@ func main() {
 			os.Exit(runLint(os.Args[2:], os.Stdout, os.Stderr))
 		case "groundness", "strictness", "depthk":
 			os.Exit(runAnalyze(os.Args[1], os.Args[2:], os.Stdout, os.Stderr))
+		case "compile":
+			os.Exit(runCompile(os.Args[2:], os.Stdout, os.Stderr))
 		case "gen":
 			os.Exit(runGen(os.Args[2:], os.Stdout, os.Stderr))
 		case "difftest":

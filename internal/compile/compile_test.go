@@ -1,0 +1,229 @@
+package compile
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"xlp/internal/term"
+)
+
+// testEnv returns an Env whose Call proves any goal trivially (invoking
+// k once), enough to exercise head matchers and continuation chaining
+// without an engine.
+func testEnv(tr *term.Trail) *Env {
+	return &Env{
+		Trail:    tr,
+		Syms:     &term.SymCache{},
+		Call:     func(_ term.Term, _ *bool, k func() bool) bool { return k() },
+		ThrowCut: func() { panic("cut with nil barrier") },
+	}
+}
+
+// fact compiles a single bodiless clause.
+func fact(head term.Term) *Clause {
+	return Predicate("t", lenArgs(head), []Source{{Head: head}}).Clauses()[0]
+}
+
+func lenArgs(head term.Term) int {
+	_, args, _ := term.FunctorArity(head)
+	return len(args)
+}
+
+func atom(s string) term.Term { return term.Atom(s) }
+
+func runOnce(t *testing.T, cl *Clause, args ...term.Term) bool {
+	t.Helper()
+	var tr term.Trail
+	e := testEnv(&tr)
+	ok := false
+	cl.Run(e, args, new(bool), func() bool { ok = true; return true })
+	return ok
+}
+
+func TestHeadAtomMatch(t *testing.T) {
+	cl := fact(term.NewCompound("p", atom("a"), term.Int(3)))
+	if !runOnce(t, cl, atom("a"), term.Int(3)) {
+		t.Fatal("exact match failed")
+	}
+	if runOnce(t, cl, atom("b"), term.Int(3)) {
+		t.Fatal("matched wrong atom")
+	}
+	if runOnce(t, cl, atom("a"), term.Int(4)) {
+		t.Fatal("matched wrong int")
+	}
+	// Write mode: unbound caller vars get bound to the head constants.
+	x, y := term.NewVar("X"), term.NewVar("Y")
+	var tr term.Trail
+	e := testEnv(&tr)
+	got := false
+	cl.Run(e, []term.Term{x, y}, new(bool), func() bool {
+		got = term.Deref(x) == atom("a") && term.Deref(y) == term.Int(3)
+		return true
+	})
+	if !got {
+		t.Fatalf("write mode did not bind caller vars: X=%v Y=%v", term.Deref(x), term.Deref(y))
+	}
+}
+
+func TestHeadRepeatedVar(t *testing.T) {
+	// p(X, X): second occurrence unifies against the first capture.
+	v := term.NewVar("X")
+	cl := fact(term.NewCompound("p", v, v))
+	if !runOnce(t, cl, atom("a"), atom("a")) {
+		t.Fatal("p(a,a) should match p(X,X)")
+	}
+	if runOnce(t, cl, atom("a"), atom("b")) {
+		t.Fatal("p(a,b) must not match p(X,X)")
+	}
+	// Aliasing: p(U, V) against p(X, X) links U and V.
+	u, w := term.NewVar("U"), term.NewVar("V")
+	var tr term.Trail
+	e := testEnv(&tr)
+	linked := false
+	cl.Run(e, []term.Term{u, w}, new(bool), func() bool {
+		term.Unify(u, atom("c"), &tr)
+		linked = term.Deref(w) == atom("c")
+		return true
+	})
+	if !linked {
+		t.Fatal("repeated head var did not alias caller vars")
+	}
+}
+
+func TestHeadStructReadAndWrite(t *testing.T) {
+	// p(f(X, b), X)
+	v := term.NewVar("X")
+	cl := fact(term.NewCompound("p", term.NewCompound("f", v, atom("b")), v))
+	// Read mode: caller passes f(a, b); X captures a and must equal arg 2.
+	if !runOnce(t, cl, term.NewCompound("f", atom("a"), atom("b")), atom("a")) {
+		t.Fatal("read-mode struct match failed")
+	}
+	if runOnce(t, cl, term.NewCompound("f", atom("a"), atom("b")), atom("z")) {
+		t.Fatal("read-mode struct must propagate captured var")
+	}
+	if runOnce(t, cl, term.NewCompound("g", atom("a"), atom("b")), atom("a")) {
+		t.Fatal("wrong functor matched")
+	}
+	// Write mode: caller passes an unbound var; the head structure is
+	// built and bound to it, sharing X with arg 2.
+	out := term.NewVar("Out")
+	var tr term.Trail
+	e := testEnv(&tr)
+	okWrite := false
+	cl.Run(e, []term.Term{out, atom("q")}, new(bool), func() bool {
+		c, ok := term.Deref(out).(*term.Compound)
+		okWrite = ok && c.Functor == "f" && term.Deref(c.Args[0]) == atom("q") &&
+			term.Deref(c.Args[1]) == atom("b")
+		return true
+	})
+	if !okWrite {
+		t.Fatalf("write-mode struct build wrong: %v", term.Resolve(out))
+	}
+}
+
+func TestFirstArgIndexSelect(t *testing.T) {
+	mk := func(first term.Term, nth int) Source {
+		return Source{Head: term.NewCompound("p", first, term.NewVar("R")), Nth: nth}
+	}
+	v := term.NewVar("V")
+	p := Predicate("p/2", 2, []Source{
+		mk(atom("a"), 0),
+		mk(atom("b"), 1),
+		mk(v, 2), // variable first arg: member of every bucket
+		mk(term.NewCompound("f", term.NewVar("W")), 3),
+		mk(term.Int(7), 4),
+	})
+	var tr term.Trail
+	e := testEnv(&tr)
+	nths := func(args ...term.Term) []int {
+		var out []int
+		for _, cl := range p.Select(e, args) {
+			out = append(out, cl.Nth)
+		}
+		return out
+	}
+	eq := func(got []int, want ...int) bool {
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if got := nths(atom("a"), term.NewVar("_")); !eq(got, 0, 2) {
+		t.Fatalf("atom(a) bucket = %v, want [0 2]", got)
+	}
+	if got := nths(term.Int(7), term.NewVar("_")); !eq(got, 2, 4) {
+		t.Fatalf("int bucket = %v, want [2 4]", got)
+	}
+	if got := nths(term.NewCompound("f", atom("x")), term.NewVar("_")); !eq(got, 2, 3) {
+		t.Fatalf("struct bucket = %v, want [2 3]", got)
+	}
+	// Miss: only the variable-first clause can match.
+	if got := nths(atom("zz"), term.NewVar("_")); !eq(got, 2) {
+		t.Fatalf("miss = %v, want [2]", got)
+	}
+	// Unbound first arg: all clauses in source order.
+	if got := nths(term.NewVar("_"), term.NewVar("_")); !eq(got, 0, 1, 2, 3, 4) {
+		t.Fatalf("var call = %v, want all", got)
+	}
+}
+
+func TestCutBarrierProtocol(t *testing.T) {
+	// t(X) :- q(X), !, r(X).  Call proves everything; after the cut the
+	// barrier must be set once the body is exhausted.
+	x := term.NewVar("X")
+	src := Source{
+		Head: term.NewCompound("t", x),
+		Body: []term.Term{
+			term.NewCompound("q", x),
+			atom("!"),
+			term.NewCompound("r", x),
+		},
+	}
+	cl := Predicate("t/1", 1, []Source{src}).Clauses()[0]
+	var tr term.Trail
+	e := testEnv(&tr)
+	cut := false
+	calls := 0
+	stop := cl.Run(e, []term.Term{atom("v")}, &cut, func() bool { calls++; return false })
+	if !stop || !cut {
+		t.Fatalf("cut protocol: stop=%v cut=%v, want true/true", stop, cut)
+	}
+	if calls != 1 {
+		t.Fatalf("body solutions = %d, want 1", calls)
+	}
+	// A nil barrier must be reported through ThrowCut.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cut with nil barrier did not call ThrowCut")
+		}
+	}()
+	cl.Run(e, []term.Term{atom("v")}, nil, func() bool { return false })
+}
+
+func TestPlanRendering(t *testing.T) {
+	x := term.NewVar("X")
+	src := []Source{
+		{Head: term.NewCompound("p", atom("a"), x), Body: []term.Term{term.NewCompound("q", x), atom("!")}},
+		{Head: term.NewCompound("p", term.NewCompound("f", x, x), atom("z")), Nth: 1},
+	}
+	plan := Predicate("p/2", 2, src).Plan()
+	if plan.Indicator != "p/2" || len(plan.Clauses) != 2 || !plan.Indexed {
+		t.Fatalf("plan shape wrong: %+v", plan)
+	}
+	text := plan.Text()
+	for _, want := range []string{"get_atom A0, a", "get_var A1 -> X0", "call q(X0)",
+		"cut (barrier)", "proceed", "get_struct A0, f/2", "get_val A0.1, X0"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("plan text missing %q:\n%s", want, text)
+		}
+	}
+	if _, err := json.Marshal(plan); err != nil {
+		t.Fatalf("plan not JSON-serializable: %v", err)
+	}
+}

@@ -1,0 +1,171 @@
+package compile
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xlp/internal/term"
+)
+
+// PredPlan is the human- and machine-readable specialization plan of a
+// compiled predicate, rendered on demand for `xlp compile -dump`: which
+// index buckets dispatch to which clauses, and per clause the head
+// unification ops, register moves, and continuation shape.
+type PredPlan struct {
+	Indicator string       `json:"indicator"`
+	Arity     int          `json:"arity"`
+	Indexed   bool         `json:"indexed"`
+	Buckets   []BucketPlan `json:"index,omitempty"`
+	VarFirst  []int        `json:"var_first,omitempty"`
+	Clauses   []ClausePlan `json:"clauses"`
+}
+
+// BucketPlan is one first-argument index bucket: the key (with its
+// interned symbol id) and the source positions of the clauses it tries.
+type BucketPlan struct {
+	Key     string `json:"key"`
+	Clauses []int  `json:"clauses"`
+}
+
+// ClausePlan is the per-clause plan: frame size, index key, head ops in
+// execution order, and the body continuation chain.
+type ClausePlan struct {
+	Nth        int      `json:"clause"`
+	FrameSlots int      `json:"frame_slots"`
+	IndexKey   string   `json:"index_key"`
+	HeadOps    []string `json:"head_ops,omitempty"`
+	Body       []string `json:"continuation"`
+}
+
+// Plan renders the predicate's specialization plan.
+func (p *Pred) Plan() *PredPlan {
+	plan := &PredPlan{Indicator: p.Indicator, Arity: p.Arity, Indexed: p.indexed}
+	for _, cl := range p.clauses {
+		plan.Clauses = append(plan.Clauses, cl.plan())
+	}
+	for _, cl := range p.varFirst {
+		plan.VarFirst = append(plan.VarFirst, cl.Nth)
+	}
+	for k, cls := range p.buckets {
+		b := BucketPlan{Key: keyString(k)}
+		for _, cl := range cls {
+			b.Clauses = append(b.Clauses, cl.Nth)
+		}
+		plan.Buckets = append(plan.Buckets, b)
+	}
+	sort.Slice(plan.Buckets, func(i, j int) bool {
+		return plan.Buckets[i].Key < plan.Buckets[j].Key
+	})
+	return plan
+}
+
+func (cl *Clause) plan() ClausePlan {
+	cp := ClausePlan{Nth: cl.Nth, FrameSlots: cl.nvars}
+	if cl.keyVar {
+		cp.IndexKey = "var(*)"
+	} else if len(cl.headSkel) == 0 {
+		cp.IndexKey = "none"
+	} else {
+		cp.IndexKey = keyString(cl.key)
+	}
+	seen := make([]bool, cl.nvars)
+	for i, argSkel := range cl.headSkel {
+		cp.HeadOps = appendHeadOps(cp.HeadOps, "A"+strconv.Itoa(i), argSkel, seen)
+	}
+	for i := range cl.steps {
+		st := &cl.steps[i]
+		switch st.kind {
+		case stepCut:
+			cp.Body = append(cp.Body, "cut (barrier)")
+		case stepFail:
+			cp.Body = append(cp.Body, "fail")
+		default:
+			cp.Body = append(cp.Body, "call "+renderSkel(st.skel))
+		}
+	}
+	cp.Body = append(cp.Body, "proceed")
+	return cp
+}
+
+func keyString(k Key) string {
+	switch k.Kind {
+	case KAtom:
+		return fmt.Sprintf("atom(%s) sym=%d", k.Sym.Name(), k.Sym)
+	case KInt:
+		return fmt.Sprintf("int(%d)", k.Num)
+	case KStruct:
+		return fmt.Sprintf("struct(%s/%d) sym=%d", k.Sym.Name(), k.Num, k.Sym)
+	}
+	return "var(*)"
+}
+
+// appendHeadOps renders one head argument's specialized unification as
+// WAM-flavored ops. path names the argument cell being matched (A0,
+// A0.1, ...); frame slots print as X<n>.
+func appendHeadOps(out []string, path string, skel term.Term, seen []bool) []string {
+	switch t := skel.(type) {
+	case term.Ref:
+		slot := int(t)
+		if !seen[slot] {
+			seen[slot] = true
+			return append(out, fmt.Sprintf("get_var %s -> X%d", path, slot))
+		}
+		return append(out, fmt.Sprintf("get_val %s, X%d", path, slot))
+	case term.Atom:
+		return append(out, fmt.Sprintf("get_atom %s, %s sym=%d", path, string(t), term.Intern(string(t))))
+	case term.Int:
+		return append(out, fmt.Sprintf("get_int %s, %d", path, int64(t)))
+	case *term.Compound:
+		out = append(out, fmt.Sprintf("get_struct %s, %s/%d sym=%d",
+			path, t.Functor, len(t.Args), term.Intern(t.Functor)))
+		for i, a := range t.Args {
+			out = appendHeadOps(out, path+"."+strconv.Itoa(i), a, seen)
+		}
+		return out
+	}
+	return out
+}
+
+// renderSkel prints a goal skeleton with frame slots as X<n>.
+func renderSkel(t term.Term) string {
+	switch t := t.(type) {
+	case term.Ref:
+		return "X" + strconv.Itoa(int(t))
+	case *term.Compound:
+		parts := make([]string, len(t.Args))
+		for i, a := range t.Args {
+			parts[i] = renderSkel(a)
+		}
+		return t.Functor + "(" + strings.Join(parts, ",") + ")"
+	default:
+		return t.String()
+	}
+}
+
+// Text renders the plan as indented text (the non-JSON dump format).
+func (p *PredPlan) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  (arity %d", p.Indicator, p.Arity)
+	if p.Indexed {
+		fmt.Fprintf(&sb, ", %d index buckets", len(p.Buckets))
+	}
+	sb.WriteString(")\n")
+	for _, b := range p.Buckets {
+		fmt.Fprintf(&sb, "  index %-28s -> clauses %v\n", b.Key, b.Clauses)
+	}
+	if len(p.VarFirst) > 0 {
+		fmt.Fprintf(&sb, "  index var(*)                       -> clauses %v (in every bucket)\n", p.VarFirst)
+	}
+	for _, c := range p.Clauses {
+		fmt.Fprintf(&sb, "  clause %d  key=%s  frame=%d\n", c.Nth, c.IndexKey, c.FrameSlots)
+		for _, op := range c.HeadOps {
+			fmt.Fprintf(&sb, "    %s\n", op)
+		}
+		for _, bstep := range c.Body {
+			fmt.Fprintf(&sb, "    %s\n", bstep)
+		}
+	}
+	return sb.String()
+}

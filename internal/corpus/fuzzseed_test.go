@@ -46,6 +46,7 @@ func TestRegenFuzzCorpora(t *testing.T) {
 	for _, dir := range []string{
 		"../prolog/testdata/fuzz/FuzzParseProlog",
 		"../../testdata/fuzz/FuzzAnalyzeGroundness",
+		"../../testdata/fuzz/FuzzCompileSolve",
 	} {
 		for _, p := range logic {
 			write(dir, "corpus-"+p.Name, p.Source)

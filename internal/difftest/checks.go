@@ -2,6 +2,7 @@ package difftest
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -57,7 +58,7 @@ func Checks() []Check {
 	return []Check{
 		{Name: "prop-gaia", Lang: randgen.LangProlog, Run: propVsGaia},
 		{Name: "prop-bdd", Lang: randgen.LangProlog, Run: propVsBDD},
-		{Name: "prop-loadmode", Lang: randgen.LangProlog, Run: propLoadMode},
+		{Name: "modes_threeway", AnyLang: true, Run: modesThreeway},
 		{Name: "prop-pureiff", Lang: randgen.LangProlog, Run: propPureIff},
 		{Name: "prop-slice", Lang: randgen.LangProlog, Run: propSlice},
 		{Name: "prop-alpha", Lang: randgen.LangProlog, Run: propAlpha},
@@ -132,18 +133,99 @@ func propVsBDD(m Meta, src string) error {
 	return diffSummaries("prop", "bdd", propSuccessOnly(pr), bddSummary(bd), true)
 }
 
-// propLoadMode: dynamic (assert-based) vs compiled clause loading must
-// not change analysis results, only cost.
-func propLoadMode(m Meta, src string) error {
-	dyn, err := propRun(src, prop.Options{Mode: engine.LoadDynamic})
-	if err != nil {
-		return fmt.Errorf("error: prop dynamic: %w", err)
+// loadModes are the three clause-resolution backends the modes_threeway
+// oracle holds against each other: the interpreter (LoadDynamic), the
+// first-argument-indexed interpreter (LoadCompiled), and the closure
+// compiler (ModeClosure).
+var loadModes = []struct {
+	name string
+	mode engine.LoadMode
+}{
+	{"interp", engine.LoadDynamic},
+	{"indexed", engine.LoadCompiled},
+	{"closure", engine.ModeClosure},
+}
+
+// propModeSummary is propSummary extended with the recorded call
+// patterns, so the oracle demands exact answer AND call agreement.
+func propModeSummary(a *prop.Analysis) map[string]string {
+	out := propSummary(a, nil)
+	for ind, r := range a.Results {
+		if len(r.Calls) == 0 {
+			continue
+		}
+		calls := make([]string, len(r.Calls))
+		for i, c := range r.Calls {
+			calls[i] = c.String()
+		}
+		sort.Strings(calls)
+		out[ind] += " calls=" + strings.Join(calls, ",")
 	}
-	comp, err := propRun(src, prop.Options{Mode: engine.LoadCompiled})
-	if err != nil {
-		return fmt.Errorf("error: prop compiled: %w", err)
+	return out
+}
+
+// modesThreeway: the three clause-resolution modes must agree exactly —
+// answers, groundness, reachability, and recorded call patterns — on
+// every program. Prolog shapes run the groundness analysis open-call
+// and (when the program has an entry) goal-directed; FL shapes run the
+// strictness analysis; generated Prolog programs additionally run the
+// depth-k analysis, whose abstract answer sets are compared verbatim.
+func modesThreeway(m Meta, src string) error {
+	if m.Shape.Lang() == randgen.LangFL {
+		sums := make([]map[string]string, len(loadModes))
+		for i, lm := range loadModes {
+			a, err := strict.Analyze(src, strict.Options{Mode: lm.mode})
+			if err != nil {
+				return fmt.Errorf("error: strict %s: %w", lm.name, err)
+			}
+			sums[i] = strictSummary(a, nil)
+		}
+		return diffModeSummaries(sums)
 	}
-	return diffSummaries("dynamic", "compiled", dyn, comp, false)
+	var opts []prop.Options
+	opts = append(opts, prop.Options{})
+	if m.Entry != "" {
+		opts = append(opts, prop.Options{Entry: []string{m.Entry}})
+	}
+	for _, o := range opts {
+		sums := make([]map[string]string, len(loadModes))
+		for i, lm := range loadModes {
+			o.Mode = lm.mode
+			a, err := prop.Analyze(src, o)
+			if err != nil {
+				return fmt.Errorf("error: prop %s: %w", lm.name, err)
+			}
+			sums[i] = propModeSummary(a)
+		}
+		if err := diffModeSummaries(sums); err != nil {
+			return err
+		}
+	}
+	// Depth-k compares abstract answer sets term by term; gated to
+	// generated programs for the same budget reason as the trie oracle.
+	if len(m.Preds) == 0 {
+		return nil
+	}
+	sums := make([]map[string]string, len(loadModes))
+	for i, lm := range loadModes {
+		a, err := depthk.Analyze(src, depthk.Options{K: depthkK, Mode: lm.mode})
+		if err != nil {
+			return fmt.Errorf("error: depthk %s: %w", lm.name, err)
+		}
+		sums[i] = depthkSummary(a, nil)
+	}
+	return diffModeSummaries(sums)
+}
+
+// diffModeSummaries holds every mode's summary against the
+// interpreter's.
+func diffModeSummaries(sums []map[string]string) error {
+	for i := 1; i < len(loadModes); i++ {
+		if err := diffSummaries(loadModes[0].name, loadModes[i].name, sums[0], sums[i], false); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // propPureIff: native iff/N builtin vs generated pure Prolog clauses.

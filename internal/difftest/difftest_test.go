@@ -67,6 +67,33 @@ func TestTablesImplCorpusSweep(t *testing.T) {
 	}
 }
 
+// TestModesThreewayCorpusSweep runs the full benchmark corpus through
+// the modes_threeway oracle: the interpreter, the first-argument-indexed
+// interpreter, and the closure compiler must produce identical analysis
+// results (answers and recorded calls) on every real program.
+func TestModesThreewayCorpusSweep(t *testing.T) {
+	c, ok := CheckByName("modes_threeway")
+	if !ok {
+		t.Fatal("modes_threeway not registered")
+	}
+	for _, p := range corpus.LogicPrograms() {
+		p := p
+		t.Run("prolog/"+p.Name, func(t *testing.T) {
+			if err := c.Run(Meta{Shape: randgen.Mixed}, p.Source); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	for _, p := range corpus.FuncPrograms() {
+		p := p
+		t.Run("fl/"+p.Name, func(t *testing.T) {
+			if err := c.Run(Meta{Shape: randgen.FLFirstOrder}, p.Source); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
 // TestRegressionsReplay re-runs every committed shrunk counterexample
 // through its original check. These were findings once; they must stay
 // fixed.

@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 
+	"xlp/internal/compile"
 	"xlp/internal/obs"
 	"xlp/internal/prolog"
 	"xlp/internal/term"
@@ -42,6 +43,15 @@ const (
 	// first-argument index per predicate: more preprocessing, faster
 	// resolution.
 	LoadCompiled
+	// ModeClosure additionally translates every predicate into Go
+	// closures (internal/compile): head unification is specialized per
+	// clause, clause selection dispatches through an index keyed by
+	// interned symbols, and bodies become continuation chains. The
+	// highest preprocessing cost and the fastest resolution — the "true
+	// compilation" side of the paper's §4 tradeoff. Tabling semantics
+	// are unchanged: calls still go through the call/answer tables, only
+	// the SLD resolution inside a subgoal runs compiled.
+	ModeClosure
 )
 
 // Limits bound engine resources so runaway programs fail cleanly.
@@ -91,6 +101,13 @@ type Stats struct {
 	CallBytes   int // table space charged to call-table keys
 	AnswerBytes int // table space charged to answer-table keys
 	TableNodes  int // trie nodes allocated (0 under TablesStringMap)
+
+	// Closure-compilation accounting (ModeClosure only). PredsCompiled
+	// counts predicates translated since the last ResetTables;
+	// CompileNanos is the time spent translating them. A warm machine
+	// reuses cached compiled code, so both stay 0 on repeated analyses.
+	PredsCompiled int
+	CompileNanos  int64
 }
 
 // Clause is a stored program clause with flattened body. The skeleton
@@ -127,6 +144,11 @@ type Pred struct {
 	indexed  bool
 	index    map[string][]*Clause // principal-functor key of first arg
 	varFirst []*Clause            // clauses whose first head arg is a variable
+
+	// closure is the cached compiled form (ModeClosure); nil until first
+	// use and invalidated by Assert. It survives ResetTables so repeated
+	// analyses on a warm machine reuse compiled code.
+	closure *compile.Pred
 }
 
 // Builtin is the implementation of a built-in predicate. It must call k
@@ -201,8 +223,12 @@ type Machine struct {
 	// for iteration under either index.
 	tables   map[string]*subgoal
 	callTrie *term.Trie
-	symCache *term.SymCache // intern memo shared by this machine's tries
+	symCache *term.SymCache // intern memo shared by tries and closure code
 	subgoals []*subgoal
+
+	// cenv is the runtime environment shared by every compiled clause
+	// activation of this machine (ModeClosure); created lazily.
+	cenv *compile.Env
 
 	stack      []*subgoal // active producers
 	complStack []*subgoal // completion stack
@@ -341,6 +367,7 @@ func (m *Machine) Assert(clause term.Term) error {
 	cl := &Clause{Head: head, Body: prolog.Conjuncts(body), Nth: len(p.Clauses)}
 	cl.compile()
 	p.Clauses = append(p.Clauses, cl)
+	p.closure = nil // invalidate cached closure code
 	if m.Mode == LoadCompiled {
 		p.addToIndex(cl)
 	}
@@ -366,6 +393,11 @@ func (m *Machine) ConsultTerms(clauses []term.Term) error {
 	}
 	if m.Mode == LoadCompiled {
 		m.buildIndexes()
+	}
+	if m.Mode == ModeClosure {
+		// Compile eagerly so the cost is paid at load time (the paper's
+		// preprocessing phase), not inside the first query's solve time.
+		m.compileAll()
 	}
 	return nil
 }

@@ -140,6 +140,9 @@ func (m *Machine) solveNegation(g term.Term, k func() bool) bool {
 // cut in a clause body commits to that clause and to the bindings made
 // so far in the body.
 func (m *Machine) resolveClauses(p *Pred, goal term.Term, k func() bool) bool {
+	if m.Mode == ModeClosure {
+		return m.resolveClosure(p, goal, k)
+	}
 	cut := false
 	for _, cl := range p.clausesFor(goal) {
 		m.stats.Resolutions++

@@ -130,9 +130,8 @@ func (m *Machine) lookupOrCreate(p *Pred, lookup term.Term) (sg *subgoal, create
 	var leaf *term.TrieNode
 	if m.useTrie() {
 		if m.callTrie == nil {
-			m.symCache = &term.SymCache{}
 			m.callTrie = term.NewTrie()
-			m.callTrie.UseSymCache(m.symCache)
+			m.callTrie.UseSymCache(m.syms())
 		}
 		var newNodes int
 		leaf, newNodes = m.callTrie.Insert(lookup)
@@ -158,7 +157,7 @@ func (m *Machine) lookupOrCreate(p *Pred, lookup term.Term) (sg *subgoal, create
 	sg.pred = p
 	if m.useTrie() {
 		sg.ansTrie = term.NewTrie()
-		sg.ansTrie.UseSymCache(m.symCache)
+		sg.ansTrie.UseSymCache(m.syms())
 		leaf.SetValue(sg)
 	} else {
 		sg.answerKeys = map[string]struct{}{}
@@ -219,21 +218,25 @@ func (m *Machine) runProducer(sg *subgoal) {
 			ownBefore := len(sg.answers)
 			sg.dirty = false
 			sg.sawIncomplete = false
-			for _, cl := range sg.pred.clausesFor(sg.goal) {
-				m.stats.Resolutions++
-				if m.tracer != nil {
-					m.tracer.Emit(obs.EvResolutions, sg.pred.Indicator, 1)
+			if m.Mode == ModeClosure {
+				m.producePassClosure(sg)
+			} else {
+				for _, cl := range sg.pred.clausesFor(sg.goal) {
+					m.stats.Resolutions++
+					if m.tracer != nil {
+						m.tracer.Emit(obs.EvResolutions, sg.pred.Indicator, 1)
+					}
+					mark := m.trail.Mark()
+					head, body := renameClause(cl)
+					if term.Unify(sg.goal, head, &m.trail) {
+						// nil cut barrier: cut may not cross a table boundary.
+						m.solveGoals(body, nil, func() bool {
+							m.addAnswer(sg, sg.goal)
+							return false
+						})
+					}
+					m.trail.Undo(mark)
 				}
-				mark := m.trail.Mark()
-				head, body := renameClause(cl)
-				if term.Unify(sg.goal, head, &m.trail) {
-					// nil cut barrier: cut may not cross a table boundary.
-					m.solveGoals(body, nil, func() bool {
-						m.addAnswer(sg, sg.goal)
-						return false
-					})
-				}
-				m.trail.Undo(mark)
 			}
 			// Re-pass only if something could change the outcome: a
 			// pass that consumed no incomplete table is final, and

@@ -37,6 +37,9 @@ const (
 	// Counter-only, like EvResolutions: the matching EvSubgoalNew /
 	// EvAnswerNew event already lands in the ring.
 	EvTableNodes
+	// EvCompile: the predicate was translated to closure code
+	// (ModeClosure); n is the compile time in nanoseconds.
+	EvCompile
 )
 
 var kindNames = [...]string{
@@ -48,6 +51,7 @@ var kindNames = [...]string{
 	EvComplete:     "complete",
 	EvResolutions:  "resolutions",
 	EvTableNodes:   "table_nodes",
+	EvCompile:      "compile",
 }
 
 func (k EventKind) String() string {
@@ -88,6 +92,7 @@ type PredCounters struct {
 	Completions    int    `json:"completions"`
 	TableBytes     int    `json:"table_bytes"`
 	TableNodes     int    `json:"table_nodes"`
+	CompileNs      int64  `json:"compile_ns,omitempty"`
 }
 
 // Trace is an EngineTracer that records events into a bounded ring
@@ -147,6 +152,8 @@ func (t *Trace) Emit(kind EventKind, pred string, n int) {
 	case EvTableNodes:
 		pc.TableNodes += n
 		return // counter-only, keep the ring for structural events
+	case EvCompile:
+		pc.CompileNs += int64(n)
 	}
 	ev := Event{At: time.Since(t.t0), Kind: kind, Pred: pred, N: n}
 	t.total++

@@ -60,7 +60,9 @@ func (k Kind) Valid() bool {
 // irrelevant to a request's kind are ignored (and zeroed during
 // canonicalization so they cannot split the cache).
 type Options struct {
-	// Mode selects clause loading: "dynamic" (default) or "compiled".
+	// Mode selects clause loading: "dynamic" (default), "compiled"
+	// (first-argument indexing), or "closure" (clauses compiled to Go
+	// closures; same answers, different cost profile).
 	Mode string `json:"mode,omitempty"`
 	// Tables selects the engine's table representation: "trie" (default)
 	// or "stringmap" (the canonical-string baseline). Answer sets are
@@ -116,7 +118,7 @@ func (r *Request) Validate() error {
 		return fmt.Errorf("%w: query without goal", ErrBadRequest)
 	}
 	switch r.Options.Mode {
-	case "", "dynamic", "compiled":
+	case "", "dynamic", "compiled", "closure":
 	default:
 		return fmt.Errorf("%w: unknown mode %q", ErrBadRequest, r.Options.Mode)
 	}
@@ -201,10 +203,14 @@ func (r *Request) CacheKey() string {
 
 // engineMode maps the wire mode to the engine's LoadMode.
 func (o Options) engineMode() engine.LoadMode {
-	if o.Mode == "compiled" {
+	switch o.Mode {
+	case "compiled":
 		return engine.LoadCompiled
+	case "closure":
+		return engine.ModeClosure
+	default:
+		return engine.LoadDynamic
 	}
-	return engine.LoadDynamic
 }
 
 // engineTables maps the wire tables impl to the engine's TablesImpl.
