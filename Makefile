@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet staticcheck build test race bench metrics bench-obs bench-difftest bench-check difftest fuzz-smoke serve
+.PHONY: ci fmt vet staticcheck build test race bench metrics bench-obs bench-difftest bench-check difftest fuzz-smoke explain-smoke serve
 
-ci: fmt vet staticcheck build race metrics difftest fuzz-smoke bench-check
+ci: fmt vet staticcheck build race metrics difftest fuzz-smoke explain-smoke bench-check
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -42,20 +42,30 @@ bench:
 metrics:
 	$(GO) test -run TestMetrics -race ./internal/service
 
-# Tracing-hook overhead vs the baseline committed in BENCH_obs.json.
+# Tracing-hook and provenance-recorder overhead vs the baselines
+# committed in BENCH_obs.json.
 bench-obs:
-	$(GO) test -run '^$$' -bench BenchmarkTraceOverhead -benchtime 2s -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkTraceOverhead|BenchmarkProvenanceOverhead' -benchtime 2s -benchmem .
 
 # Generator + differential-harness throughput vs BENCH_difftest.json.
 bench-difftest:
 	$(GO) test -run '^$$' -bench 'BenchmarkRandGen|BenchmarkDiffTest' -benchtime 2s -benchmem .
 
-# Bench-regression gate: BenchmarkSolveCorpus (full-corpus sweep under
-# both table representations) against the baseline in BENCH_engine.json.
-# Fails on a >15% time/allocation regression or if trie tables lose
-# their >=20% allocation win. XLP_BENCH_WRITE=1 refreshes the baseline.
+# Bench-regression gates: BenchmarkSolveCorpus (full-corpus sweep under
+# both table representations) against the baseline in BENCH_engine.json,
+# and the provenance-off press1 run against the provenance section of
+# BENCH_obs.json (the recorder must cost nothing when disabled). Fails
+# on a >15% time/allocation regression or if trie tables lose their
+# >=20% allocation win. XLP_BENCH_WRITE=1 refreshes the baselines.
 bench-check:
-	XLP_BENCH_CHECK=1 $(GO) test -count=1 -run '^TestBenchRegressionGate$$' -v .
+	XLP_BENCH_CHECK=1 $(GO) test -count=1 -run '^TestBenchRegressionGate$$|^TestProvenanceBenchGate$$' -v .
+
+# Explain-path smoke test: every corpus benchmark through `xlp why
+# -format dot` under both clause backends, each output validated as a
+# well-formed derivation graph.
+explain-smoke:
+	$(GO) build -o bin/xlp ./cmd/xlp
+	$(GO) run ./internal/tools/dotcheck -xlp bin/xlp
 
 # Differential testing: random programs through every backend-pair and
 # metamorphic oracle. Any disagreement is shrunk into

@@ -401,6 +401,35 @@ func BenchmarkTraceOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkProvenanceOverhead measures what the justification recorder
+// costs. "disabled" is the default path — Machine.Provenance is false
+// and every recording site is one branch — and must stay within noise
+// of the tracing benchmark's disabled run (same workload, same bar;
+// BENCH_obs.json records both and TestProvenanceBenchGate enforces it).
+// "enabled" records a justification for every distinct tabled answer
+// and shows the price of keeping full provenance. The workload is
+// press1, the largest Table 1 benchmark.
+func BenchmarkProvenanceOverhead(b *testing.B) {
+	p, err := corpus.Get("press1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := prop.Analyze(p.Source, prop.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := prop.Analyze(p.Source, prop.Options{Provenance: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkRandGen measures random object-program generation, the inner
 // loop of both `xlp difftest` and the committed fuzz corpora. One
 // iteration generates a program of every shape (distinct seeds, so no

@@ -21,6 +21,7 @@ package xlp
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 	"testing"
 	"time"
@@ -98,6 +99,132 @@ const benchTolerance = 1.15
 // the trie sweep must allocate at most this fraction of the string-map
 // sweep (a >=20% reduction).
 const trieAllocsTarget = 0.80
+
+// obsBaselineFile holds the observability-layer overhead baselines:
+// the tracing-hook numbers at the top level (historical layout) and the
+// justification-recorder numbers under "provenance".
+const obsBaselineFile = "BENCH_obs.json"
+
+// provBaseline mirrors the "provenance" section of BENCH_obs.json.
+type provBaseline struct {
+	Benchmark            string                `json:"benchmark"`
+	Date                 string                `json:"date"`
+	Workload             string                `json:"workload"`
+	Results              map[string]benchEntry `json:"results"`
+	EnabledVsDisabledPct float64               `json:"enabled_vs_disabled_pct"`
+	Invariant            string                `json:"invariant"`
+}
+
+// TestProvenanceBenchGate holds the justification recorder to its
+// acceptance bar: with provenance off, the press1 groundness analysis
+// must stay within the regression band of both its own committed
+// baseline and the pre-instrumentation seed measurement — i.e. the
+// recorder's disabled path (one branch per hook site) costs nothing
+// measurable. Opt-in alongside TestBenchRegressionGate:
+//
+//	XLP_BENCH_CHECK=1 go test -run TestProvenanceBenchGate .   # or: make bench-check
+//	XLP_BENCH_WRITE=1 go test -run TestProvenanceBenchGate .   # refresh the section
+func TestProvenanceBenchGate(t *testing.T) {
+	write := os.Getenv("XLP_BENCH_WRITE") != ""
+	if os.Getenv("XLP_BENCH_CHECK") == "" && !write {
+		t.Skip("set XLP_BENCH_CHECK=1 (compare) or XLP_BENCH_WRITE=1 (rebaseline) to run")
+	}
+	p, err := corpus.Get("press1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := func(provenance bool) testing.BenchmarkResult {
+		var best testing.BenchmarkResult
+		for run := 0; run < 3; run++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := prop.Analyze(p.Source, prop.Options{Provenance: provenance}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if run == 0 || r.NsPerOp() < best.NsPerOp() {
+				best = r
+			}
+		}
+		return best
+	}
+	disabled, enabled := measure(false), measure(true)
+	t.Logf("disabled: %d ns/op, %d allocs/op; enabled: %d ns/op, %d allocs/op (+%.1f%% time)",
+		disabled.NsPerOp(), disabled.AllocsPerOp(), enabled.NsPerOp(), enabled.AllocsPerOp(),
+		(float64(enabled.NsPerOp())/float64(disabled.NsPerOp())-1)*100)
+
+	raw, err := os.ReadFile(obsBaselineFile)
+	if err != nil {
+		t.Fatalf("no committed %s: %v", obsBaselineFile, err)
+	}
+	var file map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatalf("corrupt %s: %v", obsBaselineFile, err)
+	}
+
+	// The seed bar: disabled-provenance time vs the pre-instrumentation
+	// press1 measurement recorded when the tracing hooks landed.
+	var seed struct {
+		Press1NsPerOp float64 `json:"press1_ns_per_op"`
+	}
+	if err := json.Unmarshal(file["pre_instrumentation_baseline"], &seed); err != nil || seed.Press1NsPerOp <= 0 {
+		t.Fatalf("%s: no pre-instrumentation press1 baseline: %v", obsBaselineFile, err)
+	}
+	if got := float64(disabled.NsPerOp()); got > seed.Press1NsPerOp*benchTolerance {
+		t.Errorf("provenance-off run is %.1f%% over the pre-instrumentation seed (%.0f ns/op vs %.0f)",
+			(got/seed.Press1NsPerOp-1)*100, got, seed.Press1NsPerOp)
+	}
+
+	if write {
+		sect := provBaseline{
+			Benchmark: "BenchmarkProvenanceOverhead",
+			Date:      time.Now().Format("2006-01-02"),
+			Workload:  "prop groundness analysis of corpus benchmark press1 with the justification recorder off (default single-branch hooks) vs on (full per-answer records)",
+			Results: map[string]benchEntry{
+				"disabled": {NsPerOp: float64(disabled.NsPerOp()), BytesPerOp: disabled.AllocedBytesPerOp(), AllocsPerOp: disabled.AllocsPerOp()},
+				"enabled":  {NsPerOp: float64(enabled.NsPerOp()), BytesPerOp: enabled.AllocedBytesPerOp(), AllocsPerOp: enabled.AllocsPerOp()},
+			},
+			EnabledVsDisabledPct: math.Round((float64(enabled.NsPerOp())/float64(disabled.NsPerOp())-1)*1000) / 10,
+			Invariant:            "provenance-off time stays within the regression band of the pre-instrumentation seed (the recorder is free unless asked for); difftest provenance_sound separately holds answers byte-identical off vs on",
+		}
+		enc, err := json.Marshal(sect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		file["provenance"] = enc
+		out, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(obsBaselineFile, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote provenance section of %s", obsBaselineFile)
+		return
+	}
+
+	var base provBaseline
+	if err := json.Unmarshal(file["provenance"], &base); err != nil {
+		t.Fatalf("%s: no provenance section: %v (run with XLP_BENCH_WRITE=1 to create one)", obsBaselineFile, err)
+	}
+	for name, r := range map[string]testing.BenchmarkResult{"disabled": disabled, "enabled": enabled} {
+		b, ok := base.Results[name]
+		if !ok {
+			t.Errorf("%s: no %q baseline entry", obsBaselineFile, name)
+			continue
+		}
+		if got := float64(r.NsPerOp()); got > b.NsPerOp*benchTolerance {
+			t.Errorf("%s: time regressed %.1f%% over baseline (%.0f ns/op vs %.0f)",
+				name, (got/b.NsPerOp-1)*100, got, b.NsPerOp)
+		}
+		if got := float64(r.AllocsPerOp()); got > float64(b.AllocsPerOp)*benchTolerance {
+			t.Errorf("%s: allocations regressed %.1f%% over baseline (%d allocs/op vs %d)",
+				name, (got/float64(b.AllocsPerOp)-1)*100, r.AllocsPerOp(), b.AllocsPerOp)
+		}
+	}
+}
 
 func TestBenchRegressionGate(t *testing.T) {
 	write := os.Getenv("XLP_BENCH_WRITE") != ""

@@ -10,6 +10,7 @@
 //	xlp prog.pl            # read queries from stdin, one per line
 //	xlp lint [-json] [-fl] [-entry p/n,...] prog.pl ...
 //	xlp groundness|strictness|depthk [-mode m] [-phases] [-trace f] [-events f] [-top n] prog
+//	xlp why [-pred p/n] [-format text|json|dot] [-fl] [-mode m] [-max-nodes n] prog
 //	xlp compile [-dump] [-json] prog
 //	xlp gen [-shape s] [-seed n] [-meta]
 //	xlp difftest [-n N] [-seed S] [-shapes s,...] [-checks c,...] [-regressions dir]
@@ -48,6 +49,8 @@ func main() {
 			os.Exit(runLint(os.Args[2:], os.Stdout, os.Stderr))
 		case "groundness", "strictness", "depthk":
 			os.Exit(runAnalyze(os.Args[1], os.Args[2:], os.Stdout, os.Stderr))
+		case "why":
+			os.Exit(runWhy(os.Args[2:], os.Stdout, os.Stderr))
 		case "compile":
 			os.Exit(runCompile(os.Args[2:], os.Stdout, os.Stderr))
 		case "gen":

@@ -1,0 +1,132 @@
+package main
+
+// `xlp why` explains tabled answers: it runs an analysis with the
+// engine's justification recorder enabled and prints the derivation DAG
+// of a predicate's recorded answers — which clause produced each answer
+// and which premise answers that derivation consumed, down to the
+// facts. The default output is an indented text tree; -format json and
+// -format dot feed tooling (dot renders with Graphviz).
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"xlp/internal/corpus"
+	"xlp/internal/obs"
+	"xlp/internal/prop"
+	"xlp/internal/strict"
+)
+
+// runWhy implements `xlp why [flags] prog`.
+func runWhy(args []string, stdout, stderr io.Writer) int {
+	af := newAnalyzeFlags("why", false)
+	pred := af.fs.String("pred", "", "predicate to explain: 'p/n' or a bare name (default: first predicate with answers)")
+	format := af.fs.String("format", "text", "output format: text, json, or dot")
+	flLang := af.fs.Bool("fl", false, "treat the program as functional (strictness analysis instead of groundness)")
+	maxNodes := af.fs.Int("max-nodes", 0, "cap on derivation-graph nodes (0 = default)")
+	af.fs.SetOutput(stderr)
+	if err := af.fs.Parse(args); err != nil {
+		return 2
+	}
+	switch *format {
+	case "text", "json", "dot":
+	default:
+		fmt.Fprintf(stderr, "xlp: unknown -format %q (want text, json, or dot)\n", *format)
+		return 2
+	}
+	mode, err := af.mode()
+	if err != nil {
+		fmt.Fprintf(stderr, "xlp: %v\n", err)
+		return 2
+	}
+	src, name, ok := af.source(stderr)
+	if !ok {
+		return 2
+	}
+	if af.bench != "" && !*flLang {
+		// Benchmarks know their own language; honor it so
+		// `xlp why -bench fft` just works.
+		if p, err := corpus.Get(af.bench); err == nil && p.Kind == corpus.Functional {
+			*flLang = true
+		}
+	}
+
+	// Run the analysis with provenance on and keep the machine alive
+	// for explanation. explain(pred) yields the derivation of one
+	// predicate's answers; preds lists candidates for the default scan.
+	var explain func(pred string) (*obs.Derivation, error)
+	var preds []string
+	if *flLang {
+		opts := strict.Options{Mode: mode, Provenance: true}
+		if af.entry != "" {
+			opts.Entry = []string{af.entry}
+		}
+		a, err := strict.Analyze(src, opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "xlp: %s: %v\n", name, err)
+			return 1
+		}
+		explain = func(p string) (*obs.Derivation, error) { return a.Explain(p, *maxNodes) }
+		preds = sortedKeys(a.SpPreds)
+	} else {
+		opts := prop.Options{Mode: mode, Provenance: true}
+		if af.entry != "" {
+			opts.Entry = []string{af.entry}
+		}
+		a, err := prop.Analyze(src, opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "xlp: %s: %v\n", name, err)
+			return 1
+		}
+		explain = func(p string) (*obs.Derivation, error) { return a.Explain(p, *maxNodes) }
+		preds = sortedKeys(a.AbsPreds)
+	}
+
+	d, err := pickDerivation(explain, *pred, preds)
+	if err != nil {
+		fmt.Fprintf(stderr, "xlp: %s: %v\n", name, err)
+		return 1
+	}
+	switch *format {
+	case "json":
+		err = d.WriteJSON(stdout)
+	case "dot":
+		err = d.WriteDOT(stdout)
+	default:
+		err = d.WriteText(stdout)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "xlp: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+// pickDerivation explains the requested predicate, or — with none
+// requested — the first predicate (in indicator order) whose
+// derivation has at least one root.
+func pickDerivation(explain func(string) (*obs.Derivation, error), pred string, preds []string) (*obs.Derivation, error) {
+	if pred != "" {
+		return explain(pred)
+	}
+	for _, p := range preds {
+		d, err := explain(p)
+		if err != nil {
+			return nil, err
+		}
+		if len(d.Roots) > 0 {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("no predicate recorded any answer")
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -9,8 +9,15 @@
 //	POST /v1/analyze/{groundness,gaia,bdd,strictness,depthk}
 //	POST /v1/lint             object-program linter (options.lang: prolog|fl)
 //	POST /v1/query
+//	POST /v1/explain          answer provenance (justification DAG)
 //	GET  /v1/stats            (?format=text for a rendered table)
+//	GET  /debug/tables        live per-predicate table state of executing runs
 //	GET  /metrics             Prometheus text exposition
+//
+// Every request is correlated: an incoming X-Request-ID header is
+// propagated (or one is generated), echoed on the response, and stamped
+// as "req" on each structured log line the request produces. Logs are
+// JSON on stderr (-log-level debug|info|warn|error).
 //
 // With -pprof, the net/http/pprof profiling handlers are mounted under
 // /debug/pprof/ on the same listener.
@@ -23,7 +30,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -46,6 +53,7 @@ func main() {
 	cache := flag.Int("cache", 256, "result cache capacity (entries)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request timeout")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown drain grace period")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
 	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	showVersion := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
@@ -55,14 +63,22 @@ func main() {
 		return
 	}
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "xlpd: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
 	svc := service.New(service.Config{
 		Workers:        *workers,
 		QueueSize:      *queue,
 		CacheSize:      *cache,
 		DefaultTimeout: *timeout,
 		Version:        version,
+		Logger:         logger,
 	})
-	handler := svc.Handler()
+	handler := service.RequestIDMiddleware(svc.Handler())
 	if *withPprof {
 		mux := http.NewServeMux()
 		mux.Handle("/", handler)
@@ -84,29 +100,36 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- server.ListenAndServe() }()
-	log.Printf("xlpd %s: listening on %s (pprof %v)", obs.Build(version), *addr, *withPprof)
+	logger.Info("listening",
+		"build", fmt.Sprint(obs.Build(version)), "addr", *addr, "pprof", *withPprof)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("xlpd: serve: %v", err)
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
 	// Graceful drain: stop accepting connections, then let queued and
 	// running analyses finish within the grace period.
-	log.Printf("xlpd: shutting down (grace %v)", *grace)
+	logger.Info("shutting down", "grace", grace.String())
 	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := server.Shutdown(shutCtx); err != nil {
-		log.Printf("xlpd: http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 	if err := svc.Shutdown(shutCtx); err != nil {
-		log.Printf("xlpd: service shutdown: %v", err)
+		logger.Warn("service shutdown", "err", err)
 	}
 	st := svc.Stats()
-	fmt.Printf("xlpd: served %d requests (%d hits, %d misses, %d deduped, %d executed)\n",
-		st.Requests, st.Hits, st.Misses, st.Deduped, st.Executed)
-	fmt.Printf("xlpd: engine totals: %d resolutions, %d subgoals, %d answers, %d producer runs, %d table bytes\n",
-		st.Engine.Resolutions, st.Engine.Subgoals, st.Engine.Answers,
-		st.Engine.ProducerRuns, st.Engine.TableBytes)
+	logger.Info("served",
+		"uptime_s", fmt.Sprintf("%.1f", st.UptimeSeconds),
+		"requests", st.Requests, "hits", st.Hits, "misses", st.Misses,
+		"deduped", st.Deduped, "executed", st.Executed, "failures", st.Failures,
+		"peak_in_flight", st.PeakInFlight, "peak_queue_depth", st.PeakQueueDepth)
+	logger.Info("engine totals",
+		"resolutions", st.Engine.Resolutions, "subgoals", st.Engine.Subgoals,
+		"answers", st.Engine.Answers, "producer_runs", st.Engine.ProducerRuns,
+		"table_bytes", st.Engine.TableBytes, "preds_compiled", st.Engine.PredsCompiled,
+		"provenance_bytes", st.Engine.ProvenanceBytes)
 }

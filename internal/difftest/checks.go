@@ -11,6 +11,7 @@ import (
 	"xlp/internal/depthk"
 	"xlp/internal/engine"
 	"xlp/internal/gaia"
+	"xlp/internal/obs"
 	"xlp/internal/prop"
 	"xlp/internal/randgen"
 	"xlp/internal/strict"
@@ -75,6 +76,7 @@ func Checks() []Check {
 		{Name: "strict-predrename", Lang: randgen.LangFL, Run: strictPredRename},
 		{Name: "strict-eqreorder", Lang: randgen.LangFL, Run: strictEqReorder},
 		{Name: "tables_trie_vs_stringmap", AnyLang: true, Run: tablesTrieVsStringmap},
+		{Name: "provenance_sound", AnyLang: true, Run: provenanceSound},
 	}
 }
 
@@ -569,6 +571,173 @@ func tablesTrieVsStringmap(m Meta, src string) error {
 		return err
 	}
 	return diffEngineStats("trie", "stringmap", dkTrie.EngineStats, dkSmap.EngineStats)
+}
+
+// provenanceSound: the justification recorder must be a pure observer —
+// (a) enabling it changes no analysis result and no evaluation counter,
+// and (b) every recorded justification re-checks: the producing clause's
+// head unifies with the answer and the premise answers line up with the
+// clause's tabled body calls, left to right, under the accumulated
+// bindings. Runs on every shape (Prolog shapes through the groundness
+// analyzer, FL shapes through strictness) and under both the clause
+// interpreter and the closure compiler, whose recording paths differ.
+func provenanceSound(m Meta, src string) error {
+	for _, lm := range []struct {
+		name string
+		mode engine.LoadMode
+	}{{"interp", engine.LoadDynamic}, {"closure", engine.ModeClosure}} {
+		if m.Shape.Lang() == randgen.LangFL {
+			off, err := strict.Analyze(src, strict.Options{Mode: lm.mode})
+			if err != nil {
+				return fmt.Errorf("error: strict %s: %w", lm.name, err)
+			}
+			on, err := strict.Analyze(src, strict.Options{Mode: lm.mode, Provenance: true})
+			if err != nil {
+				return fmt.Errorf("error: strict %s prov: %w", lm.name, err)
+			}
+			if err := diffSummaries("prov-off", "prov-on", strictSummary(off, nil), strictSummary(on, nil), false); err != nil {
+				return err
+			}
+			if err := diffEngineStats("prov-off", "prov-on", off.EngineStats, on.EngineStats); err != nil {
+				return err
+			}
+			if err := recheckJusts(on.Machine); err != nil {
+				return err
+			}
+			continue
+		}
+		off, err := prop.Analyze(src, prop.Options{Mode: lm.mode})
+		if err != nil {
+			return fmt.Errorf("error: prop %s: %w", lm.name, err)
+		}
+		on, err := prop.Analyze(src, prop.Options{Mode: lm.mode, Provenance: true})
+		if err != nil {
+			return fmt.Errorf("error: prop %s prov: %w", lm.name, err)
+		}
+		if err := diffSummaries("prov-off", "prov-on", propSummary(off, nil), propSummary(on, nil), false); err != nil {
+			return err
+		}
+		if err := diffEngineStats("prov-off", "prov-on", off.EngineStats, on.EngineStats); err != nil {
+			return err
+		}
+		if err := recheckJusts(on.Machine); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flattenBody expands control constructs (',', ';', '->', negation) into
+// the left-to-right sequence of leaf goals a derivation can traverse.
+// For disjunctions both branches are emitted — the premise matcher scans
+// forward with unification, so goals from the untaken branch are skipped.
+func flattenBody(body []term.Term) []term.Term {
+	var out []term.Term
+	var walk func(t term.Term)
+	walk = func(t term.Term) {
+		c, ok := term.Deref(t).(*term.Compound)
+		if !ok {
+			out = append(out, t)
+			return
+		}
+		switch {
+		case (c.Functor == "," || c.Functor == ";" || c.Functor == "->") && len(c.Args) == 2:
+			walk(c.Args[0])
+			walk(c.Args[1])
+		case (c.Functor == "\\+" || c.Functor == "not") && len(c.Args) == 1:
+			walk(c.Args[0])
+		default:
+			out = append(out, t)
+		}
+	}
+	for _, g := range body {
+		walk(g)
+	}
+	return out
+}
+
+// recheckJusts replays every recorded justification against the program:
+// the cited clause must exist, its (renamed) head must unify with the
+// recorded answer, and each premise must unify — in order, under the
+// bindings accumulated so far — with a body goal of the premise's
+// predicate. Builtin body goals (iff/N in the abstract programs) consume
+// no premises and are skipped by indicator.
+func recheckJusts(m *engine.Machine) error {
+	var bad error
+	count := 0
+	m.EachAnswer(func(ref engine.AnswerRef, pred string) {
+		if bad != nil {
+			return
+		}
+		j, ok := m.Justification(ref)
+		if !ok {
+			bad = fmt.Errorf("mismatch: %s answer s%da%d has no justification", pred, ref.Subgoal, ref.Answer)
+			return
+		}
+		count++
+		ans, ok := m.AnswerAt(ref)
+		if !ok {
+			bad = fmt.Errorf("mismatch: dangling answer ref s%da%d", ref.Subgoal, ref.Answer)
+			return
+		}
+		cls := m.Pred(pred).Clauses
+		if j.ClauseNth < 0 || j.ClauseNth >= len(cls) {
+			bad = fmt.Errorf("mismatch: %s cites clause %d of %d", pred, j.ClauseNth, len(cls))
+			return
+		}
+		cl := cls[j.ClauseNth]
+		rn := map[*term.Var]*term.Var{}
+		var tr term.Trail
+		if !term.Unify(term.Rename(cl.Head, rn), term.Rename(ans, nil), &tr) {
+			bad = fmt.Errorf("mismatch: %s clause %d head %v does not unify with answer %v",
+				pred, j.ClauseNth, cl.Head, ans)
+			return
+		}
+		if j.Truncated {
+			return
+		}
+		goals := flattenBody(cl.Body)
+		gi := 0
+		for _, p := range j.Premises {
+			pans, ok := m.AnswerAt(engine.AnswerRef{Subgoal: p.Subgoal, Answer: p.Answer})
+			if !ok {
+				bad = fmt.Errorf("mismatch: %s premise s%da%d unresolvable", pred, p.Subgoal, p.Answer)
+				return
+			}
+			ppred, _, _ := m.JustSource().Answer(obs.AnsRef{Sub: p.Subgoal, Ans: p.Answer})
+			matched := false
+			for ; gi < len(goals); gi++ {
+				ind, callable := term.Indicator(goals[gi])
+				if !callable || ind != ppred {
+					continue // builtin or other predicate: consumes no premise here
+				}
+				mark := tr.Mark()
+				if term.Unify(term.Rename(goals[gi], rn), term.Rename(pans, nil), &tr) {
+					matched = true
+					gi++
+					break
+				}
+				tr.Undo(mark)
+			}
+			if !matched {
+				bad = fmt.Errorf("mismatch: %s clause %d: premise %s %v does not re-check against the body",
+					pred, j.ClauseNth, ppred, pans)
+				return
+			}
+		}
+	})
+	if bad != nil {
+		return bad
+	}
+	if count == 0 {
+		// An analyzed program always tables at least the entry
+		// predicates; a run with zero recorded answers means the
+		// recorder silently failed, not that the program was empty.
+		if m.Stats().Answers > 0 {
+			return fmt.Errorf("mismatch: %d answers but no justifications recorded", m.Stats().Answers)
+		}
+	}
+	return nil
 }
 
 func strictEqReorder(m Meta, src string) error {

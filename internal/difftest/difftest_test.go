@@ -94,6 +94,33 @@ func TestModesThreewayCorpusSweep(t *testing.T) {
 	}
 }
 
+// TestProvenanceSoundCorpusSweep runs the full benchmark corpus through
+// the provenance_sound oracle: on every real program, recording
+// justifications must not perturb the analysis, and every recorded
+// justification must re-check against the producing clause.
+func TestProvenanceSoundCorpusSweep(t *testing.T) {
+	c, ok := CheckByName("provenance_sound")
+	if !ok {
+		t.Fatal("provenance_sound not registered")
+	}
+	for _, p := range corpus.LogicPrograms() {
+		p := p
+		t.Run("prolog/"+p.Name, func(t *testing.T) {
+			if err := c.Run(Meta{Shape: randgen.Mixed}, p.Source); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	for _, p := range corpus.FuncPrograms() {
+		p := p
+		t.Run("fl/"+p.Name, func(t *testing.T) {
+			if err := c.Run(Meta{Shape: randgen.FLFirstOrder}, p.Source); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
 // TestRegressionsReplay re-runs every committed shrunk counterexample
 // through its original check. These were findings once; they must stay
 // fixed.

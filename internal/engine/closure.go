@@ -137,8 +137,12 @@ func (m *Machine) producePassClosure(sg *subgoal) {
 			m.tracer.Emit(obs.EvResolutions, sg.pred.Indicator, 1)
 		}
 		mark := m.trail.Mark()
+		// Compiled clauses carry their source index, so provenance maps
+		// back to the same engine clause the interpreted pass would
+		// record — the two backends produce identical justifications.
+		src := sg.pred.Clauses[cl.Nth]
 		cl.Run(env, args, nil, func() bool {
-			m.addAnswer(sg, sg.goal)
+			m.addAnswer(sg, sg.goal, src)
 			return false
 		})
 		m.trail.Undo(mark)

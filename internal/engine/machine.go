@@ -62,6 +62,11 @@ type Limits struct {
 	MaxAnswers int
 	// MaxSubgoals bounds the number of distinct tabled calls (0 = default 1e6).
 	MaxSubgoals int
+	// MaxProvNodes bounds provenance recording (Machine.Provenance): the
+	// total of justification records plus premise refs (0 = default 1e6).
+	// Past the budget answers still get a record of their producing
+	// clause, but premises are dropped and the record marked Truncated.
+	MaxProvNodes int
 }
 
 func (l Limits) maxDepth() int {
@@ -85,6 +90,13 @@ func (l Limits) maxSubgoals() int {
 	return l.MaxSubgoals
 }
 
+func (l Limits) maxProvNodes() int {
+	if l.MaxProvNodes <= 0 {
+		return 1_000_000
+	}
+	return l.MaxProvNodes
+}
+
 // Stats accumulates evaluation counters.
 type Stats struct {
 	Resolutions    int // clause head unification attempts
@@ -102,6 +114,11 @@ type Stats struct {
 	AnswerBytes int // table space charged to answer-table keys
 	TableNodes  int // trie nodes allocated (0 under TablesStringMap)
 
+	// ProvenanceBytes is the space charged to justification records
+	// (Machine.Provenance): justRecordBytes per recorded answer plus
+	// justPremiseBytes per premise ref. 0 with provenance disabled.
+	ProvenanceBytes int
+
 	// Closure-compilation accounting (ModeClosure only). PredsCompiled
 	// counts predicates translated since the last ResetTables;
 	// CompileNanos is the time spent translating them. A warm machine
@@ -116,7 +133,11 @@ type Stats struct {
 type Clause struct {
 	Head term.Term
 	Body []term.Term
-	Nth  int // source position, for deterministic ordering
+	Nth  int // source order within the predicate, for deterministic ordering
+	// Pos is the clause's source position when it was consulted from
+	// text (Consult); zero for asserted or generated clauses. Provenance
+	// records carry it so justifications can point back into the source.
+	Pos prolog.Pos
 
 	skelHead term.Term
 	skelBody []term.Term
@@ -193,7 +214,14 @@ type Machine struct {
 	// it before the first query; changing it between queries without
 	// ResetTables has no effect on already-built tables.
 	Tables TablesImpl
-	Out    io.Writer // target of write/1 etc.; defaults to os.Stdout
+	// Provenance enables justification recording (see provenance.go):
+	// every distinct tabled answer records its producing clause and the
+	// tabled premise answers consumed, retrievable via Justification and
+	// Explain. Set it before the first query; answers recorded while it
+	// was off have no justification. Costs one bool check per answer
+	// return and per answer insertion when off.
+	Provenance bool
+	Out        io.Writer // target of write/1 etc.; defaults to os.Stdout
 
 	// AnswerAbstraction, if set, maps a tabled answer instance to its
 	// abstract form before recording. Analyses over non-enumerative
@@ -235,6 +263,12 @@ type Machine struct {
 	nextDfn    int
 	stats      Stats
 	depth      int
+
+	// premises is the provenance premise stack (see provenance.go):
+	// the tabled answers consumed along the current derivation path.
+	// Empty unless Provenance is set.
+	premises  []AnswerRef
+	provNodes int // justification records + premise refs, vs Limits.MaxProvNodes
 
 	// tracer, when non-nil, receives evaluation events (subgoal created,
 	// answer added/duplicate, producer run/pass, completion, resolution
@@ -278,6 +312,8 @@ func (m *Machine) ResetTables() {
 	m.complStack = nil
 	m.nextDfn = 0
 	m.stats = Stats{}
+	m.premises = nil
+	m.provNodes = 0
 }
 
 // pkey is the allocation-free predicate table key.
@@ -351,6 +387,12 @@ func (m *Machine) Predicates() []string {
 // XSB's assert, the "dynamic compilation" the paper relies on for low
 // preprocessing cost.
 func (m *Machine) Assert(clause term.Term) error {
+	return m.assertAt(clause, prolog.Pos{})
+}
+
+// assertAt is Assert with a recorded source position (zero when the
+// clause did not come from text).
+func (m *Machine) assertAt(clause term.Term, pos prolog.Pos) error {
 	head, body := prolog.SplitClause(clause)
 	if head == nil {
 		return m.directive(body)
@@ -364,7 +406,7 @@ func (m *Machine) Assert(clause term.Term) error {
 		return fmt.Errorf("engine: cannot redefine builtin %s", k)
 	}
 	p := m.pred(k)
-	cl := &Clause{Head: head, Body: prolog.Conjuncts(body), Nth: len(p.Clauses)}
+	cl := &Clause{Head: head, Body: prolog.Conjuncts(body), Nth: len(p.Clauses), Pos: pos}
 	cl.compile()
 	p.Clauses = append(p.Clauses, cl)
 	p.closure = nil // invalidate cached closure code
@@ -375,22 +417,36 @@ func (m *Machine) Assert(clause term.Term) error {
 }
 
 // Consult parses src as a Prolog program and loads every clause,
-// processing ':- table p/n' (and ignoring other) directives.
+// processing ':- table p/n' (and ignoring other) directives. Clauses
+// keep their source positions, so provenance records can point back
+// into src.
 func (m *Machine) Consult(src string) error {
-	clauses, err := prolog.ParseProgram(src)
+	infos, err := prolog.ParseProgramInfo(src)
 	if err != nil {
 		return err
 	}
-	return m.ConsultTerms(clauses)
+	for _, ci := range infos {
+		if err := m.assertAt(ci.Term, ci.Pos); err != nil {
+			return err
+		}
+	}
+	m.finishLoad()
+	return nil
 }
 
-// ConsultTerms loads pre-parsed clauses.
+// ConsultTerms loads pre-parsed clauses (no source positions).
 func (m *Machine) ConsultTerms(clauses []term.Term) error {
 	for _, c := range clauses {
 		if err := m.Assert(c); err != nil {
 			return err
 		}
 	}
+	m.finishLoad()
+	return nil
+}
+
+// finishLoad runs the mode-specific preprocessing after a batch load.
+func (m *Machine) finishLoad() {
 	if m.Mode == LoadCompiled {
 		m.buildIndexes()
 	}
@@ -399,7 +455,6 @@ func (m *Machine) ConsultTerms(clauses []term.Term) error {
 		// preprocessing phase), not inside the first query's solve time.
 		m.compileAll()
 	}
-	return nil
 }
 
 // directive interprets a ':- Goal' directive at load time. 'table'
@@ -540,6 +595,9 @@ func (m *Machine) Solve(goal term.Term, yield func() bool) (err error) {
 	mark := m.trail.Mark()
 	defer func() {
 		m.trail.Undo(mark)
+		// A limit throw unwinds past the premise pushes in solveTabled;
+		// rebalance so a later Solve starts from a clean stack.
+		m.premises = m.premises[:0]
 		if r := recover(); r != nil {
 			if ee, ok := r.(engineError); ok {
 				err = ee.err

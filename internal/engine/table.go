@@ -29,9 +29,16 @@ type subgoal struct {
 	key  string    // canonical call key (TablesStringMap only)
 	goal term.Term // detached copy of the call
 	pred *Pred
+	idx  int // creation index in m.subgoals; first half of an AnswerRef
 
 	answers    []term.Term // detached instances of goal, insertion order
 	answersGnd []bool      // per-answer: ground (no rename needed on use)
+	// justs holds one justification per answer, index-aligned with
+	// answers; nil unless the machine records provenance.
+	justs []*Just
+	// provMark is the premise-stack depth at the current producer
+	// activation's entry: addAnswer's premises are the refs above it.
+	provMark int
 	// Answer dedup index: answerKeys under TablesStringMap, ansTrie
 	// under TablesTrie.
 	answerKeys map[string]struct{}
@@ -108,7 +115,17 @@ func (m *Machine) solveTabled(p *Pred, goal term.Term, k func() bool) bool {
 		}
 		mark := m.trail.Mark()
 		if unify(goal, ans, &m.trail) {
-			if k() {
+			var stop bool
+			if m.Provenance {
+				// The continuation runs with this answer as a committed
+				// premise of the derivation path (see provenance.go).
+				m.premises = append(m.premises, AnswerRef{Subgoal: sg.idx, Answer: i})
+				stop = k()
+				m.premises = m.premises[:len(m.premises)-1]
+			} else {
+				stop = k()
+			}
+			if stop {
 				m.trail.Undo(mark)
 				return true
 			}
@@ -155,6 +172,7 @@ func (m *Machine) lookupOrCreate(p *Pred, lookup term.Term) (sg *subgoal, create
 	}
 	sg.goal = term.Rename(term.Resolve(lookup), nil)
 	sg.pred = p
+	sg.idx = len(m.subgoals)
 	if m.useTrie() {
 		sg.ansTrie = term.NewTrie()
 		sg.ansTrie.UseSymCache(m.syms())
@@ -201,6 +219,9 @@ func (m *Machine) runProducer(sg *subgoal) {
 	}
 	sg.minlink = sg.dfn
 	sg.active = true
+	// Mark the premise stack for this activation: answers added by the
+	// passes below list only premises consumed above this depth.
+	sg.provMark = len(m.premises)
 	m.stack = append(m.stack, sg)
 	if !sg.onComplStack {
 		sg.onComplStack = true
@@ -231,7 +252,7 @@ func (m *Machine) runProducer(sg *subgoal) {
 					if term.Unify(sg.goal, head, &m.trail) {
 						// nil cut barrier: cut may not cross a table boundary.
 						m.solveGoals(body, nil, func() bool {
-							m.addAnswer(sg, sg.goal)
+							m.addAnswer(sg, sg.goal, cl)
 							return false
 						})
 					}
@@ -346,8 +367,10 @@ func markWatchersDirty(sg *subgoal) {
 // addAnswer records the current instance of the subgoal's call as an
 // answer if it is not a variant of an existing answer (the paper's §2
 // footnote: "only unique answers are entered in the table, and
-// duplicates are filtered out using variant checks").
-func (m *Machine) addAnswer(sg *subgoal, inst term.Term) {
+// duplicates are filtered out using variant checks"). cl is the clause
+// whose body derivation produced the instance; with provenance enabled
+// the first (and only the first) derivation of each answer records it.
+func (m *Machine) addAnswer(sg *subgoal, inst term.Term, cl *Clause) {
 	if sg.complete {
 		// A completed table is frozen: its consumers are never woken
 		// again, so a late answer would be silently unobservable.
@@ -385,8 +408,15 @@ func (m *Machine) addAnswer(sg *subgoal, inst term.Term) {
 	if m.stats.Answers >= m.Limits.maxAnswers() {
 		m.throwErr(fmt.Errorf("%w (%d)", ErrAnswerLimit, m.Limits.maxAnswers()))
 	}
+	var just *Just
+	if m.Provenance {
+		just = m.recordJust(sg, cl)
+		sg.justs = append(sg.justs, just)
+	}
 	if leaf != nil {
-		leaf.SetValue(nil)
+		// The answer-trie leaf doubles as the dedup presence mark and
+		// the justification anchor (nil value with provenance off).
+		leaf.SetValue(just)
 	} else {
 		sg.answerKeys[key] = struct{}{}
 	}

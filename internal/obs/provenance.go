@@ -1,0 +1,259 @@
+package obs
+
+// Derivation graphs: the observability side of answer provenance. The
+// engine records, per tabled answer, the producing clause and the
+// tabled premise answers consumed (engine/provenance.go); this file
+// walks those records into a justification DAG and renders it as a
+// text tree, JSON, or DOT. The walker consumes the records through the
+// JustSource interface because the dependency points engine -> obs:
+// this package must not import the engine.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// AnsRef identifies one tabled answer by table coordinates: the
+// subgoal's creation index and the answer's insertion index within it.
+// It mirrors engine.AnswerRef without importing the engine.
+type AnsRef struct {
+	Sub int
+	Ans int
+}
+
+// ID renders the ref as a compact stable node name ("s3a1").
+func (r AnsRef) ID() string { return fmt.Sprintf("s%da%d", r.Sub, r.Ans) }
+
+// JustSource exposes recorded justifications to BuildDerivation.
+// Implementations resolve refs against live tables; both methods
+// return ok=false for refs they cannot resolve (out of range, or the
+// answer was recorded without provenance).
+type JustSource interface {
+	// Answer names the answer behind ref: its predicate indicator and
+	// rendered term.
+	Answer(ref AnsRef) (pred, text string, ok bool)
+	// Just returns the producing clause's index within the predicate,
+	// its source position ("line:col", empty when unrecorded), whether
+	// the recorder's node budget dropped the premises, and the premise
+	// refs.
+	Just(ref AnsRef) (clause int, pos string, truncated bool, premises []AnsRef, ok bool)
+}
+
+// DerivNode is one answer in a justification DAG.
+type DerivNode struct {
+	ID     string `json:"id"`   // stable node name ("s3a1")
+	Pred   string `json:"pred"` // predicate indicator
+	Answer string `json:"answer"`
+	Clause int    `json:"clause"`        // producing clause index within Pred
+	Pos    string `json:"pos,omitempty"` // clause source position ("line:col")
+	// Truncated: the recorder's node budget dropped this answer's
+	// premises, so its subtree is incomplete.
+	Truncated bool `json:"truncated,omitempty"`
+	// Cut: the walker's node cap stopped expansion here; the premises
+	// were recorded but are not part of this graph.
+	Cut bool `json:"cut,omitempty"`
+	// Premises indexes into Derivation.Nodes, in consumption order.
+	Premises []int `json:"premises"`
+}
+
+// Derivation is a justification DAG: why each root answer is in the
+// table. Nodes are listed in discovery order (roots first, then
+// breadth-first premises); shared premises appear once.
+type Derivation struct {
+	Goal  string      `json:"goal"` // the explained goal, rendered
+	Roots []int       `json:"roots"`
+	Nodes []DerivNode `json:"nodes"`
+	// Truncated: the walk hit its node cap; at least one node is Cut.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// DefaultDerivationNodes caps BuildDerivation walks when the caller
+// passes maxNodes <= 0.
+const DefaultDerivationNodes = 10_000
+
+// BuildDerivation walks the justification records reachable from roots
+// into a DAG, breadth-first, visiting each answer once (sharing and —
+// defensively, the recorder never produces one — any cycle therefore
+// cannot blow up the walk). The walk stops expanding once maxNodes
+// nodes are in the graph; frontier nodes past the cap are marked Cut
+// and the derivation Truncated.
+func BuildDerivation(src JustSource, goal string, roots []AnsRef, maxNodes int) *Derivation {
+	if maxNodes <= 0 {
+		maxNodes = DefaultDerivationNodes
+	}
+	d := &Derivation{Goal: goal, Roots: []int{}}
+	seen := map[AnsRef]int{} // ref -> node index
+	var queue []AnsRef
+	visit := func(ref AnsRef) (int, bool) {
+		if i, ok := seen[ref]; ok {
+			return i, true
+		}
+		if len(d.Nodes) >= maxNodes {
+			d.Truncated = true
+			return -1, false
+		}
+		pred, text, ok := src.Answer(ref)
+		if !ok {
+			return -1, false
+		}
+		n := DerivNode{ID: ref.ID(), Pred: pred, Answer: text, Clause: -1, Premises: []int{}}
+		if clause, pos, trunc, _, ok := src.Just(ref); ok {
+			n.Clause, n.Pos, n.Truncated = clause, pos, trunc
+		}
+		d.Nodes = append(d.Nodes, n)
+		i := len(d.Nodes) - 1
+		seen[ref] = i
+		queue = append(queue, ref)
+		return i, true
+	}
+	for _, r := range roots {
+		if i, ok := visit(r); ok {
+			d.Roots = append(d.Roots, i)
+		}
+	}
+	for len(queue) > 0 {
+		ref := queue[0]
+		queue = queue[1:]
+		i := seen[ref]
+		_, _, _, premises, ok := src.Just(ref)
+		if !ok {
+			continue
+		}
+		for _, p := range premises {
+			j, ok := visit(p)
+			if !ok {
+				d.Nodes[i].Cut = true
+				continue
+			}
+			d.Nodes[i].Premises = append(d.Nodes[i].Premises, j)
+		}
+	}
+	return d
+}
+
+// WriteJSON writes the derivation as indented JSON.
+func (d *Derivation) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// WriteText writes the derivation as an indented tree, one root per
+// block. Nodes already printed on the current page are referenced by
+// ID instead of re-expanded, so shared subderivations print once.
+func (d *Derivation) WriteText(w io.Writer) error {
+	printed := map[int]bool{}
+	var rec func(i, depth int) error
+	rec = func(i, depth int) error {
+		n := d.Nodes[i]
+		indent := strings.Repeat("  ", depth)
+		if printed[i] {
+			_, err := fmt.Fprintf(w, "%s%s  (= %s, shown above)\n", indent, n.Answer, n.ID)
+			return err
+		}
+		printed[i] = true
+		loc := ""
+		if n.Clause >= 0 {
+			loc = fmt.Sprintf("  [%s clause %d", n.Pred, n.Clause+1)
+			if n.Pos != "" {
+				loc += " @ " + n.Pos
+			}
+			loc += "]"
+		}
+		mark := ""
+		if n.Truncated || n.Cut {
+			mark = "  …"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s%s%s\n", indent, n.Answer, loc, mark); err != nil {
+			return err
+		}
+		for _, p := range n.Premises {
+			if err := rec(p, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "why %s\n", d.Goal); err != nil {
+		return err
+	}
+	for _, r := range d.Roots {
+		if err := rec(r, 1); err != nil {
+			return err
+		}
+	}
+	if len(d.Roots) == 0 {
+		if _, err := fmt.Fprintln(w, "  (no recorded answers match)"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteDOT writes the derivation in Graphviz DOT: one box per answer,
+// edges from each answer to its premises. Roots are drawn bold.
+func (d *Derivation) WriteDOT(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("digraph derivation {\n")
+	sb.WriteString("  rankdir=TB;\n")
+	sb.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+	fmt.Fprintf(&sb, "  label=%s;\n", dotQuote("why "+d.Goal))
+	rootSet := map[int]bool{}
+	for _, r := range d.Roots {
+		rootSet[r] = true
+	}
+	for i, n := range d.Nodes {
+		label := n.Answer
+		if n.Clause >= 0 {
+			label += "\\nclause " + fmt.Sprint(n.Clause+1)
+			if n.Pos != "" {
+				label += " @ " + n.Pos
+			}
+		}
+		if n.Truncated || n.Cut {
+			label += "\\n(truncated)"
+		}
+		attrs := fmt.Sprintf("label=%s", dotQuote(label))
+		if rootSet[i] {
+			attrs += ", penwidth=2"
+		}
+		fmt.Fprintf(&sb, "  %s [%s];\n", n.ID, attrs)
+	}
+	for _, n := range d.Nodes {
+		for _, p := range n.Premises {
+			fmt.Fprintf(&sb, "  %s -> %s;\n", n.ID, d.Nodes[p].ID)
+		}
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// dotQuote renders s as a DOT double-quoted string. Literal "\\n" line
+// breaks written by the caller must survive, so only quotes and
+// backslashes not starting an escape are escaped.
+func dotQuote(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			sb.WriteString("\\\"")
+		case '\\':
+			if i+1 < len(s) && s[i+1] == 'n' {
+				sb.WriteString("\\n")
+				i++
+			} else {
+				sb.WriteString("\\\\")
+			}
+		case '\n':
+			sb.WriteString("\\n")
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}

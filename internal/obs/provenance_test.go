@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeSource is a hand-built justification table: answers["p/1"] style
+// rendering keyed by ref, premises per ref.
+type fakeSource struct {
+	answers  map[AnsRef]string
+	premises map[AnsRef][]AnsRef
+}
+
+func (f fakeSource) Answer(r AnsRef) (string, string, bool) {
+	a, ok := f.answers[r]
+	return "p/1", a, ok
+}
+
+func (f fakeSource) Just(r AnsRef) (int, string, bool, []AnsRef, bool) {
+	if _, ok := f.answers[r]; !ok {
+		return 0, "", false, nil, false
+	}
+	return 0, "1:1", false, f.premises[r], true
+}
+
+func TestBuildDerivationSharesPremises(t *testing.T) {
+	// Diamond: root consumes a and b, both consume c.
+	root, a, b, c := AnsRef{0, 0}, AnsRef{1, 0}, AnsRef{1, 1}, AnsRef{2, 0}
+	src := fakeSource{
+		answers: map[AnsRef]string{root: "p(r)", a: "p(a)", b: "p(b)", c: "p(c)"},
+		premises: map[AnsRef][]AnsRef{
+			root: {a, b}, a: {c}, b: {c},
+		},
+	}
+	d := BuildDerivation(src, "p(r)", []AnsRef{root}, 0)
+	if len(d.Nodes) != 4 {
+		t.Fatalf("shared premise duplicated: %d nodes", len(d.Nodes))
+	}
+	if d.Truncated {
+		t.Fatal("spurious truncation")
+	}
+	var text strings.Builder
+	if err := d.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "shown above") {
+		t.Fatalf("shared node not referenced back:\n%s", text.String())
+	}
+}
+
+func TestBuildDerivationCapsNodes(t *testing.T) {
+	// A chain of 10 answers walked with a cap of 3.
+	src := fakeSource{answers: map[AnsRef]string{}, premises: map[AnsRef][]AnsRef{}}
+	for i := 0; i < 10; i++ {
+		r := AnsRef{0, i}
+		src.answers[r] = "p(x)"
+		if i < 9 {
+			src.premises[r] = []AnsRef{{0, i + 1}}
+		}
+	}
+	d := BuildDerivation(src, "p(x)", []AnsRef{{0, 0}}, 3)
+	if len(d.Nodes) != 3 || !d.Truncated {
+		t.Fatalf("cap not applied: %d nodes, truncated=%v", len(d.Nodes), d.Truncated)
+	}
+	cut := false
+	for _, n := range d.Nodes {
+		cut = cut || n.Cut
+	}
+	if !cut {
+		t.Fatal("no frontier node marked Cut")
+	}
+}
+
+func TestBuildDerivationSurvivesCycle(t *testing.T) {
+	// The recorder never produces a cycle; the walker must still not
+	// loop if handed one.
+	a, b := AnsRef{0, 0}, AnsRef{0, 1}
+	src := fakeSource{
+		answers:  map[AnsRef]string{a: "p(a)", b: "p(b)"},
+		premises: map[AnsRef][]AnsRef{a: {b}, b: {a}},
+	}
+	d := BuildDerivation(src, "p(a)", []AnsRef{a}, 0)
+	if len(d.Nodes) != 2 {
+		t.Fatalf("cycle mis-walked: %d nodes", len(d.Nodes))
+	}
+	var text, dot strings.Builder
+	if err := d.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteDOT(&dot); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot.String(), "s0a0 -> s0a1") || !strings.Contains(dot.String(), "s0a1 -> s0a0") {
+		t.Fatalf("cycle edges missing from DOT:\n%s", dot.String())
+	}
+}
+
+func TestWriteDOTQuotesLabels(t *testing.T) {
+	src := fakeSource{
+		answers:  map[AnsRef]string{{0, 0}: `p("x\y")`},
+		premises: map[AnsRef][]AnsRef{},
+	}
+	d := BuildDerivation(src, `p("x\y")`, []AnsRef{{0, 0}}, 0)
+	var dot strings.Builder
+	if err := d.WriteDOT(&dot); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot.String(), `\"x\\y\"`) {
+		t.Fatalf("label not escaped:\n%s", dot.String())
+	}
+}

@@ -52,6 +52,13 @@ type Options struct {
 	// Tracer, when non-nil, is installed on the engine for the solve
 	// phase (event ring + per-predicate counters).
 	Tracer obs.EngineTracer
+	// Provenance enables the engine's justification recorder and
+	// retains the machine (with its live tables) on the returned
+	// Analysis, so recorded answers can be explained after the run
+	// (Analysis.Explain, `xlp why`). Source clause positions are
+	// stamped onto the generated abstract clauses, so derivations
+	// point back into the source program.
+	Provenance bool
 }
 
 // GroundState describes one argument position of a recorded call.
@@ -127,6 +134,45 @@ type Analysis struct {
 	// SlicedOut lists predicates removed by Options.Slice before the
 	// transform (reported in Results as unreachable), in definition order.
 	SlicedOut []string
+
+	// Machine is the engine that ran the analysis, retained — with its
+	// full tables alive — only when Options.Provenance was set; nil
+	// otherwise.
+	Machine *engine.Machine
+	// AbsPreds maps source indicators (p/n) to abstract ones (gp_p/n);
+	// retained with Machine so explanation surfaces can find the
+	// abstract subgoal behind a source predicate.
+	AbsPreds map[string]string
+}
+
+// Explain builds the justification DAG for the recorded answers of a
+// source predicate's abstract subgoal. pred is an indicator ("app/3")
+// or a bare name (matching the smallest arity defined). The analysis
+// must have run with Options.Provenance.
+func (a *Analysis) Explain(pred string, maxNodes int) (*obs.Derivation, error) {
+	if a.Machine == nil {
+		return nil, fmt.Errorf("prop: analysis ran without Options.Provenance")
+	}
+	absInd, ok := a.AbsPreds[pred]
+	if !ok {
+		// Bare name: take the smallest matching arity for determinism.
+		inds := make([]string, 0, len(a.AbsPreds))
+		for ind := range a.AbsPreds {
+			if name, _ := splitInd(ind); name == pred {
+				inds = append(inds, ind)
+			}
+		}
+		if len(inds) == 0 {
+			return nil, fmt.Errorf("prop: no predicate %s in the analyzed program", pred)
+		}
+		sort.Slice(inds, func(i, j int) bool {
+			_, ni := splitInd(inds[i])
+			_, nj := splitInd(inds[j])
+			return ni < nj
+		})
+		absInd = a.AbsPreds[inds[0]]
+	}
+	return a.Machine.Explain(openCall(absInd), maxNodes)
 }
 
 // Total returns the overall analysis time.
@@ -152,6 +198,21 @@ func (a *Analysis) Sorted() []*PredResult {
 // program.
 func Analyze(src string, opts Options) (*Analysis, error) {
 	opts.Timeline.Start("parse")
+	if opts.Provenance {
+		// Track positions so justifications can cite source clauses.
+		infos, err := prolog.ParseProgramInfo(src)
+		if err != nil {
+			opts.Timeline.End()
+			return nil, err
+		}
+		clauses := make([]term.Term, len(infos))
+		pos := make(map[term.Term]prolog.Pos, len(infos))
+		for i, ci := range infos {
+			clauses[i] = ci.Term
+			pos[ci.Term] = ci.Pos
+		}
+		return analyzeClauses(clauses, pos, opts)
+	}
 	clauses, err := prolog.ParseProgram(src)
 	if err != nil {
 		opts.Timeline.End()
@@ -160,8 +221,15 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 	return AnalyzeClauses(clauses, opts)
 }
 
-// AnalyzeClauses analyzes pre-parsed source clauses.
+// AnalyzeClauses analyzes pre-parsed source clauses (no source
+// positions: provenance records, if enabled, cite clause indexes only).
 func AnalyzeClauses(clauses []term.Term, opts Options) (*Analysis, error) {
+	return analyzeClauses(clauses, nil, opts)
+}
+
+// analyzeClauses is the shared implementation; clausePos, when non-nil,
+// maps source clause terms to their positions for provenance stamping.
+func analyzeClauses(clauses []term.Term, clausePos map[term.Term]prolog.Pos, opts Options) (*Analysis, error) {
 	a := &Analysis{Results: map[string]*PredResult{}}
 
 	// ---- Phase 1: preprocessing (slice + transform + load). ----
@@ -187,6 +255,7 @@ func AnalyzeClauses(clauses []term.Term, opts Options) (*Analysis, error) {
 	m.Mode = opts.Mode
 	m.Tables = opts.Tables
 	m.Limits = opts.Limits
+	m.Provenance = opts.Provenance
 	m.SetContext(opts.Ctx)
 	m.SetTracer(opts.Tracer)
 	maxIff := tf.MaxIffArity
@@ -212,6 +281,11 @@ func AnalyzeClauses(clauses []term.Term, opts Options) (*Analysis, error) {
 		m.Table(abs)
 	}
 	a.AbstractSize = len(tf.Clauses)
+	if opts.Provenance {
+		a.Machine = m
+		a.AbsPreds = tf.Preds
+		stampPositions(m, clauses, tf.Preds, clausePos)
+	}
 	a.PreprocTime = time.Since(t0)
 
 	// ---- Phase 2: analysis (tabled evaluation). ----
@@ -278,6 +352,38 @@ func AnalyzeClauses(clauses []term.Term, opts Options) (*Analysis, error) {
 	a.EngineStats = m.Stats()
 	a.CollectionTime = time.Since(t2)
 	return a, nil
+}
+
+// stampPositions copies source clause positions onto the generated
+// abstract clauses. The transform emits exactly one abstract clause per
+// source clause, in order, so the i-th clause of gp_p/n came from the
+// i-th clause of p/n.
+func stampPositions(m *engine.Machine, clauses []term.Term, preds map[string]string, pos map[term.Term]prolog.Pos) {
+	if pos == nil {
+		return
+	}
+	nth := map[string]int{}
+	for _, c := range clauses {
+		head, _ := prolog.SplitClause(c)
+		if head == nil {
+			continue // directives emit no abstract clause
+		}
+		ind, ok := term.Indicator(head)
+		if !ok {
+			continue
+		}
+		i := nth[ind]
+		nth[ind]++
+		absInd, ok := preds[ind]
+		if !ok {
+			continue
+		}
+		if cls := m.Pred(absInd).Clauses; i < len(cls) {
+			if p, ok := pos[c]; ok {
+				cls[i].Pos = p
+			}
+		}
+	}
 }
 
 // openCall builds gp_p(V1..Vn) for an abstract indicator.

@@ -1,0 +1,197 @@
+package service
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"xlp/internal/obs"
+)
+
+// The /debug/tables endpoint exposes the engine tables of executing
+// requests live: each tabled execution installs a concurrency-safe
+// tracer (tablesWatch) on its engine machine, and the handler snapshots
+// the per-predicate counters mid-run — subgoals entered, answers
+// recorded, SCC completions, trie nodes — without touching the
+// (non-goroutine-safe) machine itself. Finished runs stay visible in a
+// small ring so a scrape just after completion still sees them.
+
+// debugRecentCap bounds the finished-run ring.
+const debugRecentCap = 16
+
+// watchPred is one predicate's live counters inside a watch.
+type watchPred struct {
+	subgoals, answers, completions int
+	tableNodes, tableBytes         int
+}
+
+// tablesWatch observes one executing request's engine. It implements
+// obs.EngineTracer; Emit is called from the worker goroutine running
+// the engine while /debug/tables snapshots concurrently, so the
+// counters are guarded by a mutex (scrapes are rare; the uncontended
+// lock is cheap next to the table operations that trigger events).
+type tablesWatch struct {
+	id    string
+	kind  Kind
+	start time.Time
+
+	mu    sync.Mutex
+	done  bool
+	end   time.Time
+	preds map[string]*watchPred
+}
+
+func newTablesWatch(id string, kind Kind) *tablesWatch {
+	return &tablesWatch{id: id, kind: kind, start: time.Now(), preds: map[string]*watchPred{}}
+}
+
+// Emit implements obs.EngineTracer.
+func (w *tablesWatch) Emit(kind obs.EventKind, pred string, n int) {
+	w.mu.Lock()
+	p := w.preds[pred]
+	if p == nil {
+		p = &watchPred{}
+		w.preds[pred] = p
+	}
+	switch kind {
+	case obs.EvSubgoalNew:
+		p.subgoals++
+		p.tableBytes += n
+	case obs.EvAnswerNew:
+		p.answers++
+		p.tableBytes += n
+	case obs.EvComplete:
+		p.completions++
+	case obs.EvTableNodes:
+		p.tableNodes += n
+	}
+	w.mu.Unlock()
+}
+
+// TablePredRow is the wire form of one predicate's live table state.
+type TablePredRow struct {
+	Pred        string `json:"pred"`
+	Subgoals    int    `json:"subgoals"`
+	Answers     int    `json:"answers"`
+	Completions int    `json:"completions"`
+	TableNodes  int    `json:"table_nodes"`
+	TableBytes  int    `json:"table_bytes"`
+}
+
+// TableWatchReport is the wire form of one watched request.
+type TableWatchReport struct {
+	RequestID string         `json:"request_id"`
+	Kind      Kind           `json:"kind"`
+	Done      bool           `json:"done"`
+	ElapsedMs int64          `json:"elapsed_ms"`
+	Preds     []TablePredRow `json:"preds"`
+}
+
+// TablesReport is the wire form of /debug/tables.
+type TablesReport struct {
+	InFlight []TableWatchReport `json:"in_flight"`
+	Recent   []TableWatchReport `json:"recent"`
+}
+
+func (w *tablesWatch) report() TableWatchReport {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	end := w.end
+	if !w.done {
+		end = time.Now()
+	}
+	r := TableWatchReport{
+		RequestID: w.id,
+		Kind:      w.kind,
+		Done:      w.done,
+		ElapsedMs: end.Sub(w.start).Milliseconds(),
+		Preds:     make([]TablePredRow, 0, len(w.preds)),
+	}
+	for pred, p := range w.preds {
+		r.Preds = append(r.Preds, TablePredRow{
+			Pred:        pred,
+			Subgoals:    p.subgoals,
+			Answers:     p.answers,
+			Completions: p.completions,
+			TableNodes:  p.tableNodes,
+			TableBytes:  p.tableBytes,
+		})
+	}
+	sort.Slice(r.Preds, func(i, j int) bool { return r.Preds[i].Pred < r.Preds[j].Pred })
+	return r
+}
+
+// tablesRegistry tracks the watches of executing requests plus a ring
+// of recently finished ones.
+type tablesRegistry struct {
+	mu     sync.Mutex
+	live   map[*tablesWatch]struct{}
+	recent []*tablesWatch
+	next   int
+}
+
+func newTablesRegistry() *tablesRegistry {
+	return &tablesRegistry{live: map[*tablesWatch]struct{}{}}
+}
+
+// start registers a watch for one executing request.
+func (reg *tablesRegistry) start(id string, kind Kind) *tablesWatch {
+	w := newTablesWatch(id, kind)
+	reg.mu.Lock()
+	reg.live[w] = struct{}{}
+	reg.mu.Unlock()
+	return w
+}
+
+// finish moves a watch from the live set to the recent ring.
+func (reg *tablesRegistry) finish(w *tablesWatch) {
+	w.mu.Lock()
+	w.done = true
+	w.end = time.Now()
+	w.mu.Unlock()
+
+	reg.mu.Lock()
+	delete(reg.live, w)
+	if len(reg.recent) < debugRecentCap {
+		reg.recent = append(reg.recent, w)
+	} else {
+		reg.recent[reg.next] = w
+		reg.next = (reg.next + 1) % debugRecentCap
+	}
+	reg.mu.Unlock()
+}
+
+// snapshot renders the registry; in-flight watches sorted by start
+// time, recent ones newest first.
+func (reg *tablesRegistry) snapshot() TablesReport {
+	reg.mu.Lock()
+	live := make([]*tablesWatch, 0, len(reg.live))
+	for w := range reg.live {
+		live = append(live, w)
+	}
+	recent := make([]*tablesWatch, 0, len(reg.recent))
+	// Unroll the ring newest-to-oldest.
+	for i := 0; i < len(reg.recent); i++ {
+		recent = append(recent, reg.recent[((reg.next-1-i)%len(reg.recent)+len(reg.recent))%len(reg.recent)])
+	}
+	reg.mu.Unlock()
+
+	sort.Slice(live, func(i, j int) bool { return live[i].start.Before(live[j].start) })
+	rep := TablesReport{
+		InFlight: make([]TableWatchReport, 0, len(live)),
+		Recent:   make([]TableWatchReport, 0, len(recent)),
+	}
+	for _, w := range live {
+		rep.InFlight = append(rep.InFlight, w.report())
+	}
+	for _, w := range recent {
+		rep.Recent = append(rep.Recent, w.report())
+	}
+	return rep
+}
+
+// handleDebugTables serves the live table view.
+func (s *Service) handleDebugTables(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.debug.snapshot())
+}

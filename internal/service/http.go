@@ -30,14 +30,19 @@ type apiError struct {
 //	                         (options.lint attaches linter diagnostics)
 //	POST /v1/lint            object-program linter (options.lang: prolog|fl)
 //	POST /v1/query           raw tabled query (options.goal required)
+//	POST /v1/explain         answer provenance: justification DAG of a
+//	                         predicate's answers (options.pred, options.lang)
 //	GET  /v1/stats           counters; ?format=text for a rendered table
+//	GET  /debug/tables       live per-predicate table state of executing runs
 //	GET  /metrics            Prometheus text exposition
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze/{kind}", s.timed("POST /v1/analyze/{kind}", s.handleAnalyze))
 	mux.HandleFunc("POST /v1/lint", s.timed("POST /v1/lint", s.handleLint))
 	mux.HandleFunc("POST /v1/query", s.timed("POST /v1/query", s.handleQuery))
+	mux.HandleFunc("POST /v1/explain", s.timed("POST /v1/explain", s.handleExplain))
 	mux.HandleFunc("GET /v1/stats", s.timed("GET /v1/stats", s.handleStats))
+	mux.HandleFunc("GET /debug/tables", s.timed("GET /debug/tables", s.handleDebugTables))
 	mux.HandleFunc("GET /metrics", s.timed("GET /metrics", s.handleMetrics))
 	return mux
 }
@@ -57,6 +62,10 @@ func (s *Service) handleLint(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.serve(w, r, KindQuery)
+}
+
+func (s *Service) handleExplain(w http.ResponseWriter, r *http.Request) {
+	s.serve(w, r, KindExplain)
 }
 
 func (s *Service) serve(w http.ResponseWriter, r *http.Request, kind Kind) {
@@ -111,6 +120,8 @@ func statsTable(st Stats) *harness.Table {
 		Notes: []string{
 			fmt.Sprintf("cache %d/%d entries, hit rate %.1f%%, %d workers",
 				st.CacheLen, st.CacheCap, 100*st.HitRate(), st.Workers),
+			fmt.Sprintf("uptime %.0fs, peak in-flight %d, peak queue depth %d",
+				st.UptimeSeconds, st.PeakInFlight, st.PeakQueueDepth),
 			fmt.Sprintf("lint: %d requests, %d diagnostics",
 				st.LintRequests, st.LintDiagnostics),
 			fmt.Sprintf("engine: %d resolutions, %d subgoals, %d answers, %d producer runs, %d table bytes",

@@ -16,7 +16,9 @@ var routePatterns = []string{
 	"POST /v1/analyze/{kind}",
 	"POST /v1/lint",
 	"POST /v1/query",
+	"POST /v1/explain",
 	"GET /v1/stats",
+	"GET /debug/tables",
 	"GET /metrics",
 }
 
@@ -55,6 +57,9 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pw.Gauge("xlpd_workers", "Worker-pool size.", float64(st.Workers))
 	pw.Gauge("xlpd_cache_entries", "Result-cache entries.", float64(st.CacheLen))
 	pw.Gauge("xlpd_cache_capacity", "Result-cache capacity.", float64(st.CacheCap))
+	pw.Gauge("xlpd_uptime_seconds", "Seconds since the service started.", st.UptimeSeconds)
+	pw.Gauge("xlpd_in_flight_peak", "High-water mark of concurrently executing requests.", float64(st.PeakInFlight))
+	pw.Gauge("xlpd_queue_depth_peak", "High-water mark of the request queue depth.", float64(st.PeakQueueDepth))
 
 	phase := func(name string, us int64) {
 		pw.Counter("xlpd_phase_seconds_total",
@@ -78,6 +83,13 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	eng("call_bytes_total", "Table space charged to call-table keys across executed runs.", st.Engine.CallBytes)
 	eng("answer_bytes_total", "Table space charged to answer-table keys across executed runs.", st.Engine.AnswerBytes)
 	eng("table_nodes_total", "Table-trie nodes allocated across executed runs.", st.Engine.TableNodes)
+	eng("provenance_bytes_total", "Space charged to justification records across executed runs.", st.Engine.ProvenanceBytes)
+	pw.Counter("xlpd_preds_compiled_total",
+		"Predicates translated to closure code across executed runs (ModeClosure).",
+		float64(st.Engine.PredsCompiled))
+	pw.Counter("xlpd_compile_seconds_total",
+		"Time spent translating predicates to closure code across executed runs.",
+		float64(st.Engine.CompileNanos)/1e9)
 	pw.Gauge("xlpd_interned_symbols", "Interned atom/functor symbols in the process-wide table.", float64(term.InternedSyms()))
 
 	for _, k := range Kinds() {

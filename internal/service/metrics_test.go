@@ -186,6 +186,68 @@ func TestMetricsExposition(t *testing.T) {
 	}
 }
 
+// TestMetricsCompileAndUptime drives a closure-mode request (which
+// compiles predicates) and an explain request (which records
+// provenance), then checks the new counters and gauges survive the
+// strict exposition parser with the expected values.
+func TestMetricsCompileAndUptime(t *testing.T) {
+	s := newTestService(t, Config{Workers: 2, QueueSize: 8})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	body := fmt.Sprintf(`{"source": %q, "options": {"mode": "closure"}}`, metricsSrc)
+	resp, err := http.Post(srv.URL+"/v1/analyze/groundness", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("closure analyze status %d", resp.StatusCode)
+	}
+	eresp, err := http.Post(srv.URL+"/v1/explain", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"source": %q, "options": {"pred": "path/2"}}`, metricsSrc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, eresp.Body) //nolint:errcheck
+	eresp.Body.Close()
+	if eresp.StatusCode != http.StatusOK {
+		t.Fatalf("explain status %d", eresp.StatusCode)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	samples := parseProm(t, string(raw))
+
+	if got, ok := findSample(samples, "xlpd_preds_compiled_total", nil); !ok || got.value <= 0 {
+		t.Fatalf("xlpd_preds_compiled_total = %+v (found %v), want > 0", got, ok)
+	}
+	if got, ok := findSample(samples, "xlpd_compile_seconds_total", nil); !ok || got.value <= 0 {
+		t.Fatalf("xlpd_compile_seconds_total = %+v (found %v), want > 0", got, ok)
+	}
+	if got, ok := findSample(samples, "xlpd_engine_provenance_bytes_total", nil); !ok || got.value <= 0 {
+		t.Fatalf("xlpd_engine_provenance_bytes_total = %+v (found %v), want > 0", got, ok)
+	}
+	if got, ok := findSample(samples, "xlpd_uptime_seconds", nil); !ok || got.value <= 0 {
+		t.Fatalf("xlpd_uptime_seconds = %+v (found %v), want > 0", got, ok)
+	}
+	if got, ok := findSample(samples, "xlpd_in_flight_peak", nil); !ok || got.value < 1 {
+		t.Fatalf("xlpd_in_flight_peak = %+v (found %v), want >= 1", got, ok)
+	}
+	if _, ok := findSample(samples, "xlpd_queue_depth_peak", nil); !ok {
+		t.Fatal("xlpd_queue_depth_peak missing")
+	}
+	if got, ok := findSample(samples, "xlpd_http_request_duration_seconds_count",
+		map[string]string{"route": "POST /v1/explain"}); !ok || got.value != 1 {
+		t.Fatalf("explain route latency count = %+v (found %v), want 1", got, ok)
+	}
+}
+
 // TestMetricsStatsEndpointBuildInfo checks /v1/stats carries the engine
 // aggregates and build info.
 func TestMetricsStatsEndpointBuildInfo(t *testing.T) {

@@ -1,0 +1,71 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// RequestIDHeader is the HTTP header that carries the request
+// correlation ID. Incoming values are propagated; absent ones are
+// generated. The response always echoes the ID so clients can quote it
+// when reporting a problem, and every log line the request produces
+// carries it as the "req" attribute.
+const RequestIDHeader = "X-Request-ID"
+
+// reqIDKey is the context key for the request ID (unexported type so
+// foreign packages cannot collide).
+type reqIDKey struct{}
+
+// WithRequestID returns a context carrying the request correlation ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestID returns the context's request correlation ID, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
+// reqSeq numbers requests that arrive without an ID through a non-HTTP
+// path (direct Do calls), so log lines still correlate.
+var reqSeq atomic.Uint64
+
+// newRequestID returns a fresh 16-hex-digit random ID, falling back to
+// a process-local sequence if the random source fails.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("local-%d", reqSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ensureRequestID returns a context that definitely carries a request
+// ID, plus the ID.
+func ensureRequestID(ctx context.Context) (context.Context, string) {
+	if id := RequestID(ctx); id != "" {
+		return ctx, id
+	}
+	id := newRequestID()
+	return WithRequestID(ctx, id), id
+}
+
+// RequestIDMiddleware wraps an HTTP handler with request correlation:
+// it propagates an incoming X-Request-ID (or generates one), stores it
+// in the request context for the service's structured logs, and echoes
+// it on the response.
+func RequestIDMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" || len(id) > 128 {
+			id = newRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		next.ServeHTTP(w, r.WithContext(WithRequestID(r.Context(), id)))
+	})
+}

@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +51,11 @@ type Config struct {
 	// /metrics (set from -ldflags "-X main.version=..."). Empty uses the
 	// module version embedded by the Go toolchain.
 	Version string
+	// Logger receives the service's structured request logs (accepted,
+	// cache hit, dedup join, execution start/finish with engine
+	// counters), each line carrying the request correlation ID as "req".
+	// Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +117,13 @@ type Stats struct {
 	CacheLen   int `json:"cache_len"`
 	CacheCap   int `json:"cache_cap"`
 
+	// UptimeSeconds is the time since New; PeakInFlight and
+	// PeakQueueDepth are high-water marks of the matching gauges over
+	// that window (capacity-planning view of the pool and queue).
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	PeakInFlight   int     `json:"peak_in_flight"`
+	PeakQueueDepth int     `json:"peak_queue_depth"`
+
 	// Cumulative phase timings over executed analyses (the paper's
 	// preprocess / analysis / collection breakdown).
 	PreprocUs    int64 `json:"preproc_us"`
@@ -133,10 +148,13 @@ func (s Stats) HitRate() float64 {
 // Service is the concurrent analysis front end. Create with New, run
 // requests with Do (or over HTTP via Handler), stop with Shutdown.
 type Service struct {
-	cfg   Config
-	jobs  chan *job
-	wg    sync.WaitGroup
-	cache *lruCache
+	cfg    Config
+	logger *slog.Logger
+	jobs   chan *job
+	wg     sync.WaitGroup
+	cache  *lruCache
+	start  time.Time
+	debug  *tablesRegistry // /debug/tables live table watches
 
 	mu       sync.Mutex // guards closed and inflight, and serializes submit vs Shutdown
 	closed   bool
@@ -145,12 +163,14 @@ type Service struct {
 	requests, hits, misses, deduped, executed, failures atomic.Uint64
 	lintRequests, lintDiagnostics                       atomic.Uint64
 	inFlightN                                           atomic.Int64
+	peakInFlight, peakQueueDepth                        atomic.Int64
 	preprocUs, analysisUs, collectionUs                 atomic.Int64
 
 	// Engine-counter aggregates over executed runs (see Stats.Engine).
 	engResolutions, engBuiltinCalls, engSubgoals, engAnswers atomic.Int64
 	engProducerRuns, engProducerPasses, engTableBytes        atomic.Int64
 	engCallBytes, engAnswerBytes, engTableNodes              atomic.Int64
+	engPredsCompiled, engCompileNanos, engProvenanceBytes    atomic.Int64
 
 	// latency holds one request-duration histogram per kind; routes
 	// holds one per HTTP route. Both maps are fixed at New and only read
@@ -162,10 +182,17 @@ type Service struct {
 // New starts a service with cfg's worker pool.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Service{
 		cfg:      cfg,
+		logger:   logger,
 		jobs:     make(chan *job, cfg.QueueSize),
 		cache:    newLRU(cfg.CacheSize),
+		start:    time.Now(),
+		debug:    newTablesRegistry(),
 		inflight: map[string]*flight{},
 		latency:  map[Kind]*obs.Histogram{},
 		routes:   map[string]*obs.Histogram{},
@@ -199,20 +226,26 @@ func (s *Service) Stats() Stats {
 		Workers:         s.cfg.Workers,
 		CacheLen:        s.cache.Len(),
 		CacheCap:        s.cfg.CacheSize,
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		PeakInFlight:    int(s.peakInFlight.Load()),
+		PeakQueueDepth:  int(s.peakQueueDepth.Load()),
 		PreprocUs:       s.preprocUs.Load(),
 		AnalysisUs:      s.analysisUs.Load(),
 		CollectionUs:    s.collectionUs.Load(),
 		Engine: EngineReport{
-			Resolutions:    s.engResolutions.Load(),
-			BuiltinCalls:   s.engBuiltinCalls.Load(),
-			Subgoals:       s.engSubgoals.Load(),
-			Answers:        s.engAnswers.Load(),
-			ProducerRuns:   s.engProducerRuns.Load(),
-			ProducerPasses: s.engProducerPasses.Load(),
-			TableBytes:     s.engTableBytes.Load(),
-			CallBytes:      s.engCallBytes.Load(),
-			AnswerBytes:    s.engAnswerBytes.Load(),
-			TableNodes:     s.engTableNodes.Load(),
+			Resolutions:     s.engResolutions.Load(),
+			BuiltinCalls:    s.engBuiltinCalls.Load(),
+			Subgoals:        s.engSubgoals.Load(),
+			Answers:         s.engAnswers.Load(),
+			ProducerRuns:    s.engProducerRuns.Load(),
+			ProducerPasses:  s.engProducerPasses.Load(),
+			TableBytes:      s.engTableBytes.Load(),
+			CallBytes:       s.engCallBytes.Load(),
+			AnswerBytes:     s.engAnswerBytes.Load(),
+			TableNodes:      s.engTableNodes.Load(),
+			PredsCompiled:   s.engPredsCompiled.Load(),
+			CompileNanos:    s.engCompileNanos.Load(),
+			ProvenanceBytes: s.engProvenanceBytes.Load(),
 		},
 	}
 }
@@ -263,6 +296,9 @@ func (s *Service) Do(ctx context.Context, req *Request) (*Response, error) {
 		return nil, ErrClosed
 	}
 	s.requests.Add(1)
+	ctx, reqID := ensureRequestID(ctx)
+	s.logger.Info("request accepted",
+		"req", reqID, "kind", req.Kind, "source_bytes", len(req.Source))
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMs > 0 {
@@ -277,6 +313,7 @@ func (s *Service) Do(ctx context.Context, req *Request) (*Response, error) {
 	key := req.CacheKey()
 	if resp, ok := s.cache.Get(key); ok {
 		s.hits.Add(1)
+		s.logger.Info("cache hit", "req", reqID, "kind", req.Kind, "key", key[:12])
 		hit := resp.shallowCopy()
 		hit.Cached = true
 		return hit, nil
@@ -291,6 +328,7 @@ func (s *Service) Do(ctx context.Context, req *Request) (*Response, error) {
 		// An identical request is already queued or running: join it.
 		s.mu.Unlock()
 		s.deduped.Add(1)
+		s.logger.Info("joined in-flight computation", "req", reqID, "kind", req.Kind, "key", key[:12])
 		resp, err := s.wait(ctx, f)
 		if err != nil {
 			return nil, err
@@ -309,11 +347,23 @@ func (s *Service) Do(ctx context.Context, req *Request) (*Response, error) {
 		s.mu.Unlock()
 		f.err = ErrQueueFull
 		close(f.done)
+		s.logger.Warn("queue full", "req", reqID, "kind", req.Kind)
 		return nil, ErrQueueFull
 	}
 	s.mu.Unlock()
+	updateMax(&s.peakQueueDepth, int64(len(s.jobs)))
 	s.misses.Add(1)
 	return s.wait(ctx, f)
+}
+
+// updateMax raises a high-water mark to v if v exceeds it.
+func updateMax(mark *atomic.Int64, v int64) {
+	for {
+		cur := mark.Load()
+		if v <= cur || mark.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // wait blocks until the flight resolves or ctx ends. The flight always
@@ -341,7 +391,7 @@ func (s *Service) wait(ctx context.Context, f *flight) (*Response, error) {
 func (s *Service) worker() {
 	defer s.wg.Done()
 	for j := range s.jobs {
-		s.inFlightN.Add(1)
+		updateMax(&s.peakInFlight, s.inFlightN.Add(1))
 		resp, err := s.run(j)
 
 		s.mu.Lock()
@@ -356,20 +406,44 @@ func (s *Service) worker() {
 	}
 }
 
+// kindRunsEngine reports whether a kind evaluates on the tabled engine
+// (and so produces tracer events for /debug/tables).
+func kindRunsEngine(k Kind) bool {
+	switch k {
+	case KindGroundness, KindStrictness, KindDepthK, KindQuery, KindExplain:
+		return true
+	}
+	return false
+}
+
 // run executes one job unless its context already expired in the queue.
 func (s *Service) run(j *job) (*Response, error) {
 	if err := engine.CtxErr(j.ctx); err != nil {
 		return nil, err
 	}
 	s.executed.Add(1)
-	resp, err := execute(j.ctx, j.req)
+	reqID := RequestID(j.ctx)
+	var tracer obs.EngineTracer
+	if kindRunsEngine(j.req.Kind) {
+		// Register the run with /debug/tables; the watch doubles as the
+		// engine tracer so scrapes see the tables grow live.
+		watch := s.debug.start(reqID, j.req.Kind)
+		tracer = watch
+		defer s.debug.finish(watch)
+	}
+	s.logger.Info("executing", "req", reqID, "kind", j.req.Kind)
+	t0 := time.Now()
+	resp, err := execute(j.ctx, j.req, tracer)
 	if err != nil {
 		s.failures.Add(1)
+		s.logger.Warn("execution failed",
+			"req", reqID, "kind", j.req.Kind, "dur_ms", time.Since(t0).Milliseconds(), "err", err)
 		return nil, err
 	}
 	s.preprocUs.Add(resp.Timings.PreprocUs)
 	s.analysisUs.Add(resp.Timings.AnalysisUs)
 	s.collectionUs.Add(resp.Timings.CollectionUs)
+	done := []any{"req", reqID, "kind", j.req.Kind, "dur_ms", time.Since(t0).Milliseconds()}
 	if e := resp.Engine; e != nil {
 		s.engResolutions.Add(e.Resolutions)
 		s.engBuiltinCalls.Add(e.BuiltinCalls)
@@ -381,16 +455,25 @@ func (s *Service) run(j *job) (*Response, error) {
 		s.engCallBytes.Add(e.CallBytes)
 		s.engAnswerBytes.Add(e.AnswerBytes)
 		s.engTableNodes.Add(e.TableNodes)
+		s.engPredsCompiled.Add(e.PredsCompiled)
+		s.engCompileNanos.Add(e.CompileNanos)
+		s.engProvenanceBytes.Add(e.ProvenanceBytes)
+		done = append(done,
+			"resolutions", e.Resolutions, "subgoals", e.Subgoals,
+			"answers", e.Answers, "table_bytes", e.TableBytes)
 	}
 	if j.req.Kind == KindLint || (j.req.Options.Lint && j.req.Kind != KindQuery) {
 		s.lintRequests.Add(1)
 		s.lintDiagnostics.Add(uint64(len(resp.Diagnostics)))
 	}
+	s.logger.Info("executed", done...)
 	return resp, nil
 }
 
 // execute dispatches a validated request to its analyzer under ctx.
-func execute(ctx context.Context, req *Request) (*Response, error) {
+// tracer, when non-nil, is installed on the engine behind tabled kinds
+// (the /debug/tables live watch).
+func execute(ctx context.Context, req *Request, tracer obs.EngineTracer) (*Response, error) {
 	o := req.Options
 	var resp *Response
 	switch req.Kind {
@@ -402,6 +485,7 @@ func execute(ctx context.Context, req *Request) (*Response, error) {
 			Slice:  o.Slice,
 			Limits: o.engineLimits(),
 			Ctx:    ctx,
+			Tracer: tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -428,6 +512,7 @@ func execute(ctx context.Context, req *Request) (*Response, error) {
 			Limits:          o.engineLimits(),
 			NoSupplementary: o.NoSupplementary,
 			Ctx:             ctx,
+			Tracer:          tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -443,13 +528,16 @@ func execute(ctx context.Context, req *Request) (*Response, error) {
 			Limits:          o.engineLimits(),
 			NoSupplementary: o.NoSupplementary,
 			Ctx:             ctx,
+			Tracer:          tracer,
 		})
 		if err != nil {
 			return nil, err
 		}
 		resp = FromDepthK(a)
 	case KindQuery:
-		return executeQuery(ctx, req)
+		return executeQuery(ctx, req, tracer)
+	case KindExplain:
+		return executeExplain(ctx, req, tracer)
 	case KindLint:
 		t0 := time.Now()
 		resp = FromLint(runLint(req.Source, req.canonicalOptions()))
@@ -465,9 +553,99 @@ func execute(ctx context.Context, req *Request) (*Response, error) {
 	return resp, nil
 }
 
+// executeExplain runs a provenance-enabled analysis (groundness, or
+// strictness when options.lang is "fl") and returns the justification
+// DAG of the requested predicate's recorded answers.
+func executeExplain(ctx context.Context, req *Request, tracer obs.EngineTracer) (*Response, error) {
+	o := req.Options
+	var explain func(pred string, maxNodes int) (*obs.Derivation, error)
+	var preds []string
+	resp := &Response{Kind: KindExplain}
+	if o.Lang == "fl" {
+		a, err := strict.Analyze(req.Source, strict.Options{
+			Mode:       o.engineMode(),
+			Tables:     o.engineTables(),
+			Entry:      o.Entry,
+			Limits:     o.engineLimits(),
+			Ctx:        ctx,
+			Tracer:     tracer,
+			Provenance: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		explain = a.Explain
+		preds = sortedPreds(a.SpPreds)
+		resp.Timings = analysisTimings(a.PreprocTime, a.AnalysisTime, a.CollectionTime)
+		resp.TableBytes = a.TableBytes
+		resp.Engine = engineReport(a.EngineStats)
+	} else {
+		a, err := prop.Analyze(req.Source, prop.Options{
+			Mode:       o.engineMode(),
+			Tables:     o.engineTables(),
+			Entry:      o.Entry,
+			Limits:     o.engineLimits(),
+			Ctx:        ctx,
+			Tracer:     tracer,
+			Provenance: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		explain = a.Explain
+		preds = sortedPreds(a.AbsPreds)
+		resp.Timings = analysisTimings(a.PreprocTime, a.AnalysisTime, a.CollectionTime)
+		resp.TableBytes = a.TableBytes
+		resp.Engine = engineReport(a.EngineStats)
+	}
+
+	if o.Pred != "" {
+		d, err := explain(o.Pred, o.MaxNodes)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		resp.Derivation = d
+		return resp, nil
+	}
+	// No predicate requested: explain the first one (in indicator
+	// order) that recorded any answer.
+	for _, p := range preds {
+		d, err := explain(p, o.MaxNodes)
+		if err != nil {
+			return nil, err
+		}
+		if len(d.Roots) > 0 {
+			resp.Derivation = d
+			return resp, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: no predicate recorded any answer", ErrBadRequest)
+}
+
+// sortedPreds returns the source indicators of an analysis' predicate
+// map in order.
+func sortedPreds(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// analysisTimings folds an analysis' phase durations to wire form.
+func analysisTimings(preproc, analysis, collection time.Duration) Timings {
+	return Timings{
+		PreprocUs:    preproc.Microseconds(),
+		AnalysisUs:   analysis.Microseconds(),
+		CollectionUs: collection.Microseconds(),
+		TotalUs:      (preproc + analysis + collection).Microseconds(),
+	}
+}
+
 // executeQuery consults the program on a fresh machine and runs the
 // goal, returning every solution in derivation order.
-func executeQuery(ctx context.Context, req *Request) (*Response, error) {
+func executeQuery(ctx context.Context, req *Request, tracer obs.EngineTracer) (*Response, error) {
 	o := req.Options
 	t0 := time.Now()
 	m := engine.New()
@@ -475,6 +653,7 @@ func executeQuery(ctx context.Context, req *Request) (*Response, error) {
 	m.Tables = o.engineTables()
 	m.Limits = o.engineLimits()
 	m.SetContext(ctx)
+	m.SetTracer(tracer)
 	if err := m.Consult(req.Source); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}

@@ -59,7 +59,7 @@ func normalize(r *Response) *Response {
 // service, via the same wire-form builders.
 func directResponse(t *testing.T, req *Request) *Response {
 	t.Helper()
-	resp, err := execute(context.Background(), req)
+	resp, err := execute(context.Background(), req, nil)
 	if err != nil {
 		t.Fatalf("direct %s: %v", req.Kind, err)
 	}
@@ -285,13 +285,17 @@ func TestSingleFlight(t *testing.T) {
 // TestQueueFull checks the bounded queue fails fast when saturated.
 func TestQueueFull(t *testing.T) {
 	s := newTestService(t, Config{Workers: 1, QueueSize: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	unique := func(i int) *Request {
-		// Distinct sources: distinct cache keys, so no dedup.
+		// Distinct sources: distinct cache keys, so no dedup. The long
+		// deadline keeps the pool saturated until the test cancels ctx;
+		// the occupying requests never run to it.
 		return &Request{
 			Kind:      KindQuery,
 			Source:    fmt.Sprintf("%s\nmark(%d).", divergentSrc, i),
 			Options:   Options{Goal: "slow"},
-			TimeoutMs: 300,
+			TimeoutMs: 10000,
 		}
 	}
 	var wg sync.WaitGroup
@@ -300,22 +304,28 @@ func TestQueueFull(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			s.Do(context.Background(), unique(i)) //nolint:errcheck // times out by design
+			s.Do(ctx, unique(i)) //nolint:errcheck // canceled by the test
 		}(i)
 	}
 	// Wait until both are owned by the pool (one running, one queued).
-	deadline := time.Now().Add(2 * time.Second)
+	deadline := time.Now().Add(5 * time.Second)
+	saturated := false
 	for time.Now().Before(deadline) {
 		st := s.Stats()
 		if st.InFlight == 1 && st.QueueDepth == 1 {
+			saturated = true
 			break
 		}
 		time.Sleep(2 * time.Millisecond)
+	}
+	if !saturated {
+		t.Fatal("pool never reached one running + one queued request")
 	}
 	_, err := s.Do(context.Background(), unique(2))
 	if !errors.Is(err, ErrQueueFull) {
 		t.Errorf("want ErrQueueFull, got %v", err)
 	}
+	cancel()
 	wg.Wait()
 }
 

@@ -23,6 +23,7 @@ import (
 	"xlp/internal/engine"
 	"xlp/internal/gaia"
 	"xlp/internal/lint"
+	"xlp/internal/obs"
 	"xlp/internal/prop"
 	"xlp/internal/strict"
 	"xlp/internal/term"
@@ -39,11 +40,12 @@ const (
 	KindDepthK     Kind = "depthk"     // depth-k groundness
 	KindQuery      Kind = "query"      // raw tabled query
 	KindLint       Kind = "lint"       // object-program linter (no evaluation)
+	KindExplain    Kind = "explain"    // answer provenance (justification DAG)
 )
 
 // Kinds lists every valid request kind, analysis kinds first.
 func Kinds() []Kind {
-	return []Kind{KindGroundness, KindGAIA, KindBDD, KindStrictness, KindDepthK, KindQuery, KindLint}
+	return []Kind{KindGroundness, KindGAIA, KindBDD, KindStrictness, KindDepthK, KindQuery, KindLint, KindExplain}
 }
 
 // Valid reports whether k names a known analyzer.
@@ -86,6 +88,13 @@ type Options struct {
 	NoSupplementary bool `json:"no_supplementary,omitempty"`
 	// Goal is the query goal (kind "query" only).
 	Goal string `json:"goal,omitempty"`
+	// Pred names the predicate to explain (kind "explain" only):
+	// "p/n" or a bare name. Empty explains the first predicate (in
+	// indicator order) that recorded any answer.
+	Pred string `json:"pred,omitempty"`
+	// MaxNodes caps the derivation graph returned by an explain request
+	// (0 = obs.DefaultDerivationNodes).
+	MaxNodes int `json:"max_nodes,omitempty"`
 	// Table lists predicate indicators ("p/2") to table for a query, in
 	// addition to any ':- table' directives in the source.
 	Table []string `json:"table,omitempty"`
@@ -135,6 +144,9 @@ func (r *Request) Validate() error {
 	if r.TimeoutMs < 0 {
 		return fmt.Errorf("%w: negative timeout", ErrBadRequest)
 	}
+	if r.Options.MaxNodes < 0 {
+		return fmt.Errorf("%w: negative max_nodes", ErrBadRequest)
+	}
 	return nil
 }
 
@@ -154,6 +166,7 @@ func (r *Request) canonicalOptions() Options {
 	switch r.Kind {
 	case KindGroundness:
 		o.K, o.NoSupplementary, o.Goal, o.Table, o.Lang = 0, false, "", nil, ""
+		o.Pred, o.MaxNodes = "", 0
 	case KindGAIA:
 		// Entry restricts the interpreter to the reachable cone; no
 		// engine options apply.
@@ -163,19 +176,33 @@ func (r *Request) canonicalOptions() Options {
 		o = Options{Mode: "dynamic", Lint: o.Lint}
 	case KindStrictness:
 		o.K, o.Goal, o.Table, o.Lang = 0, "", nil, ""
+		o.Pred, o.MaxNodes = "", 0
 	case KindDepthK:
 		if o.K <= 0 {
 			o.K = 2
 		}
 		o.Goal, o.Table, o.Lang = "", nil, ""
+		o.Pred, o.MaxNodes = "", 0
 	case KindQuery:
 		o.K, o.Entry, o.NoSupplementary, o.Slice, o.Lint, o.Lang = 0, nil, false, false, false, ""
+		o.Pred, o.MaxNodes = "", 0
 		sort.Strings(o.Table)
 	case KindLint:
 		if o.Lang == "" {
 			o.Lang = "prolog"
 		}
 		o = Options{Mode: "dynamic", Lang: o.Lang, Entry: o.Entry}
+	case KindExplain:
+		// Pred and MaxNodes legitimately split the cache: different
+		// predicates (and different caps) yield different derivations.
+		// Lang selects the underlying analysis (prolog -> groundness,
+		// fl -> strictness); the kind itself already keeps explain
+		// responses apart from plain analyze responses of the same
+		// source.
+		if o.Lang == "" {
+			o.Lang = "prolog"
+		}
+		o.K, o.NoSupplementary, o.Goal, o.Table, o.Lint = 0, false, "", nil, false
 	}
 	// Slicing never changes results, only cost: a sliced and an unsliced
 	// run of the same request share one cache entry.
@@ -255,20 +282,30 @@ type EngineReport struct {
 	// TableNodes counts trie nodes backing the tables (0 under the
 	// canonical-string-map representation).
 	TableNodes int64 `json:"table_nodes"`
+	// PredsCompiled and CompileNanos account closure compilation
+	// (ModeClosure runs only).
+	PredsCompiled int64 `json:"preds_compiled,omitempty"`
+	CompileNanos  int64 `json:"compile_nanos,omitempty"`
+	// ProvenanceBytes is the space charged to justification records
+	// (provenance-enabled runs only).
+	ProvenanceBytes int64 `json:"provenance_bytes,omitempty"`
 }
 
 func engineReport(st engine.Stats) *EngineReport {
 	return &EngineReport{
-		Resolutions:    int64(st.Resolutions),
-		BuiltinCalls:   int64(st.BuiltinCalls),
-		Subgoals:       int64(st.Subgoals),
-		Answers:        int64(st.Answers),
-		ProducerRuns:   int64(st.ProducerRuns),
-		ProducerPasses: int64(st.ProducerPasses),
-		TableBytes:     int64(st.TableBytes),
-		CallBytes:      int64(st.CallBytes),
-		AnswerBytes:    int64(st.AnswerBytes),
-		TableNodes:     int64(st.TableNodes),
+		Resolutions:     int64(st.Resolutions),
+		BuiltinCalls:    int64(st.BuiltinCalls),
+		Subgoals:        int64(st.Subgoals),
+		Answers:         int64(st.Answers),
+		ProducerRuns:    int64(st.ProducerRuns),
+		ProducerPasses:  int64(st.ProducerPasses),
+		TableBytes:      int64(st.TableBytes),
+		CallBytes:       int64(st.CallBytes),
+		AnswerBytes:     int64(st.AnswerBytes),
+		TableNodes:      int64(st.TableNodes),
+		PredsCompiled:   int64(st.PredsCompiled),
+		CompileNanos:    st.CompileNanos,
+		ProvenanceBytes: int64(st.ProvenanceBytes),
 	}
 }
 
@@ -317,6 +354,9 @@ type Response struct {
 	Diagnostics []lint.Diagnostic `json:"diagnostics,omitempty"`
 	// LintErrors counts the error-severity diagnostics.
 	LintErrors int `json:"lint_errors,omitempty"`
+	// Derivation is the justification DAG of the explained predicate's
+	// recorded answers (kind "explain" only).
+	Derivation *obs.Derivation `json:"derivation,omitempty"`
 }
 
 // shallowCopy returns a copy whose flags can be set without mutating

@@ -102,6 +102,13 @@ type Options struct {
 	// Tracer, when non-nil, is installed on the engine for the solve
 	// phase.
 	Tracer obs.EngineTracer
+	// Provenance enables the engine's justification recorder and
+	// retains the machine on the returned Analysis (Analysis.Machine),
+	// so recorded answers can be explained after the run
+	// (Analysis.Explain, `xlp why`). The strictness transform generates
+	// its abstract clauses, so derivations cite clause indexes without
+	// source positions.
+	Provenance bool
 }
 
 // FuncResult is the strictness result for one function.
@@ -148,6 +155,47 @@ type Analysis struct {
 	EngineStats    engine.Stats
 	Timeline       *obs.Timeline // phase spans, when requested via Options
 	SourceLines    int
+
+	// Machine is the engine that ran the analysis, retained — with its
+	// full tables alive — only when Options.Provenance was set; nil
+	// otherwise. SpPreds maps source indicators (f/n) to the abstract
+	// sp predicates (sp_f/n+1) backing them.
+	Machine *engine.Machine
+	SpPreds map[string]string
+}
+
+// Explain builds the justification DAG for the recorded answers of a
+// function's abstract sp predicate (both demands). pred is an
+// indicator ("ap/2") or a bare name (matching the smallest arity). The
+// analysis must have run with Options.Provenance.
+func (a *Analysis) Explain(pred string, maxNodes int) (*obs.Derivation, error) {
+	if a.Machine == nil {
+		return nil, fmt.Errorf("strict: analysis ran without Options.Provenance")
+	}
+	sp, ok := a.SpPreds[pred]
+	if !ok {
+		inds := make([]string, 0, len(a.SpPreds))
+		for ind := range a.SpPreds {
+			if name, _ := splitInd(ind); name == pred {
+				inds = append(inds, ind)
+			}
+		}
+		if len(inds) == 0 {
+			return nil, fmt.Errorf("strict: no function %s in the analyzed program", pred)
+		}
+		sort.Slice(inds, func(i, j int) bool {
+			_, ni := splitInd(inds[i])
+			_, nj := splitInd(inds[j])
+			return ni < nj
+		})
+		sp = a.SpPreds[inds[0]]
+	}
+	name, arity := splitInd(sp)
+	args := make([]term.Term, arity)
+	for i := range args {
+		args[i] = term.NewVar("V")
+	}
+	return a.Machine.Explain(term.NewCompound(name, args...), maxNodes)
 }
 
 // Total returns the overall time.
@@ -207,6 +255,7 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 	m.Mode = opts.Mode
 	m.Tables = opts.Tables
 	m.Limits = opts.Limits
+	m.Provenance = opts.Provenance
 	m.SetContext(opts.Ctx)
 	m.SetTracer(opts.Tracer)
 	RegisterDemandOps(m)
@@ -225,6 +274,10 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 	}
 	m.Table(extraTabled...)
 	a.SourceLines = prog.Lines
+	if opts.Provenance {
+		a.Machine = m
+		a.SpPreds = tf.SpPreds
+	}
 	a.PreprocTime = time.Since(t0)
 
 	// ---- Phase 2: analysis (evaluate sp_f under e- and d-demands). ----

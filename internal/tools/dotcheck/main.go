@@ -1,0 +1,103 @@
+// Command dotcheck is the `make explain-smoke` driver: it runs `xlp
+// why -format dot` over every corpus benchmark under both the clause
+// interpreter and the closure compiler, and validates that each output
+// is a well-formed derivation graph — a digraph with at least one node,
+// balanced braces, and no edge referencing an undeclared node. It
+// exercises the same path a user hits with
+//
+//	xlp why -bench qsort -format dot | dot -Tsvg
+//
+// without needing Graphviz installed.
+//
+// Usage: go run ./internal/tools/dotcheck -xlp <path-to-xlp-binary>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+
+	"xlp/internal/corpus"
+)
+
+var (
+	nodeRe = regexp.MustCompile(`^\s*(\w+)\s*\[label=`)
+	edgeRe = regexp.MustCompile(`^\s*(\w+)\s*->\s*(\w+)\s*;`)
+)
+
+// checkDOT validates one rendered derivation graph.
+func checkDOT(out string) error {
+	lines := strings.Split(out, "\n")
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], "digraph") {
+		return fmt.Errorf("output does not start with a digraph header")
+	}
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		return fmt.Errorf("unbalanced braces")
+	}
+	nodes := map[string]bool{}
+	edges := 0
+	for _, ln := range lines {
+		if m := nodeRe.FindStringSubmatch(ln); m != nil && m[1] != "node" {
+			nodes[m[1]] = true
+			continue
+		}
+		if m := edgeRe.FindStringSubmatch(ln); m != nil {
+			edges++
+			for _, end := range m[1:] {
+				if !nodes[end] {
+					return fmt.Errorf("edge references undeclared node %q", end)
+				}
+			}
+		}
+	}
+	if len(nodes) == 0 {
+		return fmt.Errorf("no derivation nodes (empty graph)")
+	}
+	return nil
+}
+
+func main() {
+	xlp := flag.String("xlp", "bin/xlp", "path to the xlp binary")
+	flag.Parse()
+
+	var names []string
+	for _, p := range corpus.LogicPrograms() {
+		names = append(names, p.Name)
+	}
+	for _, p := range corpus.FuncPrograms() {
+		names = append(names, p.Name)
+	}
+
+	failures := 0
+	checked := 0
+	for _, name := range names {
+		for _, mode := range []string{"dynamic", "closure"} {
+			cmd := exec.Command(*xlp, "why", "-bench", name, "-mode", mode, "-format", "dot")
+			out, err := cmd.Output()
+			if err != nil {
+				msg := err.Error()
+				if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+					msg = strings.TrimSpace(string(ee.Stderr))
+				}
+				fmt.Fprintf(os.Stderr, "FAIL %s (%s): %s\n", name, mode, msg)
+				failures++
+				continue
+			}
+			if err := checkDOT(string(out)); err != nil {
+				fmt.Fprintf(os.Stderr, "FAIL %s (%s): %v\n", name, mode, err)
+				failures++
+				continue
+			}
+			checked++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "explain-smoke: %d of %d runs failed\n", failures, failures+checked)
+		os.Exit(1)
+	}
+	fmt.Printf("explain-smoke: %d derivation graphs validated (%d programs x 2 modes)\n",
+		checked, len(names))
+}

@@ -254,3 +254,23 @@ func NewTrace(capacity int) *Trace { return obs.NewTrace(capacity) }
 // Build returns the binary's build information; a non-empty override
 // (an -ldflags -X version stamp) wins over the module version.
 func Build(override string) BuildInfo { return obs.Build(override) }
+
+// Answer provenance. With Provenance enabled on the analyzer options
+// (or Machine.Provenance set before solving), the engine records a
+// justification for every distinct tabled answer: the clause that first
+// produced it and the tabled premise answers that derivation consumed.
+// Derivation is the renderable DAG built from those records — the
+// `xlp why` CLI and the server's POST /v1/explain return it as text,
+// JSON, or Graphviz DOT.
+type (
+	// AnswerRef identifies one tabled answer by table coordinates
+	// (subgoal creation index, answer insertion index).
+	AnswerRef = engine.AnswerRef
+	// Just is the recorded justification of one tabled answer.
+	Just = engine.Just
+	// Derivation is a justification DAG over recorded answers, with
+	// WriteText, WriteJSON, and WriteDOT renderers.
+	Derivation = obs.Derivation
+	// DerivNode is one answer in a Derivation.
+	DerivNode = obs.DerivNode
+)

@@ -117,6 +117,32 @@ func TestFacadeBottomUp(t *testing.T) {
 	}
 }
 
+func TestFacadeProvenance(t *testing.T) {
+	a, err := AnalyzeGroundness(`
+		:- table path/2.
+		edge(a, b). edge(b, c).
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- edge(X, Z), path(Z, Y).
+	`, GroundnessOptions{Provenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d *Derivation
+	if d, err = a.Explain("path/2", 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Roots) == 0 || len(d.Nodes) == 0 {
+		t.Fatalf("empty derivation: %+v", d)
+	}
+	var sb strings.Builder
+	if err := d.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "digraph") {
+		t.Fatalf("not DOT output: %q", sb.String())
+	}
+}
+
 func TestFacadeErrorsSurface(t *testing.T) {
 	if _, err := AnalyzeGroundness("p(", GroundnessOptions{}); err == nil ||
 		!strings.Contains(err.Error(), "syntax") {
