@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet staticcheck build test race bench metrics bench-obs bench-difftest bench-check difftest fuzz-smoke explain-smoke serve
+.PHONY: ci fmt vet staticcheck build test race bench metrics bench-obs bench-difftest bench-check store soak-smoke soak difftest fuzz-smoke explain-smoke serve
 
-ci: fmt vet staticcheck build race metrics difftest fuzz-smoke explain-smoke bench-check
+ci: fmt vet staticcheck build race metrics store difftest fuzz-smoke explain-smoke soak-smoke bench-check
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -53,12 +53,35 @@ bench-difftest:
 
 # Bench-regression gates: BenchmarkSolveCorpus (full-corpus sweep under
 # both table representations) against the baseline in BENCH_engine.json,
-# and the provenance-off press1 run against the provenance section of
-# BENCH_obs.json (the recorder must cost nothing when disabled). Fails
-# on a >15% time/allocation regression or if trie tables lose their
-# >=20% allocation win. XLP_BENCH_WRITE=1 refreshes the baselines.
+# the provenance-off press1 run against the provenance section of
+# BENCH_obs.json (the recorder must cost nothing when disabled), and the
+# service's warm-hit and admission-shed paths against BENCH_service.json
+# (shedding must stay cheaper than serving a cache hit). Fails on a
+# regression past each gate's band or if trie tables lose their >=20%
+# allocation win. XLP_BENCH_WRITE=1 refreshes the baselines.
 bench-check:
-	XLP_BENCH_CHECK=1 $(GO) test -count=1 -run '^TestBenchRegressionGate$$|^TestProvenanceBenchGate$$' -v .
+	XLP_BENCH_CHECK=1 $(GO) test -count=1 -run '^TestBenchRegressionGate$$|^TestProvenanceBenchGate$$|^TestServiceBenchGate$$' -v .
+
+# Disk-backed result store: the codec/store unit tests plus the service
+# integration (warm restart, corrupt-entry-is-a-miss) under the race
+# detector.
+store:
+	$(GO) test -race ./internal/service/store
+	$(GO) test -race -run 'TestStore' ./internal/service
+
+# Race-clean soak gate: >=2k mixed requests at 8x GOMAXPROCS over one
+# disk store with restart and cancellation injection, asserting zero
+# non-sentinel outcomes, Retry-After on every shed, a >=90% warm hit
+# ratio across restarts, no goroutine leaks, and bounded heap growth.
+# soak-smoke is the CI-sized run; soak scales it up for longer runs
+# (override the XLP_SOAK_* knobs as needed).
+soak-smoke:
+	XLP_SOAK=1 $(GO) test -race -count=1 -run '^TestSoakSmoke$$' -v -timeout 20m ./internal/soak
+
+soak:
+	XLP_SOAK=1 XLP_SOAK_REQUESTS=$${XLP_SOAK_REQUESTS:-20000} \
+	XLP_SOAK_RESTARTS=$${XLP_SOAK_RESTARTS:-10} \
+	$(GO) test -race -count=1 -run '^TestSoakSmoke$$' -v -timeout 120m ./internal/soak
 
 # Explain-path smoke test: every corpus benchmark through `xlp why
 # -format dot` under both clause backends, each output validated as a
@@ -85,6 +108,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseFL$$' -fuzztime $(FUZZTIME) ./internal/fl
 	$(GO) test -run '^$$' -fuzz '^FuzzAnalyzeGroundness$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzCompileSolve$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzStoreDecode$$' -fuzztime $(FUZZTIME) ./internal/service/store
 
 serve:
 	$(GO) run ./cmd/xlpd

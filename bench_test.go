@@ -243,6 +243,67 @@ func BenchmarkServiceThroughput(b *testing.B) {
 	})
 }
 
+// BenchmarkServiceShedding measures admission control under sustained
+// overload. "admitted" is the control: the admission check plus a warm
+// cache hit, i.e. what a well-behaved client pays once per request when
+// rate limiting is on. "shed" drains the token bucket and then measures
+// the fast-fail path alone — under overload the service must do
+// strictly less work per rejected request than per served one, or
+// shedding would not shed load. The baselines live alongside the
+// throughput numbers in BENCH_service.json; TestServiceBenchGate
+// enforces them.
+func BenchmarkServiceShedding(b *testing.B) {
+	p, err := corpus.Get("qsort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &service.Request{Kind: service.KindGroundness, Source: p.Source}
+	ctx := context.Background()
+
+	b.Run("admitted", func(b *testing.B) {
+		s := service.New(service.Config{QueueSize: 1024, RateLimit: 1e9, RateBurst: 1 << 30})
+		defer s.Close()
+		if _, err := s.Do(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if ok, _ := s.Admit("bench"); !ok {
+				b.Fatal("shed under an effectively unbounded rate")
+			}
+			resp, err := s.Do(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !resp.Cached {
+				b.Fatal("warm request missed the cache")
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
+
+	b.Run("shed", func(b *testing.B) {
+		s := service.New(service.Config{QueueSize: 1024, RateLimit: 1e-9, RateBurst: 1})
+		defer s.Close()
+		for {
+			if ok, _ := s.Admit("bench"); !ok {
+				break
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ok, retry := s.Admit("bench")
+			if ok {
+				b.Fatal("bucket refilled mid-benchmark")
+			}
+			if retry <= 0 {
+				b.Fatal("shed without a retry hint")
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
+}
+
 // BenchmarkLint measures the object-program linter itself (call graph,
 // SCC condensation, full diagnostic set) over the two corpora; one op
 // lints every program of a corpus. The baseline is in BENCH_lint.json.

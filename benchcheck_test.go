@@ -20,6 +20,7 @@
 package xlp
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"os"
@@ -29,6 +30,7 @@ import (
 	"xlp/internal/corpus"
 	"xlp/internal/engine"
 	"xlp/internal/prop"
+	"xlp/internal/service"
 	"xlp/internal/strict"
 )
 
@@ -222,6 +224,185 @@ func TestProvenanceBenchGate(t *testing.T) {
 		if got := float64(r.AllocsPerOp()); got > float64(b.AllocsPerOp)*benchTolerance {
 			t.Errorf("%s: allocations regressed %.1f%% over baseline (%d allocs/op vs %d)",
 				name, (got/float64(b.AllocsPerOp)-1)*100, r.AllocsPerOp(), b.AllocsPerOp)
+		}
+	}
+}
+
+// svcBaselineFile holds the service-layer throughput baselines
+// (BenchmarkServiceThroughput's cold/warm entries plus the admission
+// controller's shed path).
+const svcBaselineFile = "BENCH_service.json"
+
+// svcBenchTolerance is the time-regression band for the service gate.
+// Its ops are microseconds, not the engine gate's seconds, so scheduler
+// noise alone spans far more than benchTolerance; allocation counts are
+// still near-deterministic and stay on the tight band, which is what
+// catches real fat added to these paths (a new allocation on a 23-alloc
+// warm hit is a 4% step, well inside 1.15).
+const svcBenchTolerance = 1.5
+
+// svcBenchEntry mirrors one entry of BENCH_service.json's results map.
+type svcBenchEntry struct {
+	Comment     string  `json:"comment,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	ReqPerS     float64 `json:"req_per_s"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// TestServiceBenchGate holds the service front door to its acceptance
+// bars: the warm path (cache-hit Do) must stay within the regression
+// band of its committed baseline, and the admission controller's shed
+// path must both stay within its own band and cost less than serving a
+// cache hit — load shedding that is slower than answering would not
+// shed load. Opt-in alongside the other gates:
+//
+//	XLP_BENCH_CHECK=1 go test -run TestServiceBenchGate .   # or: make bench-check
+//	XLP_BENCH_WRITE=1 go test -run TestServiceBenchGate .   # refresh warm + shed
+func TestServiceBenchGate(t *testing.T) {
+	write := os.Getenv("XLP_BENCH_WRITE") != ""
+	if os.Getenv("XLP_BENCH_CHECK") == "" && !write {
+		t.Skip("set XLP_BENCH_CHECK=1 (compare) or XLP_BENCH_WRITE=1 (rebaseline) to run")
+	}
+	p, err := corpus.Get("qsort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &service.Request{Kind: service.KindGroundness, Source: p.Source}
+	ctx := context.Background()
+
+	bestOf3 := func(bench func(b *testing.B)) testing.BenchmarkResult {
+		var best testing.BenchmarkResult
+		for run := 0; run < 3; run++ {
+			r := testing.Benchmark(bench)
+			if run == 0 || r.NsPerOp() < best.NsPerOp() {
+				best = r
+			}
+		}
+		return best
+	}
+	warm := bestOf3(func(b *testing.B) {
+		b.ReportAllocs()
+		s := service.New(service.Config{QueueSize: 1024})
+		defer s.Close()
+		if _, err := s.Do(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := s.Do(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !resp.Cached {
+				b.Fatal("warm request missed the cache")
+			}
+		}
+	})
+	shed := bestOf3(func(b *testing.B) {
+		b.ReportAllocs()
+		s := service.New(service.Config{QueueSize: 1024, RateLimit: 1e-9, RateBurst: 1})
+		defer s.Close()
+		for {
+			if ok, _ := s.Admit("bench"); !ok {
+				break
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if ok, _ := s.Admit("bench"); ok {
+				b.Fatal("bucket refilled mid-benchmark")
+			}
+		}
+	})
+	t.Logf("warm: %d ns/op, %d allocs/op; shed: %d ns/op, %d allocs/op",
+		warm.NsPerOp(), warm.AllocsPerOp(), shed.NsPerOp(), shed.AllocsPerOp())
+
+	// The machine-independent bar: rejecting a request must be cheaper
+	// than serving it from the cache.
+	if shed.NsPerOp() >= warm.NsPerOp() {
+		t.Errorf("shed path is not cheaper than a cache hit: shed %d ns/op vs warm %d ns/op",
+			shed.NsPerOp(), warm.NsPerOp())
+	}
+
+	raw, err := os.ReadFile(svcBaselineFile)
+	if err != nil {
+		t.Fatalf("no committed %s: %v", svcBaselineFile, err)
+	}
+	var file map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatalf("corrupt %s: %v", svcBaselineFile, err)
+	}
+	results := map[string]json.RawMessage{}
+	if err := json.Unmarshal(file["results"], &results); err != nil {
+		t.Fatalf("%s: corrupt results section: %v", svcBaselineFile, err)
+	}
+
+	if write {
+		put := func(name, comment string, r testing.BenchmarkResult) {
+			enc, err := json.Marshal(svcBenchEntry{
+				Comment:     comment,
+				NsPerOp:     float64(r.NsPerOp()),
+				ReqPerS:     math.Round(1e9 / float64(r.NsPerOp())),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			results[name] = enc
+		}
+		put("warm", "identical request repeated against a primed LRU cache", warm)
+		put("shed", "admission fast-fail: token bucket empty, request rejected before touching the queue", shed)
+		enc, err := json.Marshal(results)
+		if err != nil {
+			t.Fatal(err)
+		}
+		file["results"] = enc
+		// Keep the derived fields consistent with the refreshed warm entry.
+		var cold svcBenchEntry
+		if err := json.Unmarshal(results["cold"], &cold); err == nil && cold.NsPerOp > 0 {
+			speedup, err := json.Marshal(math.Round(cold.NsPerOp / float64(warm.NsPerOp())))
+			if err != nil {
+				t.Fatal(err)
+			}
+			file["warm_over_cold_speedup"] = speedup
+		}
+		date, err := json.Marshal(time.Now().Format("2006-01-02"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		file["date"] = date
+		inv, err := json.Marshal("shed ns/op < warm ns/op: rejecting a request must cost less than serving a cache hit (TestServiceBenchGate)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		file["shed_invariant"] = inv
+		out, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(svcBaselineFile, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote warm and shed entries of %s", svcBaselineFile)
+		return
+	}
+
+	for name, r := range map[string]testing.BenchmarkResult{"warm": warm, "shed": shed} {
+		var base svcBenchEntry
+		if err := json.Unmarshal(results[name], &base); err != nil || base.NsPerOp <= 0 {
+			t.Errorf("%s: no %q baseline entry: %v (run with XLP_BENCH_WRITE=1 to create one)",
+				svcBaselineFile, name, err)
+			continue
+		}
+		if got := float64(r.NsPerOp()); got > base.NsPerOp*svcBenchTolerance {
+			t.Errorf("%s: time regressed %.1f%% over baseline (%.0f ns/op vs %.0f)",
+				name, (got/base.NsPerOp-1)*100, got, base.NsPerOp)
+		}
+		if got := float64(r.AllocsPerOp()); got > float64(base.AllocsPerOp)*benchTolerance {
+			t.Errorf("%s: allocations regressed %.1f%% over baseline (%d allocs/op vs %d)",
+				name, (got/float64(base.AllocsPerOp)-1)*100, r.AllocsPerOp(), base.AllocsPerOp)
 		}
 	}
 }

@@ -2,7 +2,16 @@
 //
 // Usage:
 //
-//	xlpd -addr :7455 -workers 8 -queue 128 -cache 256 -timeout 30s
+//	xlpd -addr :7455 -workers 8 -queue 128 -cache 256 -timeout 30s \
+//	     -store /var/lib/xlpd/store -rate 50 -burst 100
+//
+// With -store, results are persisted to a content-addressed disk store
+// under the in-memory LRU, so a restarted daemon serves repeated
+// requests warm. With -rate, each client (X-Client-ID header, else
+// remote host) is admission-controlled by a token bucket; shed requests
+// get 429 with a Retry-After header. Responses stream incrementally
+// when the client asks (options.stream, Accept: application/x-ndjson,
+// or Accept: text/event-stream).
 //
 // Endpoints:
 //
@@ -53,6 +62,10 @@ func main() {
 	cache := flag.Int("cache", 256, "result cache capacity (entries)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request timeout")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown drain grace period")
+	storeDir := flag.String("store", "", "disk result store directory (empty = disabled)")
+	storeMax := flag.Int("store-max", 0, "disk store entry cap (0 = unlimited)")
+	rate := flag.Float64("rate", 0, "per-client admission rate, requests/s (0 = unlimited)")
+	burst := flag.Int("burst", 0, "per-client admission burst (0 = 2x rate, min 8)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
 	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	showVersion := flag.Bool("version", false, "print build info and exit")
@@ -71,12 +84,16 @@ func main() {
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	svc := service.New(service.Config{
-		Workers:        *workers,
-		QueueSize:      *queue,
-		CacheSize:      *cache,
-		DefaultTimeout: *timeout,
-		Version:        version,
-		Logger:         logger,
+		Workers:         *workers,
+		QueueSize:       *queue,
+		CacheSize:       *cache,
+		DefaultTimeout:  *timeout,
+		Version:         version,
+		Logger:          logger,
+		StoreDir:        *storeDir,
+		StoreMaxEntries: *storeMax,
+		RateLimit:       *rate,
+		RateBurst:       *burst,
 	})
 	handler := service.RequestIDMiddleware(svc.Handler())
 	if *withPprof {
@@ -126,7 +143,13 @@ func main() {
 		"uptime_s", fmt.Sprintf("%.1f", st.UptimeSeconds),
 		"requests", st.Requests, "hits", st.Hits, "misses", st.Misses,
 		"deduped", st.Deduped, "executed", st.Executed, "failures", st.Failures,
+		"shed_queue", st.ShedQueue, "shed_rate", st.ShedRate, "streams", st.Streams,
 		"peak_in_flight", st.PeakInFlight, "peak_queue_depth", st.PeakQueueDepth)
+	if st.Store != nil {
+		logger.Info("disk store totals",
+			"entries", st.Store.Entries, "hits", st.Store.Hits,
+			"writes", st.Store.Writes, "corrupt", st.Store.Corrupt)
+	}
 	logger.Info("engine totals",
 		"resolutions", st.Engine.Resolutions, "subgoals", st.Engine.Subgoals,
 		"answers", st.Engine.Answers, "producer_runs", st.Engine.ProducerRuns,

@@ -9,6 +9,7 @@ import (
 
 	"xlp/internal/corpus"
 	"xlp/internal/randgen"
+	"xlp/internal/service/store"
 )
 
 // TestRegenFuzzCorpora rewrites the committed fuzz seed corpora under
@@ -98,5 +99,38 @@ func TestRegenFuzzCorpora(t *testing.T) {
 		{"f(X, Y, Z)", "f(Y, Z, g(X))"},
 	} {
 		write(uDir, fmt.Sprintf("pair-%02d", i), pair[0], pair[1])
+	}
+
+	// Disk-store codec frames ([]byte seeds): well-formed frames over
+	// representative payloads plus the classic corruption classes,
+	// mirroring FuzzStoreDecode's runtime f.Add set.
+	writeBytes := func(dir, name string, data []byte) {
+		t.Helper()
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stDir := "../service/store/testdata/fuzz/FuzzStoreDecode"
+	frame := store.Encode([]byte(`{"kind":"query","solutions":["p(a)","p(b)"]}`))
+	flip := func(i int) []byte { c := append([]byte{}, frame...); c[i] ^= 0x80; return c }
+	for name, data := range map[string][]byte{
+		"frame-empty-payload": store.Encode(nil),
+		"frame-groundness":    store.Encode([]byte(`{"kind":"groundness","timings":{"total_us":3}}`)),
+		"frame-query":         frame,
+		"trunc-magic":         frame[:8],
+		"trunc-payload":       frame[:len(frame)-3],
+		"padded":              append(append([]byte{}, frame...), 0xde, 0xad),
+		"flip-magic":          flip(0),
+		"flip-version":        flip(8),
+		"flip-length":         flip(12),
+		"flip-checksum":       flip(20),
+		"flip-payload":        flip(len(frame) - 1),
+		"empty":               {},
+	} {
+		writeBytes(stDir, name, data)
 	}
 }

@@ -77,6 +77,7 @@ func Checks() []Check {
 		{Name: "strict-eqreorder", Lang: randgen.LangFL, Run: strictEqReorder},
 		{Name: "tables_trie_vs_stringmap", AnyLang: true, Run: tablesTrieVsStringmap},
 		{Name: "provenance_sound", AnyLang: true, Run: provenanceSound},
+		{Name: "store_roundtrip", AnyLang: true, Run: storeRoundtrip},
 	}
 }
 

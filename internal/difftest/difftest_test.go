@@ -8,6 +8,7 @@ import (
 	"xlp/internal/corpus"
 	"xlp/internal/prolog"
 	"xlp/internal/randgen"
+	"xlp/internal/testutil"
 )
 
 // TestSweepAllShapes is the package's core assertion: across every
@@ -15,6 +16,9 @@ import (
 // transform agrees. Any finding here is a real bug in one of the
 // backends (or the harness) — reproduce with the printed seed.
 func TestSweepAllShapes(t *testing.T) {
+	// The sweep spins up short-lived services (store_roundtrip) and
+	// engine runs; none of them may strand a goroutine.
+	defer testutil.AssertNoLeaks(t, testutil.Goroutines())
 	n := 64
 	if testing.Short() {
 		n = 16

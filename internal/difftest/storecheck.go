@@ -1,0 +1,105 @@
+package difftest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"xlp/internal/randgen"
+	"xlp/internal/service"
+)
+
+// storeRoundtrip is the durable-result-store oracle: a result served
+// from the disk store by a *restarted* service must be byte-identical
+// (over the semantic payload) to a cold re-computation. Three runs:
+//
+//  1. svc1 (store-backed) computes the result and persists it;
+//  2. svc1 is closed and svc2 opens the same store directory — the
+//     simulated restart — and must serve the request from disk
+//     (Stored=true, Executed stays 0);
+//  3. svc3 (storeless) recomputes cold.
+//
+// The stored and cold responses are compared as canonical JSON after
+// zeroing the volatile fields (cache/store/dedup flags, timings, and
+// engine cost counters, which legitimately vary run to run). Any
+// difference in the semantic payload — predicates, functions,
+// solutions, diagnostics, K, lint errors — is a mismatch.
+func storeRoundtrip(m Meta, src string) error {
+	dir, err := os.MkdirTemp("", "xlp-storecheck-*")
+	if err != nil {
+		return fmt.Errorf("error: store dir: %w", err)
+	}
+	defer os.RemoveAll(dir)
+
+	req := func() *service.Request { return storeCheckRequest(m, src) }
+	cfg := service.Config{Workers: 1, QueueSize: 4, DefaultTimeout: 0, StoreDir: dir}
+
+	svc1 := service.New(cfg)
+	first, err := svc1.Do(context.Background(), req())
+	closeErr := svc1.Close()
+	if err != nil {
+		return fmt.Errorf("error: first run: %w", err)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("error: close: %w", closeErr)
+	}
+	if first.Cached || first.Stored {
+		return fmt.Errorf("error: first run unexpectedly served from cache (cached=%v stored=%v)", first.Cached, first.Stored)
+	}
+
+	svc2 := service.New(cfg)
+	defer svc2.Close() //nolint:errcheck
+	stored, err := svc2.Do(context.Background(), req())
+	if err != nil {
+		return fmt.Errorf("error: restarted run: %w", err)
+	}
+	if !stored.Stored {
+		return fmt.Errorf("mismatch: restarted service recomputed instead of serving from the disk store (cached=%v)", stored.Cached)
+	}
+	if st := svc2.Stats(); st.Executed != 0 || st.Store == nil || st.Store.Hits != 1 {
+		return fmt.Errorf("mismatch: restarted service stats disagree with a store hit: %+v", st)
+	}
+
+	svc3 := service.New(service.Config{Workers: 1, QueueSize: 4, DefaultTimeout: 0})
+	defer svc3.Close() //nolint:errcheck
+	cold, err := svc3.Do(context.Background(), req())
+	if err != nil {
+		return fmt.Errorf("error: cold re-run: %w", err)
+	}
+
+	a, err := canonicalResponse(stored)
+	if err != nil {
+		return fmt.Errorf("error: canonicalize stored: %w", err)
+	}
+	b, err := canonicalResponse(cold)
+	if err != nil {
+		return fmt.Errorf("error: canonicalize cold: %w", err)
+	}
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("mismatch: store-served response differs from cold re-run:\nstored: %s\ncold:   %s", a, b)
+	}
+	return nil
+}
+
+// storeCheckRequest picks the analysis for the program's language:
+// groundness for Prolog shapes, strictness for FL.
+func storeCheckRequest(m Meta, src string) *service.Request {
+	kind := service.KindGroundness
+	if m.Shape.Lang() == randgen.LangFL {
+		kind = service.KindStrictness
+	}
+	return &service.Request{Kind: kind, Source: src}
+}
+
+// canonicalResponse marshals a response with its volatile fields
+// zeroed. Everything that survives must be byte-identical between a
+// store round trip and a cold re-run.
+func canonicalResponse(r *service.Response) ([]byte, error) {
+	cp := *r
+	cp.Cached, cp.Stored, cp.Deduped = false, false, false
+	cp.Timings = service.Timings{}
+	cp.Engine = nil
+	return json.Marshal(&cp)
+}

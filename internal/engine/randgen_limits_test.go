@@ -3,12 +3,12 @@ package engine_test
 import (
 	"context"
 	"errors"
-	"runtime"
 	"testing"
 	"time"
 
 	"xlp/internal/engine"
 	"xlp/internal/randgen"
+	"xlp/internal/testutil"
 )
 
 // These tests drive the engine's resource limits and cancellation paths
@@ -144,7 +144,8 @@ func TestRandgenStatsMonotonic(t *testing.T) {
 }
 
 func TestRandgenCancelAndDeadline(t *testing.T) {
-	before := runtime.NumGoroutine()
+	// The engine is single-goroutine: cancellation must not strand any.
+	defer testutil.AssertNoLeaks(t, testutil.Goroutines())
 	for _, g := range genPrologPrograms(3) {
 		baseline := baselineErr(t, g)
 		// A context canceled before Solve starts: the run either ends in
@@ -171,13 +172,5 @@ func TestRandgenCancelAndDeadline(t *testing.T) {
 				g.Config.Shape, g.Config.Seed, err, baseline)
 		}
 		dcancel()
-	}
-	// The engine is single-goroutine: cancellation must not strand any.
-	deadline := time.Now().Add(2 * time.Second)
-	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-	}
-	if after := runtime.NumGoroutine(); after > before {
-		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
 	}
 }

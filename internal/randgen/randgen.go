@@ -15,9 +15,12 @@
 // (structurally descending) recursion, mutually recursive cliques, deep
 // term nesting, a mixed diet of builtins and control constructs,
 // function-free range-restricted Datalog (executable on both the tabled
-// and the bottom-up engines), and two functional-program families for
-// the strictness analyzer, including defunctionalized higher-order
-// programs in the apply/dispatch style.
+// and the bottom-up engines), two functional-program families for
+// the strictness analyzer (including defunctionalized higher-order
+// programs in the apply/dispatch style), and the Genaim/Howe/Codish
+// worst-case Def/Pos groundness families (worstdef, worstpos) whose
+// success formulas blow up boolean-function representations —
+// adversarial load for benchmarks, limits, and the soak harness.
 package randgen
 
 import (
@@ -66,12 +69,21 @@ const (
 	// programs: function-token constructors, an apply dispatcher, and
 	// map/fold combinators over it.
 	FLHigherOrder
+	// WorstDef generates the Genaim/Howe/Codish Def-blowup family: a
+	// chain conjoining x↔y pairs, 2^n models at the top predicate. The
+	// Preds knob drives the chain length (top arity 2n, n ≤ 8).
+	WorstDef
+	// WorstPos generates the matching Pos-blowup family: a chain
+	// conjoining x∨y pairs, inexpressible in Def and exponential for
+	// model-enumerating Pos representations.
+	WorstPos
 
 	numShapes
 )
 
 var shapeNames = [numShapes]string{
 	"facts", "linrec", "mutrec", "deep", "mixed", "datalog", "fl", "flho",
+	"worstdef", "worstpos",
 }
 
 func (s Shape) String() string {
@@ -199,6 +211,10 @@ func Generate(cfg Config) Program {
 		g.flFirstOrder()
 	case FLHigherOrder:
 		g.flHigherOrder()
+	case WorstDef:
+		g.worstDef()
+	case WorstPos:
+		g.worstPos()
 	default:
 		panic(fmt.Sprintf("randgen: bad shape %d", int(cfg.Shape)))
 	}

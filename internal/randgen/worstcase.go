@@ -1,0 +1,98 @@
+package randgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Worst-case groundness families after Genaim, Howe & Codish ("Worst-
+// case groundness analysis"): chains of pair predicates whose success
+// formulas force the analyzer's boolean representation to its
+// exponential corner.
+//
+//   - worstpos: a pair predicate with facts orp(a, _) and orp(_, a),
+//     success formula x ∨ y. The chain predicate w_i of arity 2i
+//     conjoins i such pairs, so its Pos success formula is
+//     ∧_{j<i} (x_{2j} ∨ x_{2j+1}) — a formula whose truth table has
+//     3^i satisfying rows and which Def cannot express at all (Def's
+//     best approximation is 'true', which is exactly the imprecision
+//     the family was built to exhibit).
+//   - worstdef: a pair predicate with the single fact eqp(V, V),
+//     success formula x ↔ y. The chain's success formula
+//     ∧_{j<i} (x_{2j} ↔ x_{2j+1}) is expressible in Def but has 2^i
+//     models, blowing up model-enumeration representations.
+//
+// The chain length (and so the top predicate's arity 2n) is driven by
+// the Preds knob, clamped so arity stays well inside boolfn.MaxVars;
+// the chains are non-recursive, so no tabling directives are needed
+// and the programs stay lint-clean through emit's singleton rewrite.
+
+// worstPairs derives the chain length from the Preds knob: at least 1,
+// at most 8 pairs (arity 16 at the top, truth tables of 2^16 rows —
+// the intended stress ceiling, still far below boolfn.MaxVars).
+func (g *gen) worstPairs() int {
+	max := g.cfg.Preds
+	if max > 8 {
+		max = 8
+	}
+	if max < 1 {
+		max = 1
+	}
+	return 1 + g.intn(max)
+}
+
+// worstChain emits w_1 .. w_n over the pair predicate and returns the
+// top spec. w_i(V0..V_{2i-1}) :- pair(V_{2i-2}, V_{2i-1}), w_{i-1}(...).
+func (g *gen) worstChain(pair spec, n int) spec {
+	vars := func(k int) string {
+		vs := make([]string, k)
+		for i := range vs {
+			vs[i] = fmt.Sprintf("V%d", i)
+		}
+		return strings.Join(vs, ", ")
+	}
+	for i := 1; i <= n; i++ {
+		w := spec{fmt.Sprintf("w%d", i), 2 * i}
+		g.preds = append(g.preds, w)
+		if i == 1 {
+			g.emit("%s(V0, V1) :- %s(V0, V1).", w.name, pair.name)
+			continue
+		}
+		g.emit("%s(%s) :- %s(V%d, V%d), w%d(%s).",
+			w.name, vars(2*i), pair.name, 2*i-2, 2*i-1, i-1, vars(2*i-2))
+	}
+	return g.preds[len(g.preds)-1]
+}
+
+// worstPos: the Pos-blowup family. orp/2 succeeds with either argument
+// ground, so its success formula is x ∨ y and the chain conjoins
+// disjunctions.
+func (g *gen) worstPos() {
+	orp := spec{"orp", 2}
+	g.preds = append(g.preds, orp)
+	c := g.pick([]string{"a", "b", "0"})
+	g.emit("%s(%s, V0).", orp.name, c)
+	g.emit("%s(V0, %s).", orp.name, c)
+	if g.intn(2) == 0 {
+		// Redundant both-ground fact: x∧y ⊨ x∨y, so the success formula
+		// is unchanged — seeds differ structurally, not semantically.
+		g.emit("%s(%s, %s).", orp.name, c, c)
+	}
+	top := g.worstChain(orp, g.worstPairs())
+	g.entry = openGoal(top)
+}
+
+// worstDef: the Def-blowup family. eqp/2's single clause unifies its
+// arguments, so its success formula is x ↔ y and the chain conjoins
+// iffs — 2^n models at the top predicate.
+func (g *gen) worstDef() {
+	eqp := spec{"eqp", 2}
+	g.preds = append(g.preds, eqp)
+	g.emit("%s(V0, V0).", eqp.name)
+	if g.intn(2) == 0 {
+		// Redundant ground fact: x∧y ⊨ x↔y, success formula unchanged.
+		g.emit("%s(%s, %s).", eqp.name, g.pick([]string{"a", "b"}), "a")
+	}
+	top := g.worstChain(eqp, g.worstPairs())
+	g.entry = openGoal(top)
+}

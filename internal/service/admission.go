@@ -1,0 +1,104 @@
+package service
+
+import (
+	"container/list"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ClientIDHeader identifies the calling client for admission control;
+// requests without it fall back to the remote address's host.
+const ClientIDHeader = "X-Client-ID"
+
+// ClientID resolves the admission-control identity of an HTTP request:
+// the X-Client-ID header when present, else the remote host (port
+// stripped, so one client's ephemeral ports share a bucket).
+func ClientID(r *http.Request) string {
+	if id := r.Header.Get(ClientIDHeader); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// admission is a per-client token-bucket admission controller. Each
+// client owns a bucket of capacity burst refilled at rate tokens per
+// second; a request debits one token and is shed when none remain.
+// Client state is bounded: the least-recently-seen client is evicted
+// past maxClients, so a rotating client population (or an attacker
+// minting IDs) cannot grow memory without bound.
+type admission struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+	max   int     // client-state bound
+
+	mu      sync.Mutex
+	clients map[string]*list.Element
+	order   *list.List // front = most recently seen
+}
+
+// clientBucket is one client's token bucket; tokens are refilled
+// lazily from the elapsed time since the last request.
+type clientBucket struct {
+	id     string
+	tokens float64
+	last   time.Time
+}
+
+func newAdmission(rate float64, burst, maxClients int) *admission {
+	return &admission{
+		rate:    rate,
+		burst:   float64(burst),
+		max:     maxClients,
+		clients: map[string]*list.Element{},
+		order:   list.New(),
+	}
+}
+
+// admit debits one token from client's bucket at time now, reporting
+// whether the request proceeds and, when shed, how long until a token
+// is available again.
+func (a *admission) admit(client string, now time.Time) (bool, time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	el, ok := a.clients[client]
+	if !ok {
+		// New clients start with a full bucket (minus this request).
+		b := &clientBucket{id: client, tokens: a.burst - 1, last: now}
+		a.clients[client] = a.order.PushFront(b)
+		for a.order.Len() > a.max {
+			oldest := a.order.Back()
+			a.order.Remove(oldest)
+			delete(a.clients, oldest.Value.(*clientBucket).id)
+		}
+		return true, 0
+	}
+	a.order.MoveToFront(el)
+	b := el.Value.(*clientBucket)
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * a.rate
+		if b.tokens > a.burst {
+			b.tokens = a.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	// Time until the deficit refills to one whole token.
+	retry := time.Duration((1 - b.tokens) / a.rate * float64(time.Second))
+	return false, retry
+}
+
+// len returns the tracked-client count (tests).
+func (a *admission) len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.order.Len()
+}

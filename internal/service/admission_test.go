@@ -1,0 +1,255 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// reqCtx builds a request context canceled when release is closed — the
+// cancellable-occupant pattern, so saturation tests never real-sleep.
+func reqCtx(release <-chan struct{}) context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-release
+		cancel()
+	}()
+	return ctx
+}
+
+// TestAdmissionBucket drives one client's token bucket on a fake clock:
+// burst admits, then shed with an honest retry hint, then refill.
+func TestAdmissionBucket(t *testing.T) {
+	a := newAdmission(10, 2, 16) // 10 tokens/s, burst 2
+	t0 := time.Unix(1000, 0)
+
+	// A new client starts with a full bucket minus the admitting request.
+	if ok, _ := a.admit("c", t0); !ok {
+		t.Fatal("first request shed")
+	}
+	if ok, _ := a.admit("c", t0); !ok {
+		t.Fatal("second request (within burst) shed")
+	}
+	ok, retry := a.admit("c", t0)
+	if ok {
+		t.Fatal("third request admitted past the burst")
+	}
+	// Empty bucket at 10 tokens/s: one whole token is 100ms away.
+	if retry <= 0 || retry > 150*time.Millisecond {
+		t.Errorf("retry hint %v, want about 100ms", retry)
+	}
+
+	// After the hinted wait the request goes through — the hint is honest.
+	if ok, _ := a.admit("c", t0.Add(retry)); !ok {
+		t.Error("request shed after waiting the hinted retry interval")
+	}
+
+	// Idle time refills only to the burst cap, never beyond.
+	if ok, _ := a.admit("c", t0.Add(time.Hour)); !ok {
+		t.Fatal("request after long idle shed")
+	}
+	if ok, _ := a.admit("c", t0.Add(time.Hour)); !ok {
+		t.Fatal("bucket should hold burst=2 after long idle")
+	}
+	if ok, _ := a.admit("c", t0.Add(time.Hour)); ok {
+		t.Error("bucket refilled past the burst cap")
+	}
+}
+
+// TestAdmissionClientsIndependent: one client burning its bucket never
+// sheds another.
+func TestAdmissionClientsIndependent(t *testing.T) {
+	a := newAdmission(1, 1, 16)
+	now := time.Unix(1000, 0)
+	if ok, _ := a.admit("greedy", now); !ok {
+		t.Fatal("greedy's first request shed")
+	}
+	if ok, _ := a.admit("greedy", now); ok {
+		t.Fatal("greedy not shed past its burst")
+	}
+	if ok, _ := a.admit("polite", now); !ok {
+		t.Error("polite client shed by greedy's bucket")
+	}
+}
+
+// TestAdmissionClientEviction: the per-client state is LRU-bounded, and
+// an evicted client re-enters with a fresh full bucket (the bounded-
+// memory tradeoff: eviction forgives, it never over-penalizes).
+func TestAdmissionClientEviction(t *testing.T) {
+	a := newAdmission(1, 1, 2)
+	now := time.Unix(1000, 0)
+	a.admit("a", now) // a's bucket is now empty (burst 1)
+	a.admit("b", now)
+	if a.len() != 2 {
+		t.Fatalf("tracked clients %d, want 2", a.len())
+	}
+	a.admit("c", now) // evicts a, the least recently seen
+	if a.len() != 2 {
+		t.Fatalf("tracked clients %d after eviction, want 2", a.len())
+	}
+	// b survived (more recent than a was): its empty bucket still sheds.
+	if ok, _ := a.admit("b", now); ok {
+		t.Error("surviving client's bucket state lost")
+	}
+	// a was evicted: it returns as a new client with a full bucket.
+	if ok, _ := a.admit("a", now); !ok {
+		t.Error("evicted client did not restart with a fresh bucket")
+	}
+}
+
+// TestClientID covers the identity resolution order: header, then
+// remote host with the port stripped, then the raw remote address.
+func TestClientID(t *testing.T) {
+	r := httptest.NewRequest("POST", "/v1/query", nil)
+	r.RemoteAddr = "10.1.2.3:55443"
+	if got := ClientID(r); got != "10.1.2.3" {
+		t.Errorf("host fallback: got %q", got)
+	}
+	r.Header.Set(ClientIDHeader, "tenant-7")
+	if got := ClientID(r); got != "tenant-7" {
+		t.Errorf("header identity: got %q", got)
+	}
+	r2 := httptest.NewRequest("POST", "/v1/query", nil)
+	r2.RemoteAddr = "pipe"
+	if got := ClientID(r2); got != "pipe" {
+		t.Errorf("raw fallback: got %q", got)
+	}
+}
+
+// TestHTTPRateLimit429 exercises admission control over HTTP: a client
+// past its burst gets 429 with a Retry-After header and an ErrRateLimited
+// message, a differently identified client is unaffected, and the shed
+// shows up in /v1/stats and /metrics.
+func TestHTTPRateLimit429(t *testing.T) {
+	s := New(Config{Workers: 1, RateLimit: 0.001, RateBurst: 2, MaxClients: 8})
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		s.Close()
+	})
+
+	do := func(client string) *http.Response {
+		t.Helper()
+		body, _ := json.Marshal(apiRequest{Source: "a(1).", Options: Options{Goal: "a(X)"}})
+		req, err := http.NewRequest("POST", srv.URL+"/v1/query", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(ClientIDHeader, client)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	// Burst 2 at a negligible refill rate: two admits, then shed.
+	for i := 0; i < 2; i++ {
+		if resp := do("alice"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d, want 200", i, resp.StatusCode)
+		}
+	}
+	shed := do("alice")
+	if shed.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", shed.StatusCode)
+	}
+	ra := shed.Header.Get("Retry-After")
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Errorf("Retry-After %q, want an integer >= 1", ra)
+	}
+	msg, _ := io.ReadAll(shed.Body)
+	if !strings.Contains(string(msg), "rate limited") {
+		t.Errorf("shed body does not name the sentinel: %s", msg)
+	}
+
+	// A different client identity has its own bucket.
+	if resp := do("bob"); resp.StatusCode != http.StatusOK {
+		t.Errorf("other client shed: status %d", resp.StatusCode)
+	}
+
+	if st := s.Stats(); st.ShedRate != 1 {
+		t.Errorf("shed_rate %d, want 1", st.ShedRate)
+	}
+	mr, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	metrics, _ := io.ReadAll(mr.Body)
+	if !strings.Contains(string(metrics), `xlpd_shed_total{reason="rate"} 1`) {
+		t.Errorf("shed counter missing from /metrics")
+	}
+}
+
+// TestHTTPQueueFull429RetryAfter: the other 429 class — queue-pressure
+// shed via Do — also carries Retry-After over HTTP.
+func TestHTTPQueueFull429RetryAfter(t *testing.T) {
+	s := New(Config{Workers: 1, QueueSize: 1})
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		s.Close()
+	})
+
+	// Saturate the worker and the single queue slot with cancellable
+	// occupants (unique sources, so no dedup).
+	release := make(chan struct{})
+	occupied := make(chan *http.Response, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			body, _ := json.Marshal(apiRequest{
+				Source:    divergentSrc + "\nmark(" + strconv.Itoa(i) + ").",
+				Options:   Options{Goal: "slow"},
+				TimeoutMs: 10000,
+			})
+			req, _ := http.NewRequest("POST", srv.URL+"/v1/query", bytes.NewReader(body))
+			req = req.WithContext(reqCtx(release))
+			resp, err := http.DefaultClient.Do(req)
+			if err == nil {
+				resp.Body.Close()
+			}
+			occupied <- resp
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := s.Stats()
+		if st.InFlight == 1 && st.QueueDepth == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pool never saturated")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	body, _ := json.Marshal(apiRequest{
+		Source: divergentSrc + "\nmark(2).", Options: Options{Goal: "slow"}, TimeoutMs: 10000,
+	})
+	resp, err := http.Post(srv.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("queue-full 429 missing Retry-After")
+	}
+	if st := s.Stats(); st.ShedQueue != 1 {
+		t.Errorf("shed_queue %d, want 1", st.ShedQueue)
+	}
+
+	close(release)
+	<-occupied
+	<-occupied
+}

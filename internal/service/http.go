@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"xlp/internal/engine"
 	"xlp/internal/harness"
@@ -35,6 +36,11 @@ type apiError struct {
 //	GET  /v1/stats           counters; ?format=text for a rendered table
 //	GET  /debug/tables       live per-predicate table state of executing runs
 //	GET  /metrics            Prometheus text exposition
+//
+// Every POST endpoint supports streaming delivery (options.stream, or
+// Accept: application/x-ndjson / text/event-stream) and sits behind
+// per-client admission control when Config.RateLimit is set: shed
+// requests get 429 with a Retry-After header.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze/{kind}", s.timed("POST /v1/analyze/{kind}", s.handleAnalyze))
@@ -69,6 +75,9 @@ func (s *Service) handleExplain(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) serve(w http.ResponseWriter, r *http.Request, kind Kind) {
+	if !s.admitHTTP(w, r) {
+		return
+	}
 	var body apiRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -83,10 +92,38 @@ func (s *Service) serve(w http.ResponseWriter, r *http.Request, kind Kind) {
 		TimeoutMs: body.TimeoutMs,
 	})
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		status := statusFor(err)
+		if status == http.StatusTooManyRequests {
+			// Shed load always carries a retry hint; queue pressure is
+			// transient, so "soon" is honest.
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, status, err)
+		return
+	}
+	if format := pickStreamFormat(r, body.Options.Stream); format != streamNone {
+		s.streamResponse(w, format, resp)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// admitHTTP runs per-client admission control before any body decoding
+// happens; a shed request costs the server one map lookup and a 429.
+func (s *Service) admitHTTP(w http.ResponseWriter, r *http.Request) bool {
+	client := ClientID(r)
+	ok, retry := s.Admit(client)
+	if ok {
+		return true
+	}
+	secs := int(retry.Seconds() + 0.999)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusTooManyRequests,
+		fmt.Errorf("%w: client %q over admission rate", ErrRateLimited, client))
+	return false
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -120,6 +157,15 @@ func statsTable(st Stats) *harness.Table {
 		Notes: []string{
 			fmt.Sprintf("cache %d/%d entries, hit rate %.1f%%, %d workers",
 				st.CacheLen, st.CacheCap, 100*st.HitRate(), st.Workers),
+			func() string {
+				if st.Store == nil {
+					return fmt.Sprintf("disk store off; shed %d (queue) + %d (rate), %d streamed",
+						st.ShedQueue, st.ShedRate, st.Streams)
+				}
+				return fmt.Sprintf("disk store %d entries, %d hits, %d writes, %d corrupt; shed %d (queue) + %d (rate), %d streamed",
+					st.Store.Entries, st.Store.Hits, st.Store.Writes, st.Store.Corrupt,
+					st.ShedQueue, st.ShedRate, st.Streams)
+			}(),
 			fmt.Sprintf("uptime %.0fs, peak in-flight %d, peak queue depth %d",
 				st.UptimeSeconds, st.PeakInFlight, st.PeakQueueDepth),
 			fmt.Sprintf("lint: %d requests, %d diagnostics",
@@ -140,7 +186,7 @@ func statusFor(err error) int {
 		return 499 // client closed request (nginx convention)
 	case errors.Is(err, ErrBadRequest):
 		return http.StatusBadRequest
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrRateLimited):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable

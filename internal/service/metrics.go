@@ -52,6 +52,20 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pw.Counter("xlpd_lint_requests_total", "Executed requests that ran the linter.", float64(st.LintRequests))
 	pw.Counter("xlpd_lint_diagnostics_total", "Diagnostics produced by executed lint runs.", float64(st.LintDiagnostics))
 
+	pw.Counter("xlpd_shed_total", "Requests shed with 429 + Retry-After, by reason.",
+		float64(st.ShedQueue), "reason", "queue")
+	pw.Counter("xlpd_shed_total", "Requests shed with 429 + Retry-After, by reason.",
+		float64(st.ShedRate), "reason", "rate")
+	pw.Counter("xlpd_streams_total", "Responses delivered incrementally (JSON lines or SSE).", float64(st.Streams))
+	if st.Store != nil {
+		pw.Counter("xlpd_store_hits_total", "Requests served from the disk-backed result store.", float64(st.Store.Hits))
+		pw.Counter("xlpd_store_misses_total", "Disk store lookups that found no usable entry.", float64(st.Store.Misses))
+		pw.Counter("xlpd_store_writes_total", "Results persisted to the disk store.", float64(st.Store.Writes))
+		pw.Counter("xlpd_store_corrupt_total", "Disk store entries dropped as unreadable.", float64(st.Store.Corrupt))
+		pw.Counter("xlpd_store_evicted_total", "Disk store entries removed by the size cap.", float64(st.Store.Evicted))
+		pw.Gauge("xlpd_store_entries", "Entries currently in the disk store.", float64(st.Store.Entries))
+	}
+
 	pw.Gauge("xlpd_queue_depth", "Requests queued but not yet picked up.", float64(st.QueueDepth))
 	pw.Gauge("xlpd_in_flight", "Requests currently executing.", float64(st.InFlight))
 	pw.Gauge("xlpd_workers", "Worker-pool size.", float64(st.Workers))

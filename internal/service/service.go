@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -18,6 +19,7 @@ import (
 	"xlp/internal/gaia"
 	"xlp/internal/obs"
 	"xlp/internal/prop"
+	"xlp/internal/service/store"
 	"xlp/internal/strict"
 )
 
@@ -28,6 +30,8 @@ var (
 	ErrBadRequest = errors.New("service: bad request")
 	// ErrQueueFull: the bounded request queue is at capacity.
 	ErrQueueFull = errors.New("service: queue full")
+	// ErrRateLimited: the client exceeded its admission rate.
+	ErrRateLimited = errors.New("service: rate limited")
 	// ErrClosed: the service is shut down or shutting down.
 	ErrClosed = errors.New("service: closed")
 )
@@ -56,6 +60,26 @@ type Config struct {
 	// counters), each line carrying the request correlation ID as "req".
 	// Nil discards them.
 	Logger *slog.Logger
+	// StoreDir roots the disk-backed result store under the LRU: results
+	// written there survive restarts and are served as hits by any later
+	// process pointed at the same directory. Empty disables the store.
+	// If the directory cannot be opened the service logs the error and
+	// runs storeless rather than failing to start.
+	StoreDir string
+	// StoreMaxEntries caps the disk store's entry count (oldest entries
+	// are swept past the cap). 0 means unlimited.
+	StoreMaxEntries int
+	// RateLimit enables per-client admission control: each client (the
+	// X-Client-ID header, else the remote host) gets a token bucket
+	// refilled at RateLimit requests/second. Shed requests get 429 +
+	// Retry-After. 0 disables admission control.
+	RateLimit float64
+	// RateBurst is the token-bucket capacity (max burst per client).
+	// Default: 2*RateLimit, at least 8.
+	RateBurst int
+	// MaxClients bounds the admission controller's per-client state
+	// (least-recently-seen clients are evicted). Default 1024.
+	MaxClients int
 }
 
 func (c Config) withDefaults() Config {
@@ -76,6 +100,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultTimeout < 0 {
 		c.DefaultTimeout = 0
+	}
+	if c.RateBurst <= 0 {
+		c.RateBurst = int(2 * c.RateLimit)
+		if c.RateBurst < 8 {
+			c.RateBurst = 8
+		}
+	}
+	if c.MaxClients <= 0 {
+		c.MaxClients = 1024
 	}
 	return c
 }
@@ -110,6 +143,19 @@ type Stats struct {
 	// diagnostics they produced. Cache hits are not re-counted.
 	LintRequests    uint64 `json:"lint_requests"`
 	LintDiagnostics uint64 `json:"lint_diagnostics"`
+
+	// Shed counters partition rejected load by reason: ShedQueue counts
+	// requests bounced off the full queue (ErrQueueFull), ShedRate
+	// requests denied by per-client admission control (ErrRateLimited).
+	// Both are surfaced as 429 + Retry-After over HTTP.
+	ShedQueue uint64 `json:"shed_queue"`
+	ShedRate  uint64 `json:"shed_rate"`
+	// Streams counts responses delivered incrementally (NDJSON or SSE).
+	Streams uint64 `json:"streams"`
+
+	// Store snapshots the disk-backed result store's counters; nil when
+	// the store is disabled.
+	Store *store.Stats `json:"store,omitempty"`
 
 	QueueDepth int `json:"queue_depth"` // queued, not yet picked up
 	InFlight   int `json:"in_flight"`   // currently executing
@@ -153,6 +199,8 @@ type Service struct {
 	jobs   chan *job
 	wg     sync.WaitGroup
 	cache  *lruCache
+	disk   *store.Store // nil when Config.StoreDir is empty or unopenable
+	adm    *admission   // nil when Config.RateLimit is 0
 	start  time.Time
 	debug  *tablesRegistry // /debug/tables live table watches
 
@@ -162,6 +210,7 @@ type Service struct {
 
 	requests, hits, misses, deduped, executed, failures atomic.Uint64
 	lintRequests, lintDiagnostics                       atomic.Uint64
+	shedQueue, shedRate, streams                        atomic.Uint64
 	inFlightN                                           atomic.Int64
 	peakInFlight, peakQueueDepth                        atomic.Int64
 	preprocUs, analysisUs, collectionUs                 atomic.Int64
@@ -203,6 +252,20 @@ func New(cfg Config) *Service {
 	for _, route := range routePatterns {
 		s.routes[route] = obs.NewHistogram(obs.DefBuckets...)
 	}
+	if cfg.StoreDir != "" {
+		disk, err := store.Open(cfg.StoreDir, cfg.StoreMaxEntries)
+		if err != nil {
+			// Degrade, don't die: an unopenable store directory costs
+			// warm restarts, not availability.
+			logger.Error("disk store disabled", "dir", cfg.StoreDir, "err", err)
+		} else {
+			s.disk = disk
+			logger.Info("disk store open", "dir", cfg.StoreDir, "entries", disk.Len())
+		}
+	}
+	if cfg.RateLimit > 0 {
+		s.adm = newAdmission(cfg.RateLimit, cfg.RateBurst, cfg.MaxClients)
+	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -212,6 +275,11 @@ func New(cfg Config) *Service {
 
 // Stats returns a snapshot of the service counters.
 func (s *Service) Stats() Stats {
+	var diskStats *store.Stats
+	if s.disk != nil {
+		st := s.disk.Stats()
+		diskStats = &st
+	}
 	return Stats{
 		Requests:        s.requests.Load(),
 		Hits:            s.hits.Load(),
@@ -221,6 +289,10 @@ func (s *Service) Stats() Stats {
 		Failures:        s.failures.Load(),
 		LintRequests:    s.lintRequests.Load(),
 		LintDiagnostics: s.lintDiagnostics.Load(),
+		ShedQueue:       s.shedQueue.Load(),
+		ShedRate:        s.shedRate.Load(),
+		Streams:         s.streams.Load(),
+		Store:           diskStats,
 		QueueDepth:      len(s.jobs),
 		InFlight:        int(s.inFlightN.Load()),
 		Workers:         s.cfg.Workers,
@@ -318,6 +390,17 @@ func (s *Service) Do(ctx context.Context, req *Request) (*Response, error) {
 		hit.Cached = true
 		return hit, nil
 	}
+	if resp, ok := s.storeGet(key); ok {
+		// Warm restart path: the disk store under the LRU has this
+		// result from a previous process (or an evicted LRU entry).
+		// Promote it so repeats are memory hits.
+		s.hits.Add(1)
+		s.cache.Add(key, resp)
+		s.logger.Info("disk store hit", "req", reqID, "kind", req.Kind, "key", key[:12])
+		hit := resp.shallowCopy()
+		hit.Cached, hit.Stored = true, true
+		return hit, nil
+	}
 
 	s.mu.Lock()
 	if s.closed {
@@ -347,6 +430,7 @@ func (s *Service) Do(ctx context.Context, req *Request) (*Response, error) {
 		s.mu.Unlock()
 		f.err = ErrQueueFull
 		close(f.done)
+		s.shedQueue.Add(1)
 		s.logger.Warn("queue full", "req", reqID, "kind", req.Kind)
 		return nil, ErrQueueFull
 	}
@@ -402,8 +486,66 @@ func (s *Service) worker() {
 		}
 		j.f.resp, j.f.err = resp, err
 		close(j.f.done)
+		// Write-through to disk after waiters are released: durability
+		// work never adds latency to the request that paid for the run.
+		if err == nil {
+			s.storePut(j.key, resp)
+		}
 		s.inFlightN.Add(-1)
 	}
+}
+
+// storeGet reads a response from the disk store. Any failure — store
+// disabled, absent or corrupt entry, stale JSON schema — is a miss.
+func (s *Service) storeGet(key string) (*Response, bool) {
+	if s.disk == nil {
+		return nil, false
+	}
+	payload, ok := s.disk.Get(key)
+	if !ok {
+		return nil, false
+	}
+	var resp Response
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		// The frame checksum held but the payload no longer parses as a
+		// Response (e.g. written by an incompatible build): drop it like
+		// any other corruption.
+		s.disk.DropCorrupt(key)
+		return nil, false
+	}
+	return &resp, true
+}
+
+// storePut persists a freshly computed response. Failures are logged,
+// never surfaced: durability is best-effort under the LRU.
+func (s *Service) storePut(key string, resp *Response) {
+	if s.disk == nil {
+		return
+	}
+	payload, err := json.Marshal(resp)
+	if err == nil {
+		err = s.disk.Put(key, payload)
+	}
+	if err != nil {
+		s.logger.Warn("disk store write failed", "key", key[:12], "err", err)
+	}
+}
+
+// Admit runs per-client admission control: it debits one token from
+// client's bucket and reports whether the request may proceed, with a
+// retry hint when it may not. Admission is a no-op (always true) when
+// Config.RateLimit is 0. The HTTP layer calls this before decoding a
+// request body; embedders driving Do directly can do the same.
+func (s *Service) Admit(client string) (bool, time.Duration) {
+	if s.adm == nil {
+		return true, 0
+	}
+	ok, retry := s.adm.admit(client, time.Now())
+	if !ok {
+		s.shedRate.Add(1)
+		s.logger.Warn("rate limited", "client", client, "retry_after", retry)
+	}
+	return ok, retry
 }
 
 // kindRunsEngine reports whether a kind evaluates on the tabled engine

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -16,7 +15,9 @@ import (
 	"xlp/internal/engine"
 	"xlp/internal/gaia"
 	"xlp/internal/prop"
+	"xlp/internal/service/store"
 	"xlp/internal/strict"
+	"xlp/internal/testutil"
 )
 
 // divergentSrc backtracks through 4^16 combinations at constant depth:
@@ -47,7 +48,7 @@ func newTestService(t *testing.T, cfg Config) *Service {
 // different runs of the same request compare equal.
 func normalize(r *Response) *Response {
 	cp := r.shallowCopy()
-	cp.Cached, cp.Deduped = false, false
+	cp.Cached, cp.Stored, cp.Deduped = false, false, false
 	cp.Timings = Timings{}
 	// Engine counters are cost metrics, not results: evaluation order
 	// (map iteration) legitimately varies them between runs.
@@ -153,7 +154,7 @@ func TestTorture(t *testing.T) {
 // a divergent program returns ErrDeadline within ~2x the deadline, and
 // shutdown leaves no goroutines behind.
 func TestDeadline(t *testing.T) {
-	before := runtime.NumGoroutine()
+	before := testutil.Goroutines()
 	s := New(Config{Workers: 2, QueueSize: 8})
 
 	start := time.Now()
@@ -179,14 +180,9 @@ func TestDeadline(t *testing.T) {
 	}
 	// The worker that ran the divergent program also stops: Do's
 	// deferred cancel fires when Do returns, and the engine aborts at
-	// its next context poll. Wait for the count to settle.
-	deadline := time.Now().Add(5 * time.Second)
-	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-	}
-	if now := runtime.NumGoroutine(); now > before {
-		t.Errorf("goroutine leak after drain: %d before, %d after", before, now)
-	}
+	// its next context poll. The leak helper polls until the labeled
+	// goroutine profile settles back to the before snapshot.
+	testutil.AssertNoLeaks(t, before)
 }
 
 // TestWarmCache checks the acceptance criterion: a repeat of an
@@ -466,4 +462,100 @@ func mustSrc(t *testing.T, name string) string {
 		t.Fatal(err)
 	}
 	return p.Source
+}
+
+// TestStoreWarmRestart checks the durable-store acceptance criterion at
+// the service level: a result computed by one service instance is
+// served warm — without re-execution — by a fresh instance opened on
+// the same store directory, and the payload survives the round trip.
+func TestStoreWarmRestart(t *testing.T) {
+	cfg := Config{Workers: 2, StoreDir: t.TempDir()}
+	req := &Request{Kind: KindGroundness, Source: mustSrc(t, "qsort")}
+
+	s1 := New(cfg)
+	cold, err := s1.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached || cold.Stored {
+		t.Fatalf("cold run flagged cached=%v stored=%v", cold.Cached, cold.Stored)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Simulated restart: a new process on the same directory.
+	s2 := newTestService(t, cfg)
+	warm, err := s2.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Stored || !warm.Cached {
+		t.Errorf("warm restart response flagged cached=%v stored=%v, want true/true", warm.Cached, warm.Stored)
+	}
+	if !reflect.DeepEqual(normalize(warm), normalize(cold)) {
+		t.Error("store-served response differs from the original computation")
+	}
+	st := s2.Stats()
+	if st.Executed != 0 || st.Hits != 1 {
+		t.Errorf("restarted service recomputed: executed %d, hits %d", st.Executed, st.Hits)
+	}
+	if st.Store == nil || st.Store.Hits != 1 || st.Store.Entries != 1 {
+		t.Errorf("store stats: %+v", st.Store)
+	}
+
+	// The disk hit was promoted to the LRU: a repeat is a memory hit.
+	again, err := s2.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Error("repeat after promotion not served from the memory cache")
+	}
+	if got := s2.Stats().Store.Hits; got != 1 {
+		t.Errorf("repeat went back to disk: store hits %d, want 1", got)
+	}
+}
+
+// TestStoreCorruptPayloadIsMiss: a stored frame whose checksum holds but
+// whose JSON no longer decodes as a Response (schema drift) is dropped
+// and recomputed, never surfaced as an error.
+func TestStoreCorruptPayloadIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 1, StoreDir: dir}
+	req := &Request{Kind: KindQuery, Source: "a(1).", Options: Options{Goal: "a(X)"}}
+
+	s1 := New(cfg)
+	if _, err := s1.Do(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the entry with a frame that is valid at the codec layer
+	// but is not a Response object.
+	st, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(req.CacheKey(), []byte(`[1, 2, 3]`)); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newTestService(t, cfg)
+	resp, err := s2.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stored || resp.Cached {
+		t.Errorf("undecodable payload served warm: cached=%v stored=%v", resp.Cached, resp.Stored)
+	}
+	stats := s2.Stats()
+	if stats.Executed != 1 {
+		t.Errorf("executed %d, want 1 (recompute)", stats.Executed)
+	}
+	if stats.Store.Corrupt == 0 {
+		t.Error("corrupt counter not bumped for undecodable payload")
+	}
 }

@@ -1,0 +1,55 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzStoreDecode drives the on-disk entry codec with arbitrary bytes.
+// The contract under attack: Decode never panics, every malformed
+// input is classified as ErrCorrupt (a miss), and every accepted input
+// decodes to exactly the payload its frame committed to — a truncated
+// or bit-flipped entry must never be reported as a (different) result.
+func FuzzStoreDecode(f *testing.F) {
+	// Well-formed frames over representative payloads.
+	for _, payload := range [][]byte{
+		{},
+		[]byte("x"),
+		[]byte(`{"kind":"groundness","cached":false,"timings":{"preproc_us":1,"analysis_us":2,"collection_us":0,"total_us":3}}`),
+		[]byte(`{"kind":"strictness","functions":[{"indicator":"app/3","arity":3,"strict_args":[true,false,true]}]}`),
+		bytes.Repeat([]byte{0x00}, 256),
+	} {
+		f.Add(Encode(payload))
+	}
+	// Malformed variants: truncations, padding, header and payload flips.
+	base := Encode([]byte(`{"kind":"query","solutions":["p(a)","p(b)"]}`))
+	f.Add(base[:8])
+	f.Add(base[:headerSize])
+	f.Add(base[:len(base)-3])
+	f.Add(append(append([]byte{}, base...), 0xde, 0xad))
+	flip := func(i int) []byte { c := append([]byte{}, base...); c[i] ^= 0x80; return c }
+	f.Add(flip(0))             // magic
+	f.Add(flip(8))             // version
+	f.Add(flip(12))            // length field
+	f.Add(flip(20))            // checksum
+	f.Add(flip(len(base) - 1)) // payload
+	f.Add([]byte("xlpstore"))  // magic only
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Decode error outside ErrCorrupt: %v", err)
+			}
+			return
+		}
+		// Accepted: the frame must be exactly the canonical encoding of
+		// the payload it yielded (no malleability — a tampered frame that
+		// still decodes would re-encode differently).
+		if re := Encode(payload); !bytes.Equal(re, data) {
+			t.Fatalf("accepted frame is not canonical: %d byte frame, re-encodes to %d bytes", len(data), len(re))
+		}
+	})
+}

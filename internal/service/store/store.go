@@ -1,0 +1,311 @@
+// Package store is the disk-backed, content-addressed result store
+// that sits under the service's in-memory LRU. Entries are keyed by
+// the service's SHA-256 request keys (hex), so a result written by one
+// process is valid for any later process given the same request: the
+// key already covers kind, canonicalized options, and source.
+//
+// Durability discipline:
+//
+//   - writes go to a temp file in the target directory and are
+//     published with os.Rename, so readers only ever see complete
+//     entries (atomic on POSIX within one filesystem);
+//   - the on-disk format is versioned and checksummed (see Encode);
+//     any entry that fails validation — truncated, bit-flipped, wrong
+//     version, stray file — is a cache miss, never an error, and is
+//     deleted so it cannot be re-read;
+//   - keys are validated as 64 lowercase hex characters before they
+//     touch the filesystem, so a hostile key cannot escape the store
+//     directory.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Entry format v1, in order:
+//
+//	offset 0:  8-byte magic "xlpstore"
+//	offset 8:  1-byte format version (1)
+//	offset 9:  8-byte big-endian payload length
+//	offset 17: 32-byte SHA-256 of the payload
+//	offset 49: payload (the service's JSON-encoded Response)
+const (
+	magic      = "xlpstore"
+	version    = 1
+	headerSize = len(magic) + 1 + 8 + sha256.Size
+	// maxPayload bounds the length field during decode so a corrupt
+	// header cannot drive a giant allocation.
+	maxPayload = 1 << 30
+)
+
+// ErrCorrupt reports an entry that failed structural validation.
+// Callers inside the store treat it as a miss; it is exported so fuzz
+// and unit tests can assert the failure class.
+var ErrCorrupt = errors.New("store: corrupt entry")
+
+// Encode frames a payload in on-disk entry format v1.
+func Encode(payload []byte) []byte {
+	out := make([]byte, headerSize+len(payload))
+	copy(out, magic)
+	out[len(magic)] = version
+	binary.BigEndian.PutUint64(out[len(magic)+1:], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(out[len(magic)+9:], sum[:])
+	copy(out[headerSize:], payload)
+	return out
+}
+
+// Decode validates a framed entry and returns its payload. Every
+// failure wraps ErrCorrupt: a truncated, padded, bit-flipped, or
+// wrong-version entry must read as "not stored", never as data.
+func Decode(data []byte) ([]byte, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes, want >= %d header bytes", ErrCorrupt, len(data), headerSize)
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := data[len(magic)]; v != version {
+		return nil, fmt.Errorf("%w: unsupported format version %d", ErrCorrupt, v)
+	}
+	n := binary.BigEndian.Uint64(data[len(magic)+1:])
+	if n > maxPayload || int(n) != len(data)-headerSize {
+		return nil, fmt.Errorf("%w: length field %d does not match %d payload bytes", ErrCorrupt, n, len(data)-headerSize)
+	}
+	payload := data[headerSize:]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], data[len(magic)+9:headerSize]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// Stats is a point-in-time snapshot of the store counters.
+type Stats struct {
+	Entries int64  `json:"entries"` // entries currently on disk
+	Hits    uint64 `json:"hits"`    // Get found a valid entry
+	Misses  uint64 `json:"misses"`  // Get found nothing usable
+	Writes  uint64 `json:"writes"`  // entries published by Put
+	Corrupt uint64 `json:"corrupt"` // entries dropped as unreadable
+	Evicted uint64 `json:"evicted"` // entries removed by the size cap
+}
+
+// Store is a content-addressed entry store rooted at one directory.
+// Entries live at dir/<key[:2]>/<key> (256-way fan-out keeps directory
+// listings short at large entry counts). All methods are safe for
+// concurrent use.
+type Store struct {
+	dir        string
+	maxEntries int
+
+	entries                                atomic.Int64
+	hits, misses, writes, corrupt, evicted atomic.Uint64
+
+	// pubMu serializes the existence check against the rename/remove
+	// that changes it, so the entry count stays exact when concurrent
+	// Puts publish the same fresh key (or a Put races a corrupt-drop).
+	// Only the cheap stat+rename runs under it; temp-file writes stay
+	// concurrent.
+	pubMu   sync.Mutex
+	sweepMu sync.Mutex // serializes size-cap sweeps
+}
+
+// Open roots a store at dir, creating it if needed and counting the
+// entries already present (the warm-across-restart inventory).
+// maxEntries caps the store size; 0 means unlimited.
+func Open(dir string, maxEntries int) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, maxEntries: maxEntries}
+	n := 0
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && validKey(d.Name()) {
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: inventory walk: %w", err)
+	}
+	s.entries.Store(int64(n))
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the current entry count.
+func (s *Store) Len() int { return int(s.entries.Load()) }
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Entries: s.entries.Load(),
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Writes:  s.writes.Load(),
+		Corrupt: s.corrupt.Load(),
+		Evicted: s.evicted.Load(),
+	}
+}
+
+// validKey reports whether key is exactly 64 lowercase hex characters
+// (a SHA-256 in the service's CacheKey encoding). Anything else never
+// touches the filesystem.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key)
+}
+
+// Get returns the stored payload for key. Every failure mode —
+// invalid key, absent entry, unreadable file, failed validation — is
+// a miss; corrupt files are additionally deleted and counted.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if !validKey(key) {
+		s.misses.Add(1)
+		return nil, false
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	payload, err := Decode(data)
+	if err != nil {
+		s.dropCorrupt(key)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return payload, true
+}
+
+// DropCorrupt removes key's entry as unreadable and counts it. The
+// store exposes it for callers that validate the payload further
+// (e.g. the service's JSON decode) and hit schema-level corruption.
+func (s *Store) DropCorrupt(key string) {
+	if validKey(key) {
+		s.dropCorrupt(key)
+	}
+}
+
+func (s *Store) dropCorrupt(key string) {
+	s.corrupt.Add(1)
+	s.pubMu.Lock()
+	if os.Remove(s.path(key)) == nil {
+		s.entries.Add(-1)
+	}
+	s.pubMu.Unlock()
+}
+
+// Put frames payload and publishes it under key via write-to-temp +
+// rename, so concurrent readers only ever observe complete entries.
+// Overwriting an existing key is allowed and idempotent.
+func (s *Store) Put(key string, payload []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	final := s.path(key)
+	shard := filepath.Dir(final)
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(shard, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(Encode(payload)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.pubMu.Lock()
+	_, statErr := os.Stat(final)
+	fresh := errors.Is(statErr, fs.ErrNotExist)
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		s.pubMu.Unlock()
+		return fmt.Errorf("store: %w", err)
+	}
+	if fresh {
+		s.entries.Add(1)
+	}
+	s.pubMu.Unlock()
+	s.writes.Add(1)
+	if s.maxEntries > 0 && int(s.entries.Load()) > s.maxEntries {
+		s.sweep()
+	}
+	return nil
+}
+
+// sweep brings the store back under maxEntries by deleting the oldest
+// entries (by modification time) down to 90% of the cap, so Put is not
+// sweeping on every call at the boundary.
+func (s *Store) sweep() {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	target := s.maxEntries * 9 / 10
+	if int(s.entries.Load()) <= s.maxEntries {
+		return // another Put already swept
+	}
+	type entry struct {
+		path string
+		mod  int64
+	}
+	var all []entry
+	filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error { //nolint:errcheck
+		if err != nil || d.IsDir() || !validKey(d.Name()) {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		all = append(all, entry{path, info.ModTime().UnixNano()})
+		return nil
+	})
+	sort.Slice(all, func(i, j int) bool { return all[i].mod < all[j].mod })
+	for i := 0; i < len(all) && len(all)-i > target; i++ {
+		s.pubMu.Lock()
+		if os.Remove(all[i].path) == nil {
+			s.entries.Add(-1)
+			s.evicted.Add(1)
+		}
+		s.pubMu.Unlock()
+	}
+}

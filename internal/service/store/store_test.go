@@ -1,0 +1,249 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// key returns a deterministic valid store key.
+func key(seed string) string {
+	sum := sha256.Sum256([]byte(seed))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		[]byte(`{"kind":"groundness","predicates":[{"indicator":"app/3"}]}`),
+		bytes.Repeat([]byte{0xff, 0x00}, 4096),
+	} {
+		framed := Encode(payload)
+		got, err := Decode(framed)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%d bytes)): %v", len(payload), err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload round trip mismatch: %d bytes in, %d out", len(payload), len(got))
+		}
+		// Encoding is deterministic, so decode∘encode must be identity on
+		// the framed form too.
+		if again := Encode(got); !bytes.Equal(again, framed) {
+			t.Fatal("Encode not deterministic over round-tripped payload")
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	framed := Encode([]byte(`{"kind":"lint"}`))
+	cases := map[string][]byte{
+		"empty":         {},
+		"short":         framed[:headerSize-1],
+		"truncated":     framed[:len(framed)-1],
+		"padded":        append(append([]byte{}, framed...), 'x'),
+		"bad magic":     append([]byte("notstore"), framed[8:]...),
+		"future ver":    func() []byte { c := append([]byte{}, framed...); c[8] = 99; return c }(),
+		"flip header":   func() []byte { c := append([]byte{}, framed...); c[12] ^= 0x10; return c }(),
+		"flip checksum": func() []byte { c := append([]byte{}, framed...); c[20] ^= 0x01; return c }(),
+		"flip payload":  func() []byte { c := append([]byte{}, framed...); c[len(c)-1] ^= 0x01; return c }(),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: want ErrCorrupt, got %v", name, err)
+		}
+	}
+}
+
+func TestPutGetAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("req-1")
+	payload := []byte(`{"kind":"groundness"}`)
+	if _, ok := s.Get(k); ok {
+		t.Fatal("hit before Put")
+	}
+	if err := s.Put(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(k)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get after Put: ok=%v payload=%q", ok, got)
+	}
+
+	// Reopen on the same directory: the entry survives and is counted.
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("reopened store Len = %d, want 1", s2.Len())
+	}
+	got, ok = s2.Get(k)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get after reopen: ok=%v payload=%q", ok, got)
+	}
+	st := s2.Stats()
+	if st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("reopened stats = %+v", st)
+	}
+}
+
+func TestCorruptEntryIsMissAndDropped(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("req-corrupt")
+	if err := s.Put(k, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, k[:2], k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("corrupt entry not deleted")
+	}
+	st := s.Stats()
+	if st.Corrupt != 1 || st.Entries != 0 {
+		t.Fatalf("stats after corruption = %+v", st)
+	}
+	// A second Get is a plain miss, not another corruption.
+	if _, ok := s.Get(k); ok {
+		t.Fatal("deleted entry served as a hit")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("corruption double-counted: %+v", st)
+	}
+}
+
+func TestInvalidKeys(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{
+		"",
+		"short",
+		strings.Repeat("g", 64),                  // non-hex
+		strings.ToUpper(key("x")),                // uppercase hex
+		"../../../../etc/passwd" + key("x")[:41], // traversal, right length
+		key("x")[:63] + "/",                      // separator
+		strings.Repeat("a", 63) + string(rune(0)), // NUL
+		strings.Repeat("a", 62) + "é",             // multibyte, 64 bytes
+	} {
+		if err := s.Put(k, []byte("p")); err == nil {
+			t.Errorf("Put(%q) accepted an invalid key", k)
+		}
+		if _, ok := s.Get(k); ok {
+			t.Errorf("Get(%q) hit on an invalid key", k)
+		}
+	}
+	if got := s.Len(); got != 0 {
+		t.Fatalf("invalid keys created %d entries", got)
+	}
+}
+
+func TestOverwriteIdempotent(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("req-overwrite")
+	for i := 0; i < 3; i++ {
+		if err := s.Put(k, []byte("same result")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 1 {
+		t.Fatalf("overwrites inflated Len to %d", s.Len())
+	}
+}
+
+func TestSweepEnforcesCap(t *testing.T) {
+	s, err := Open(t.TempDir(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := s.Put(key(fmt.Sprintf("req-%d", i)), []byte("r")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.Len(); n > 20 {
+		t.Fatalf("cap 20 exceeded: %d entries", n)
+	}
+	if st := s.Stats(); st.Evicted == 0 {
+		t.Fatalf("no evictions recorded: %+v", st)
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := key(fmt.Sprintf("req-%d", i%10))
+				payload := []byte(fmt.Sprintf(`{"i":%d}`, i%10))
+				if err := s.Put(k, payload); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				got, ok := s.Get(k)
+				if !ok {
+					t.Error("miss right after Put")
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					t.Errorf("torn read: %q", got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", s.Len())
+	}
+}
+
+func TestStrayFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("not an entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("stray file counted as entry: Len = %d", s.Len())
+	}
+}

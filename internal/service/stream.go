@@ -1,0 +1,147 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"xlp/internal/obs"
+)
+
+// streamFormat selects a response transport. options.stream requests
+// JSON lines; the Accept header can pick either framing explicitly.
+type streamFormat int
+
+const (
+	streamNone   streamFormat = iota
+	streamNDJSON              // application/x-ndjson: one JSON object per line
+	streamSSE                 // text/event-stream: "event:"/"data:" frames
+)
+
+// pickStreamFormat negotiates the transport from the request: an
+// explicit Accept for a streaming media type wins, then options.stream
+// (defaulting to JSON lines).
+func pickStreamFormat(r *http.Request, optStream bool) streamFormat {
+	accept := r.Header.Get("Accept")
+	switch {
+	case strings.Contains(accept, "text/event-stream"):
+		return streamSSE
+	case strings.Contains(accept, "application/x-ndjson"),
+		strings.Contains(accept, "application/jsonlines"):
+		return streamNDJSON
+	case optStream:
+		return streamNDJSON
+	default:
+		return streamNone
+	}
+}
+
+// streamHeader opens a stream: the response metadata without its
+// item collections, so a client knows what is coming before any item
+// arrives.
+type streamHeader struct {
+	Kind    Kind `json:"kind"`
+	Cached  bool `json:"cached"`
+	Stored  bool `json:"stored,omitempty"`
+	Deduped bool `json:"deduped,omitempty"`
+	K       int  `json:"k,omitempty"`
+	Items   int  `json:"items"`
+}
+
+// streamItem carries exactly one element of the response's collections.
+type streamItem struct {
+	Predicate  *PredReport `json:"predicate,omitempty"`
+	Function   *FuncReport `json:"function,omitempty"`
+	Solution   *string     `json:"solution,omitempty"`
+	Diagnostic any         `json:"diagnostic,omitempty"`
+}
+
+// streamTrailer closes a stream with the cost accounting that is only
+// known once the run is complete (plus the derivation DAG for explain
+// responses, which has no itemwise framing).
+type streamTrailer struct {
+	Done       bool            `json:"done"`
+	Timings    Timings         `json:"timings"`
+	TableBytes int             `json:"table_bytes,omitempty"`
+	Engine     *EngineReport   `json:"engine,omitempty"`
+	LintErrors int             `json:"lint_errors,omitempty"`
+	Derivation *obs.Derivation `json:"derivation,omitempty"`
+	Items      int             `json:"items"`
+}
+
+// itemCount is the number of stream items a response expands to.
+func itemCount(resp *Response) int {
+	return len(resp.Predicates) + len(resp.Functions) + len(resp.Solutions) + len(resp.Diagnostics)
+}
+
+// streamResponse writes resp incrementally: header, one line/event per
+// item, trailer, flushing after every write so elements reach the
+// client as they are encoded — the encode buffer is one item, never
+// the whole answer set. A write error (client gone) stops the stream;
+// there is nothing left to tell that client.
+func (s *Service) streamResponse(w http.ResponseWriter, format streamFormat, resp *Response) {
+	s.streams.Add(1)
+	flusher, _ := w.(http.Flusher)
+	var writeEvent func(event string, v any) error
+	switch format {
+	case streamSSE:
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	default:
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w) // not indented: one object per line
+	writeEvent = func(event string, v any) error {
+		if format == streamSSE {
+			if _, err := w.Write([]byte("event: " + event + "\ndata: ")); err != nil {
+				return err
+			}
+		}
+		if err := enc.Encode(v); err != nil {
+			return err
+		}
+		if format == streamSSE {
+			if _, err := w.Write([]byte("\n")); err != nil {
+				return err
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+
+	n := itemCount(resp)
+	if err := writeEvent("header", streamHeader{
+		Kind: resp.Kind, Cached: resp.Cached, Stored: resp.Stored,
+		Deduped: resp.Deduped, K: resp.K, Items: n,
+	}); err != nil {
+		return
+	}
+	for i := range resp.Predicates {
+		if err := writeEvent("item", streamItem{Predicate: &resp.Predicates[i]}); err != nil {
+			return
+		}
+	}
+	for i := range resp.Functions {
+		if err := writeEvent("item", streamItem{Function: &resp.Functions[i]}); err != nil {
+			return
+		}
+	}
+	for i := range resp.Solutions {
+		if err := writeEvent("item", streamItem{Solution: &resp.Solutions[i]}); err != nil {
+			return
+		}
+	}
+	for i := range resp.Diagnostics {
+		if err := writeEvent("item", streamItem{Diagnostic: &resp.Diagnostics[i]}); err != nil {
+			return
+		}
+	}
+	writeEvent("done", streamTrailer{ //nolint:errcheck // final write; client gone means nothing to do
+		Done: true, Timings: resp.Timings, TableBytes: resp.TableBytes,
+		Engine: resp.Engine, LintErrors: resp.LintErrors,
+		Derivation: resp.Derivation, Items: n,
+	})
+}

@@ -1,0 +1,343 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"xlp/internal/testutil"
+)
+
+// streamQueryBody builds a query whose answer set expands to n stream
+// items (n ground solutions).
+func streamQueryBody(n int, stream bool) apiRequest {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "d(%d).\n", i)
+	}
+	return apiRequest{Source: sb.String(), Options: Options{Goal: "d(X)", Stream: stream}}
+}
+
+func postStream(t *testing.T, url string, body apiRequest, accept string) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", url, bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestStreamNDJSON checks the JSON-lines framing end to end: header
+// with an item count, one item object per solution, done trailer — and
+// that the streamed items equal the buffered response's.
+func TestStreamNDJSON(t *testing.T) {
+	s, srv := newTestServer(t)
+	const n = 16
+
+	resp := postStream(t, srv.URL+"/v1/query", streamQueryBody(n, true), "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type %q", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != n+2 {
+		t.Fatalf("got %d lines, want header + %d items + trailer", len(lines), n)
+	}
+
+	var header streamHeader
+	if err := json.Unmarshal([]byte(lines[0]), &header); err != nil {
+		t.Fatalf("header: %v", err)
+	}
+	if header.Kind != KindQuery || header.Items != n {
+		t.Errorf("header %+v, want kind=query items=%d", header, n)
+	}
+	seen := map[string]bool{}
+	for _, ln := range lines[1 : n+1] {
+		var item streamItem
+		if err := json.Unmarshal([]byte(ln), &item); err != nil {
+			t.Fatalf("item %q: %v", ln, err)
+		}
+		if item.Solution == nil {
+			t.Fatalf("item without solution: %q", ln)
+		}
+		seen[*item.Solution] = true
+	}
+	var trailer streamTrailer
+	if err := json.Unmarshal([]byte(lines[n+1]), &trailer); err != nil {
+		t.Fatalf("trailer: %v", err)
+	}
+	if !trailer.Done || trailer.Items != n {
+		t.Errorf("trailer %+v, want done=true items=%d", trailer, n)
+	}
+
+	// The streamed item set must match the buffered transport's answer
+	// set for the identical request (served from cache — same key).
+	hr, body := post(t, srv.URL+"/v1/query", streamQueryBody(n, false))
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("buffered repeat: status %d: %s", hr.StatusCode, body)
+	}
+	var buffered Response
+	if err := json.Unmarshal(body, &buffered); err != nil {
+		t.Fatal(err)
+	}
+	if !buffered.Cached {
+		t.Error("streamed and buffered requests did not share a cache entry")
+	}
+	if len(buffered.Solutions) != n {
+		t.Fatalf("buffered solutions %d, want %d", len(buffered.Solutions), n)
+	}
+	for _, sol := range buffered.Solutions {
+		if !seen[sol] {
+			t.Errorf("solution %q missing from the stream", sol)
+		}
+	}
+	if st := s.Stats(); st.Streams != 1 {
+		t.Errorf("streams counter %d, want 1", st.Streams)
+	}
+}
+
+// TestStreamSSE checks the Accept-negotiated server-sent-events framing:
+// event names header/item/done, data lines carrying the same JSON
+// objects as the NDJSON transport.
+func TestStreamSSE(t *testing.T) {
+	_, srv := newTestServer(t)
+	const n = 4
+
+	resp := postStream(t, srv.URL+"/v1/query", streamQueryBody(n, false), "text/event-stream")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type %q", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var events []string
+	var payloads []string
+	for _, ln := range strings.Split(string(data), "\n") {
+		switch {
+		case strings.HasPrefix(ln, "event: "):
+			events = append(events, strings.TrimPrefix(ln, "event: "))
+		case strings.HasPrefix(ln, "data: "):
+			payloads = append(payloads, strings.TrimPrefix(ln, "data: "))
+		case ln != "":
+			t.Fatalf("unframed SSE line %q", ln)
+		}
+	}
+	want := append(append([]string{"header"}, repeat("item", n)...), "done")
+	if fmt.Sprint(events) != fmt.Sprint(want) {
+		t.Fatalf("event sequence %v, want %v", events, want)
+	}
+	if len(payloads) != len(events) {
+		t.Fatalf("%d data lines for %d events", len(payloads), len(events))
+	}
+	var trailer streamTrailer
+	if err := json.Unmarshal([]byte(payloads[len(payloads)-1]), &trailer); err != nil {
+		t.Fatalf("trailer: %v", err)
+	}
+	if !trailer.Done {
+		t.Error("SSE stream missing done trailer")
+	}
+}
+
+func repeat(s string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = s
+	}
+	return out
+}
+
+// TestStreamAcceptNDJSON: the Accept header alone (no options.stream)
+// selects JSON-lines delivery.
+func TestStreamAcceptNDJSON(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp := postStream(t, srv.URL+"/v1/query", streamQueryBody(2, false), "application/x-ndjson")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type %q, want application/x-ndjson", ct)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	if got := len(strings.Split(strings.TrimSpace(string(data)), "\n")); got != 4 {
+		t.Errorf("%d lines, want 4 (header + 2 items + trailer)", got)
+	}
+}
+
+// failingWriter fails every Write past failAt, standing in for a client
+// whose connection dropped mid-stream.
+type failingWriter struct {
+	header http.Header
+	writes int
+	failAt int
+	status int
+}
+
+func (w *failingWriter) Header() http.Header {
+	if w.header == nil {
+		w.header = http.Header{}
+	}
+	return w.header
+}
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > w.failAt {
+		return 0, errors.New("broken pipe")
+	}
+	return len(p), nil
+}
+
+func (w *failingWriter) WriteHeader(code int) { w.status = code }
+
+// TestStreamWriteErrorStops: a mid-stream write failure stops the
+// stream immediately — no further encode work for a client that is
+// gone.
+func TestStreamWriteErrorStops(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	resp, err := s.Do(context.Background(), &Request{
+		Kind: KindQuery, Source: streamQueryBody(8, false).Source, Options: Options{Goal: "d(X)"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &failingWriter{failAt: 3} // header + two items, then the pipe breaks
+	s.streamResponse(w, streamNDJSON, resp)
+	if w.status != http.StatusOK {
+		t.Errorf("status %d, want 200 before the failure", w.status)
+	}
+	if w.writes != 4 {
+		t.Errorf("%d writes, want exactly 4 (3 delivered + 1 failed, then stop)", w.writes)
+	}
+}
+
+// TestStreamClientDisconnect: a client that vanishes mid-stream leaves
+// no goroutines behind, and the server keeps serving.
+func TestStreamClientDisconnect(t *testing.T) {
+	before := testutil.Goroutines()
+	s := New(Config{Workers: 2})
+	srv := httptest.NewServer(s.Handler())
+
+	buf, err := json.Marshal(streamQueryBody(256, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "POST", srv.URL+"/v1/query", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read the header line, then hang up mid-stream.
+	if _, err := bufio.NewReader(resp.Body).ReadString('\n'); err != nil {
+		t.Fatalf("header line: %v", err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The server is still healthy: a fresh buffered request succeeds.
+	hr, body := post(t, srv.URL+"/v1/query", apiRequest{Source: "a(1).", Options: Options{Goal: "a(X)"}})
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("post-disconnect request: status %d: %s", hr.StatusCode, body)
+	}
+
+	srv.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	testutil.AssertNoLeaks(t, before)
+}
+
+// TestStreamShutdownInFlight: shutting the server down while a stream
+// is in flight neither deadlocks nor leaks. The graceful path drains
+// the stream to its done trailer; the abrupt path (connections torn
+// down) truncates it — both must leave a clean goroutine profile.
+func TestStreamShutdownInFlight(t *testing.T) {
+	before := testutil.Goroutines()
+	s := New(Config{Workers: 2})
+	srv := httptest.NewServer(s.Handler())
+
+	buf, err := json.Marshal(streamQueryBody(256, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Graceful: reader drains while Shutdown runs concurrently.
+	resp, err := http.Post(srv.URL+"/v1/query", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- s.Shutdown(ctx)
+	}()
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("draining stream during shutdown: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	var trailer streamTrailer
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &trailer); err != nil || !trailer.Done {
+		t.Errorf("in-flight stream not drained to its trailer during shutdown (err %v)", err)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Abrupt: a second stream's connection is torn down underneath it.
+	// (The service is draining, so serve from a fresh one.)
+	s2 := New(Config{Workers: 2})
+	srv2 := httptest.NewServer(s2.Handler())
+	resp2, err := http.Post(srv2.URL+"/v1/query", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bufio.NewReader(resp2.Body).ReadString('\n'); err != nil {
+		t.Fatalf("header line: %v", err)
+	}
+	srv2.CloseClientConnections()
+	io.Copy(io.Discard, resp2.Body) //nolint:errcheck // truncation is the point
+	resp2.Body.Close()
+
+	srv2.Close()
+	srv.Close()
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	testutil.AssertNoLeaks(t, before)
+}

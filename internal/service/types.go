@@ -98,6 +98,13 @@ type Options struct {
 	// Table lists predicate indicators ("p/2") to table for a query, in
 	// addition to any ':- table' directives in the source.
 	Table []string `json:"table,omitempty"`
+	// Stream requests incremental delivery over HTTP: the response is
+	// written as JSON lines (or SSE under Accept: text/event-stream)
+	// — a header line, one line per predicate/function/solution/
+	// diagnostic, and a trailer — instead of one buffered document.
+	// Transport-only: it never changes the result and never splits the
+	// cache.
+	Stream bool `json:"stream,omitempty"`
 	// Engine resource limits (0 = engine defaults).
 	MaxDepth    int `json:"max_depth,omitempty"`
 	MaxAnswers  int `json:"max_answers,omitempty"`
@@ -207,6 +214,9 @@ func (r *Request) canonicalOptions() Options {
 	// Slicing never changes results, only cost: a sliced and an unsliced
 	// run of the same request share one cache entry.
 	o.Slice = false
+	// Streaming is a transport choice: a streamed and a buffered request
+	// for the same analysis share one cache entry.
+	o.Stream = false
 	return o
 }
 
@@ -337,6 +347,10 @@ type FuncReport struct {
 type Response struct {
 	Kind   Kind `json:"kind"`
 	Cached bool `json:"cached"`
+	// Stored marks a cache hit that was served from the disk-backed
+	// result store (a warm restart or an LRU-evicted entry) rather than
+	// from memory.
+	Stored bool `json:"stored,omitempty"`
 	// Deduped marks a response obtained by joining another request's
 	// in-flight computation rather than running or caching.
 	Deduped    bool    `json:"deduped,omitempty"`

@@ -1,0 +1,90 @@
+package soak
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"xlp/internal/testutil"
+)
+
+// envInt reads an integer knob from the environment, else returns def.
+func envInt(t *testing.T, name string, def int) int {
+	t.Helper()
+	v := os.Getenv(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		t.Fatalf("bad %s=%q: %v", name, v, err)
+	}
+	return n
+}
+
+// TestSoakSmoke is the race-clean soak gate (`make soak-smoke`): >=2k
+// mixed requests at >=8x GOMAXPROCS concurrency with kill/restart and
+// cancellation injection over one disk store, asserting zero
+// non-sentinel outcomes, Retry-After on every shed, a >=90% warm store
+// hit ratio after the final restart, zero goroutine leaks, and bounded
+// heap growth. It runs only under XLP_SOAK=1 so plain `go test ./...`
+// stays fast; XLP_SOAK_REQUESTS / XLP_SOAK_CONCURRENCY /
+// XLP_SOAK_RESTARTS scale it up for the long-form `make soak`.
+func TestSoakSmoke(t *testing.T) {
+	if os.Getenv("XLP_SOAK") == "" {
+		t.Skip("set XLP_SOAK=1 (make soak-smoke) to run the soak gate")
+	}
+	before := testutil.Goroutines()
+	var m0 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+
+	cfg := Config{
+		Requests:    envInt(t, "XLP_SOAK_REQUESTS", 2000),
+		Concurrency: envInt(t, "XLP_SOAK_CONCURRENCY", 8*runtime.GOMAXPROCS(0)),
+		Restarts:    envInt(t, "XLP_SOAK_RESTARTS", 3),
+		Seed:        20260809,
+		StoreDir:    t.TempDir(),
+		Logf:        t.Logf,
+	}
+	start := time.Now()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("soak did not complete: %v", err)
+	}
+	t.Logf("soak: %d requests in %v: ok=%d (cached=%d stored=%d deduped=%d) limit=%d deadline=%d shed=%d/%d canceled=%d restarts=%d p99=%v warm=%d/%d",
+		res.Requests, time.Since(start).Round(time.Millisecond),
+		res.OK, res.Cached, res.Stored, res.Deduped,
+		res.Limit, res.Deadline, res.ShedQueue, res.ShedRate, res.Canceled,
+		res.Restarts, res.P99, res.WarmStored, res.WarmUnique)
+	for _, u := range res.Unexpected {
+		t.Errorf("non-sentinel outcome: %s", u)
+	}
+	if err := res.Err(cfg); err != nil {
+		t.Error(err)
+	}
+	if res.OK == 0 || res.Limit == 0 || res.Deadline == 0 {
+		t.Errorf("probe classes missing coverage: ok=%d limit=%d deadline=%d",
+			res.OK, res.Limit, res.Deadline)
+	}
+	if res.Restarts < cfg.Restarts+1 {
+		t.Errorf("restart injection ran %d times, want >= %d", res.Restarts, cfg.Restarts+1)
+	}
+
+	// The run tore every daemon generation down: nothing may linger.
+	testutil.AssertNoLeaks(t, before)
+
+	// Bounded heap growth: after collection, the live heap must not
+	// have grown by more than a fixed budget over the whole soak (a
+	// leak proportional to request count would blow far past this).
+	runtime.GC()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	const heapBudget = 64 << 20
+	if m1.HeapAlloc > m0.HeapAlloc && m1.HeapAlloc-m0.HeapAlloc > heapBudget {
+		t.Errorf("live heap grew %d MiB over the soak (budget %d MiB)",
+			(m1.HeapAlloc-m0.HeapAlloc)>>20, heapBudget>>20)
+	}
+}

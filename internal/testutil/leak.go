@@ -1,0 +1,156 @@
+// Package testutil holds small helpers shared by the repository's test
+// suites. It must stay dependency-free (stdlib only) so every package,
+// including internal/engine, can import it from _test files without
+// cycles.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// LeakSnapshot is a labeled goroutine profile: a count per goroutine
+// identity (top frame + creation site), taken by Goroutines. Comparing
+// two snapshots attributes a leak to the function that spawned it,
+// which a bare runtime.NumGoroutine delta cannot do.
+type LeakSnapshot map[string]int
+
+// Goroutines snapshots the current goroutine profile, keyed by a
+// stable identity label and excluding runtime/testing plumbing. Use as
+//
+//	defer testutil.AssertNoLeaks(t, testutil.Goroutines())
+//
+// (defer evaluates its arguments immediately, so the snapshot is taken
+// at the defer statement and the assertion runs at test exit).
+func Goroutines() LeakSnapshot {
+	snap, _ := goroutines()
+	return snap
+}
+
+// goroutines returns the labeled profile plus one example stack per
+// label, for failure messages.
+func goroutines() (LeakSnapshot, map[string]string) {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	snap := LeakSnapshot{}
+	stacks := map[string]string{}
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		label, ok := goroutineLabel(g)
+		if !ok {
+			continue
+		}
+		snap[label]++
+		if _, dup := stacks[label]; !dup {
+			stacks[label] = g
+		}
+	}
+	return snap, stacks
+}
+
+// goroutineLabel derives the identity label of one stack block and
+// reports whether the goroutine counts toward leak detection.
+func goroutineLabel(stack string) (string, bool) {
+	lines := strings.Split(strings.TrimSpace(stack), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "goroutine ") {
+		return "", false
+	}
+	top := lines[1] // first function line under the "goroutine N [state]:" header
+	created := ""
+	for _, l := range lines {
+		if strings.HasPrefix(l, "created by ") {
+			created = strings.TrimSpace(strings.TrimPrefix(l, "created by "))
+			break
+		}
+	}
+	label := top
+	if created != "" {
+		label += " <- " + created
+	}
+	for _, benign := range benignFrames {
+		if strings.Contains(label, benign) {
+			return "", false
+		}
+	}
+	return label, true
+}
+
+// benignFrames mark goroutines owned by the runtime, the test harness,
+// or process-lifetime singletons; they come and go outside any test's
+// control and never indicate a leak in code under test.
+var benignFrames = []string{
+	"testing.RunTests",
+	"testing.(*T).Run",
+	"testing.(*F).Fuzz",
+	"testing.runFuzzing",
+	"testing.tRunner",
+	"runtime.goexit",
+	"runtime.gc",
+	"runtime.forcegc",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime.ReadTrace",
+	"runtime/pprof",
+	"runtime/trace",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"runtime.ensureSigM",
+	"net/http.(*persistConn)", // idle keep-alive conns park here between requests
+	"net/http.setupRewindBody",
+}
+
+// AssertNoLeaks fails t when goroutines beyond the before snapshot are
+// still running once the test body finishes. It polls — goroutine
+// teardown is asynchronous after Close/cancel returns — and only fails
+// after the profile stays above the baseline for the full deadline,
+// reporting one example stack per leaked identity.
+func AssertNoLeaks(t testing.TB, before LeakSnapshot) {
+	t.Helper()
+	AssertNoLeaksWithin(t, before, 5*time.Second)
+}
+
+// AssertNoLeaksWithin is AssertNoLeaks with an explicit settle deadline.
+func AssertNoLeaksWithin(t testing.TB, before LeakSnapshot, deadline time.Duration) {
+	t.Helper()
+	var leaked []string
+	var stacks map[string]string
+	end := time.Now().Add(deadline)
+	for {
+		var after LeakSnapshot
+		after, stacks = goroutines()
+		leaked = leaked[:0]
+		for label, n := range after {
+			if n > before[label] {
+				leaked = append(leaked, fmt.Sprintf("%s (%d -> %d)", label, before[label], n))
+			}
+		}
+		if len(leaked) == 0 {
+			return
+		}
+		if time.Now().After(end) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	sort.Strings(leaked)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d goroutine identity(ies) leaked after %v:\n", len(leaked), deadline)
+	for _, l := range leaked {
+		fmt.Fprintf(&b, "  %s\n", l)
+		label := l[:strings.LastIndex(l, " (")]
+		if s, ok := stacks[label]; ok {
+			fmt.Fprintf(&b, "    %s\n", strings.ReplaceAll(s, "\n", "\n    "))
+		}
+	}
+	t.Error(b.String())
+}

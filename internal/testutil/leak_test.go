@@ -1,0 +1,66 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeT records failures instead of failing the real test.
+type fakeT struct {
+	testing.TB
+	failed bool
+	msg    string
+}
+
+func (f *fakeT) Helper() {}
+func (f *fakeT) Error(args ...any) {
+	f.failed = true
+	for _, a := range args {
+		if s, ok := a.(string); ok {
+			f.msg += s
+		}
+	}
+}
+
+func TestNoLeakPasses(t *testing.T) {
+	before := Goroutines()
+	done := make(chan struct{})
+	go func() { <-done }()
+	close(done)
+	ft := &fakeT{}
+	AssertNoLeaksWithin(ft, before, 2*time.Second)
+	if ft.failed {
+		t.Fatalf("clean run reported a leak:\n%s", ft.msg)
+	}
+}
+
+func TestLeakDetected(t *testing.T) {
+	before := Goroutines()
+	block := make(chan struct{})
+	go func() { <-block }() // deliberate leak for the duration of the check
+	ft := &fakeT{}
+	AssertNoLeaksWithin(ft, before, 200*time.Millisecond)
+	close(block)
+	if !ft.failed {
+		t.Fatal("leaked goroutine not detected")
+	}
+	if !strings.Contains(ft.msg, "testutil.TestLeakDetected") {
+		t.Fatalf("failure message does not name the leaking creation site:\n%s", ft.msg)
+	}
+	// The leaked goroutine exits once block is closed; the profile must
+	// settle back to the baseline.
+	AssertNoLeaksWithin(t, before, 5*time.Second)
+}
+
+func TestSnapshotStable(t *testing.T) {
+	a := Goroutines()
+	b := Goroutines()
+	for label, n := range a {
+		if b[label] != n {
+			// Allow runtime-internal churn only for labels we failed to
+			// classify as benign; user-code labels must be stable at rest.
+			t.Fatalf("label %q changed between back-to-back snapshots: %d vs %d", label, n, b[label])
+		}
+	}
+}
