@@ -52,15 +52,17 @@ bench-difftest:
 	$(GO) test -run '^$$' -bench 'BenchmarkRandGen|BenchmarkDiffTest' -benchtime 2s -benchmem .
 
 # Bench-regression gates: BenchmarkSolveCorpus (full-corpus sweep under
-# both table representations) against the baseline in BENCH_engine.json,
-# the provenance-off press1 run against the provenance section of
-# BENCH_obs.json (the recorder must cost nothing when disabled), and the
+# both table representations, the closure backend, and the parallel
+# group planner) against the baseline in BENCH_engine.json, the
+# provenance-off press1 run against the provenance section of
+# BENCH_obs.json (the recorder must cost nothing when disabled), the
 # service's warm-hit and admission-shed paths against BENCH_service.json
-# (shedding must stay cheaper than serving a cache hit). Fails on a
-# regression past each gate's band or if trie tables lose their >=20%
-# allocation win. XLP_BENCH_WRITE=1 refreshes the baselines.
+# (shedding must stay cheaper than serving a cache hit), and the
+# /v1/batch corpus sweep (GOMAXPROCS workers must beat one worker).
+# Fails on a regression past each gate's band or if trie tables lose
+# their >=20% allocation win. XLP_BENCH_WRITE=1 refreshes the baselines.
 bench-check:
-	XLP_BENCH_CHECK=1 $(GO) test -count=1 -run '^TestBenchRegressionGate$$|^TestProvenanceBenchGate$$|^TestServiceBenchGate$$' -v .
+	XLP_BENCH_CHECK=1 $(GO) test -count=1 -run '^TestBenchRegressionGate$$|^TestProvenanceBenchGate$$|^TestServiceBenchGate$$|^TestBatchScalingGate$$' -v .
 
 # Disk-backed result store: the codec/store unit tests plus the service
 # integration (warm restart, corrupt-entry-is-a-miss) under the race
@@ -108,6 +110,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseFL$$' -fuzztime $(FUZZTIME) ./internal/fl
 	$(GO) test -run '^$$' -fuzz '^FuzzAnalyzeGroundness$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzCompileSolve$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzParallelSolve$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzStoreDecode$$' -fuzztime $(FUZZTIME) ./internal/service/store
 
 serve:

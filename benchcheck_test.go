@@ -20,10 +20,15 @@
 package xlp
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -37,16 +42,23 @@ import (
 // benchConfig is one gated engine configuration: a table representation
 // plus a clause backend. Names key the entries in BENCH_engine.json.
 type benchConfig struct {
-	name   string
-	tables engine.TablesImpl
-	mode   engine.LoadMode
+	name     string
+	tables   engine.TablesImpl
+	mode     engine.LoadMode
+	parallel int
 }
 
 func benchConfigs() []benchConfig {
 	return []benchConfig{
-		{"trie", engine.TablesTrie, engine.LoadDynamic},
-		{"stringmap", engine.TablesStringMap, engine.LoadDynamic},
-		{"closure", engine.TablesTrie, engine.ModeClosure},
+		{"trie", engine.TablesTrie, engine.LoadDynamic, 0},
+		{"stringmap", engine.TablesStringMap, engine.LoadDynamic, 0},
+		{"closure", engine.TablesTrie, engine.ModeClosure, 0},
+		// Corpus programs are mostly single-cone (one goal group), so
+		// this entry is not expected to beat the trie sweep — it holds
+		// the group planner's overhead inside the regression band on
+		// workloads that cannot split. The batch gate below is where
+		// parallelism must pay off.
+		{"parallel", engine.TablesTrie, engine.LoadDynamic, 4},
 	}
 }
 
@@ -54,12 +66,12 @@ func benchConfigs() []benchConfig {
 // the tabled engine under the given configuration.
 func solveCorpus(tb testing.TB, cfg benchConfig) {
 	for _, p := range corpus.LogicPrograms() {
-		if _, err := prop.Analyze(p.Source, prop.Options{Tables: cfg.tables, Mode: cfg.mode}); err != nil {
+		if _, err := prop.Analyze(p.Source, prop.Options{Tables: cfg.tables, Mode: cfg.mode, Parallel: cfg.parallel}); err != nil {
 			tb.Fatalf("%s: %v", p.Name, err)
 		}
 	}
 	for _, p := range corpus.FuncPrograms() {
-		if _, err := strict.Analyze(p.Source, strict.Options{Tables: cfg.tables, Mode: cfg.mode}); err != nil {
+		if _, err := strict.Analyze(p.Source, strict.Options{Tables: cfg.tables, Mode: cfg.mode, Parallel: cfg.parallel}); err != nil {
 			tb.Fatalf("%s: %v", p.Name, err)
 		}
 	}
@@ -390,6 +402,178 @@ func TestServiceBenchGate(t *testing.T) {
 	}
 
 	for name, r := range map[string]testing.BenchmarkResult{"warm": warm, "shed": shed} {
+		var base svcBenchEntry
+		if err := json.Unmarshal(results[name], &base); err != nil || base.NsPerOp <= 0 {
+			t.Errorf("%s: no %q baseline entry: %v (run with XLP_BENCH_WRITE=1 to create one)",
+				svcBaselineFile, name, err)
+			continue
+		}
+		if got := float64(r.NsPerOp()); got > base.NsPerOp*svcBenchTolerance {
+			t.Errorf("%s: time regressed %.1f%% over baseline (%.0f ns/op vs %.0f)",
+				name, (got/base.NsPerOp-1)*100, got, base.NsPerOp)
+		}
+		if got := float64(r.AllocsPerOp()); got > float64(base.AllocsPerOp)*benchTolerance {
+			t.Errorf("%s: allocations regressed %.1f%% over baseline (%d allocs/op vs %d)",
+				name, (got/float64(base.AllocsPerOp)-1)*100, r.AllocsPerOp(), base.AllocsPerOp)
+		}
+	}
+}
+
+// batchCorpusBody marshals the full benchmark corpus as one /v1/batch
+// request: groundness over the Table 1 logic programs, strictness over
+// the Table 3 functional ones. Every item has a distinct source, so no
+// two items dedup or share a cache entry within one batch.
+func batchCorpusBody(tb testing.TB) ([]byte, int) {
+	tb.Helper()
+	type item struct {
+		Kind   service.Kind `json:"kind"`
+		Source string       `json:"source"`
+	}
+	var items []item
+	for _, p := range corpus.LogicPrograms() {
+		items = append(items, item{service.KindGroundness, p.Source})
+	}
+	for _, p := range corpus.FuncPrograms() {
+		items = append(items, item{service.KindStrictness, p.Source})
+	}
+	body, err := json.Marshal(struct {
+		Items []item `json:"items"`
+	}{items})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return body, len(items)
+}
+
+// runBatchCorpus posts the whole corpus as one batch against a fresh
+// service (a fresh cache — every item is a real analysis) with the
+// given worker count, and fails on any item error.
+func runBatchCorpus(tb testing.TB, workers int, body []byte, items int) {
+	s := service.New(service.Config{Workers: workers, QueueSize: 1024})
+	defer s.Close()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/v1/batch", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		tb.Fatalf("batch status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		OK     int `json:"ok"`
+		Failed int `json:"failed"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		tb.Fatal(err)
+	}
+	if out.Failed != 0 || out.OK != items {
+		tb.Fatalf("batch: %d ok, %d failed (want %d ok)", out.OK, out.Failed, items)
+	}
+}
+
+// BenchmarkBatchScaling measures the /v1/batch path on the full corpus
+// sweep at one worker vs all of them; one op is one whole batch.
+func BenchmarkBatchScaling(b *testing.B) {
+	body, items := batchCorpusBody(b)
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runBatchCorpus(b, w, body, items)
+			}
+		})
+	}
+}
+
+// TestBatchScalingGate holds the batch path to its acceptance bar: the
+// corpus batch at GOMAXPROCS workers must complete faster than the same
+// batch on one worker (batch items genuinely run concurrently), and
+// both runs must stay within the regression band of their committed
+// BENCH_service.json entries. Opt-in alongside the other gates:
+//
+//	XLP_BENCH_CHECK=1 go test -run TestBatchScalingGate .   # or: make bench-check
+//	XLP_BENCH_WRITE=1 go test -run TestBatchScalingGate .   # refresh batch entries
+func TestBatchScalingGate(t *testing.T) {
+	write := os.Getenv("XLP_BENCH_WRITE") != ""
+	if os.Getenv("XLP_BENCH_CHECK") == "" && !write {
+		t.Skip("set XLP_BENCH_CHECK=1 (compare) or XLP_BENCH_WRITE=1 (rebaseline) to run")
+	}
+	body, items := batchCorpusBody(t)
+	bestOf3 := func(workers int) testing.BenchmarkResult {
+		var best testing.BenchmarkResult
+		for run := 0; run < 3; run++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					runBatchCorpus(b, workers, body, items)
+				}
+			})
+			if run == 0 || r.NsPerOp() < best.NsPerOp() {
+				best = r
+			}
+		}
+		return best
+	}
+	maxprocs := runtime.GOMAXPROCS(0)
+	seq, par := bestOf3(1), bestOf3(maxprocs)
+	t.Logf("batch of %d: 1 worker %d ns/op; %d workers %d ns/op (%.2fx)",
+		items, seq.NsPerOp(), maxprocs, par.NsPerOp(),
+		float64(seq.NsPerOp())/float64(par.NsPerOp()))
+
+	// The machine-independent bar, meaningful only with real cores.
+	if maxprocs > 1 && par.NsPerOp() >= seq.NsPerOp() {
+		t.Errorf("batch at %d workers is not faster than sequential: %d ns/op vs %d ns/op",
+			maxprocs, par.NsPerOp(), seq.NsPerOp())
+	}
+
+	raw, err := os.ReadFile(svcBaselineFile)
+	if err != nil {
+		t.Fatalf("no committed %s: %v", svcBaselineFile, err)
+	}
+	var file map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatalf("corrupt %s: %v", svcBaselineFile, err)
+	}
+	results := map[string]json.RawMessage{}
+	if err := json.Unmarshal(file["results"], &results); err != nil {
+		t.Fatalf("%s: corrupt results section: %v", svcBaselineFile, err)
+	}
+
+	if write {
+		put := func(name, comment string, r testing.BenchmarkResult) {
+			enc, err := json.Marshal(svcBenchEntry{
+				Comment:     comment,
+				NsPerOp:     float64(r.NsPerOp()),
+				ReqPerS:     math.Round(float64(items) * 1e9 / float64(r.NsPerOp())),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			results[name] = enc
+		}
+		put("batch_seq", "full corpus as one /v1/batch on a single worker (req_per_s counts items)", seq)
+		put("batch_par", "full corpus as one /v1/batch at GOMAXPROCS workers (req_per_s counts items)", par)
+		enc, err := json.Marshal(results)
+		if err != nil {
+			t.Fatal(err)
+		}
+		file["results"] = enc
+		speedup, err := json.Marshal(math.Round(float64(seq.NsPerOp())/float64(par.NsPerOp())*100) / 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		file["batch_parallel_speedup"] = speedup
+		out, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(svcBaselineFile, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote batch_seq and batch_par entries of %s", svcBaselineFile)
+		return
+	}
+
+	for name, r := range map[string]testing.BenchmarkResult{"batch_seq": seq, "batch_par": par} {
 		var base svcBenchEntry
 		if err := json.Unmarshal(results[name], &base); err != nil || base.NsPerOp <= 0 {
 			t.Errorf("%s: no %q baseline entry: %v (run with XLP_BENCH_WRITE=1 to create one)",

@@ -32,6 +32,7 @@ type analyzeFlags struct {
 	trace    string
 	events   string
 	top      int
+	parallel int
 }
 
 func newAnalyzeFlags(name string, withK bool) *analyzeFlags {
@@ -47,6 +48,7 @@ func newAnalyzeFlags(name string, withK bool) *analyzeFlags {
 	af.fs.StringVar(&af.trace, "trace", "", "write a Chrome trace_event file (open in chrome://tracing)")
 	af.fs.StringVar(&af.events, "events", "", "write engine events as JSONL")
 	af.fs.IntVar(&af.top, "top", 0, "print the n largest tables by canonical bytes")
+	af.fs.IntVar(&af.parallel, "parallel", 0, "intra-query parallelism for the solve phase (0 or 1 = sequential); results are identical")
 	return af
 }
 
@@ -171,7 +173,7 @@ func runAnalyze(kind string, args []string, stdout, stderr io.Writer) int {
 	var summary string
 	switch kind {
 	case "groundness":
-		opts := prop.Options{Mode: mode, Timeline: tl, Tracer: tracer}
+		opts := prop.Options{Mode: mode, Parallel: af.parallel, Timeline: tl, Tracer: tracer}
 		if af.entry != "" {
 			opts.Entry = []string{af.entry}
 		}
@@ -183,7 +185,7 @@ func runAnalyze(kind string, args []string, stdout, stderr io.Writer) int {
 		summary = fmt.Sprintf("%s: Prop groundness: %d predicates, %d subgoals, %d answers, tables %d bytes",
 			name, len(a.Results), a.EngineStats.Subgoals, a.EngineStats.Answers, a.TableBytes)
 	case "strictness":
-		opts := strict.Options{Mode: mode, Timeline: tl, Tracer: tracer}
+		opts := strict.Options{Mode: mode, Parallel: af.parallel, Timeline: tl, Tracer: tracer}
 		if af.entry != "" {
 			opts.Entry = []string{af.entry}
 		}
@@ -195,7 +197,7 @@ func runAnalyze(kind string, args []string, stdout, stderr io.Writer) int {
 		summary = fmt.Sprintf("%s: strictness: %d functions, %d subgoals, %d answers, tables %d bytes",
 			name, len(a.Results), a.EngineStats.Subgoals, a.EngineStats.Answers, a.TableBytes)
 	case "depthk":
-		opts := depthk.Options{K: af.k, Mode: mode, Timeline: tl, Tracer: tracer}
+		opts := depthk.Options{K: af.k, Mode: mode, Parallel: af.parallel, Timeline: tl, Tracer: tracer}
 		if af.entry != "" {
 			opts.Entry = []string{af.entry}
 		}

@@ -11,6 +11,7 @@ package depthk
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -425,6 +426,11 @@ type Options struct {
 	// (default) or canonical-string maps (engine.TablesStringMap).
 	Tables engine.TablesImpl
 	Limits engine.Limits
+	// Parallel bounds intra-query concurrency during the solve phase
+	// (engine.Limits.MaxParallel): independent open calls evaluate on
+	// concurrent machine shards. 0 or 1 solves sequentially. Results
+	// and engine stats are identical either way.
+	Parallel int
 	// Entry restricts the analysis to the given predicates ("p/n", or
 	// bare "p" matching every arity): only they are open-called, so
 	// evaluation explores exactly their call-graph cone. When empty,
@@ -516,6 +522,7 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 	m.Mode = opts.Mode
 	m.Tables = opts.Tables
 	m.Limits = opts.Limits
+	m.Limits.MaxParallel = opts.Parallel
 	m.SetContext(opts.Ctx)
 	m.SetTracer(opts.Tracer)
 	RegisterBuiltins(m, opts.K)
@@ -598,14 +605,22 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 		inds = append(inds, ind)
 	}
 	sort.Strings(inds)
+	var goals []term.Term
+	var goalInds []string
 	for _, ind := range inds {
 		if !entryMatch(opts.Entry, ind) {
 			continue
 		}
-		goal := openCall(tf.Preds[ind])
-		if err := m.Solve(goal, func() bool { return false }); err != nil {
-			return nil, fmt.Errorf("depthk: analyzing %s: %w", ind, err)
+		goals = append(goals, openCall(tf.Preds[ind]))
+		goalInds = append(goalInds, ind)
+	}
+	if err := m.SolveAll(goals); err != nil {
+		ind := "?"
+		var ge *engine.GoalError
+		if errors.As(err, &ge) {
+			ind = goalInds[ge.Index]
 		}
+		return nil, fmt.Errorf("depthk: analyzing %s: %w", ind, err)
 	}
 	a.AnalysisTime = time.Since(t1)
 

@@ -76,6 +76,7 @@ func Checks() []Check {
 		{Name: "strict-predrename", Lang: randgen.LangFL, Run: strictPredRename},
 		{Name: "strict-eqreorder", Lang: randgen.LangFL, Run: strictEqReorder},
 		{Name: "tables_trie_vs_stringmap", AnyLang: true, Run: tablesTrieVsStringmap},
+		{Name: "parallel_vs_sequential", AnyLang: true, Run: parallelVsSequential},
 		{Name: "provenance_sound", AnyLang: true, Run: provenanceSound},
 		{Name: "store_roundtrip", AnyLang: true, Run: storeRoundtrip},
 	}
@@ -572,6 +573,89 @@ func tablesTrieVsStringmap(m Meta, src string) error {
 		return err
 	}
 	return diffEngineStats("trie", "stringmap", dkTrie.EngineStats, dkSmap.EngineStats)
+}
+
+// parGoals is the worker bound the parallel_vs_sequential oracle hands
+// to the analyzers: small enough to schedule on any test machine, large
+// enough that independent goal groups genuinely interleave.
+const parGoals = 4
+
+// parallelVsSequential: intra-query parallel evaluation must be
+// semantically invisible. Every analysis run with options.parallel set
+// must match the sequential run exactly — answers, recorded call
+// patterns, AND the evaluation-trajectory counters (subgoals, answers,
+// resolutions, producer runs/passes), since the group merge replays
+// shard tables in sequential creation order. Runs on every shape, under
+// both the clause interpreter and the closure compiler: Prolog shapes
+// through the groundness analyzer (open-call and, when the program has
+// an entry, goal-directed) plus depth-k on generated programs; FL
+// shapes through the strictness analyzer.
+func parallelVsSequential(m Meta, src string) error {
+	for _, lm := range []struct {
+		name string
+		mode engine.LoadMode
+	}{{"interp", engine.LoadDynamic}, {"closure", engine.ModeClosure}} {
+		if m.Shape.Lang() == randgen.LangFL {
+			seq, err := strict.Analyze(src, strict.Options{Mode: lm.mode})
+			if err != nil {
+				return fmt.Errorf("error: strict %s seq: %w", lm.name, err)
+			}
+			par, err := strict.Analyze(src, strict.Options{Mode: lm.mode, Parallel: parGoals})
+			if err != nil {
+				return fmt.Errorf("error: strict %s par: %w", lm.name, err)
+			}
+			if err := diffSummaries("seq", "par", strictSummary(seq, nil), strictSummary(par, nil), false); err != nil {
+				return err
+			}
+			if err := diffEngineStats("seq", "par", seq.EngineStats, par.EngineStats); err != nil {
+				return err
+			}
+			continue
+		}
+		var opts []prop.Options
+		opts = append(opts, prop.Options{Mode: lm.mode})
+		if m.Entry != "" {
+			opts = append(opts, prop.Options{Mode: lm.mode, Entry: []string{m.Entry}})
+		}
+		for _, o := range opts {
+			seq, err := prop.Analyze(src, o)
+			if err != nil {
+				return fmt.Errorf("error: prop %s seq: %w", lm.name, err)
+			}
+			o.Parallel = parGoals
+			par, err := prop.Analyze(src, o)
+			if err != nil {
+				return fmt.Errorf("error: prop %s par: %w", lm.name, err)
+			}
+			if err := diffSummaries("seq", "par", propModeSummary(seq), propModeSummary(par), false); err != nil {
+				return err
+			}
+			if err := diffEngineStats("seq", "par", seq.EngineStats, par.EngineStats); err != nil {
+				return err
+			}
+		}
+		// Depth-k drives the largest goal sets (one open call per
+		// predicate) through the merge; gated to generated programs for
+		// the same budget reason as the trie oracle.
+		if len(m.Preds) == 0 {
+			continue
+		}
+		seq, err := depthk.Analyze(src, depthk.Options{K: depthkK, Mode: lm.mode})
+		if err != nil {
+			return fmt.Errorf("error: depthk %s seq: %w", lm.name, err)
+		}
+		par, err := depthk.Analyze(src, depthk.Options{K: depthkK, Mode: lm.mode, Parallel: parGoals})
+		if err != nil {
+			return fmt.Errorf("error: depthk %s par: %w", lm.name, err)
+		}
+		if err := diffSummaries("seq", "par", depthkSummary(seq, nil), depthkSummary(par, nil), false); err != nil {
+			return err
+		}
+		if err := diffEngineStats("seq", "par", seq.EngineStats, par.EngineStats); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // provenanceSound: the justification recorder must be a pure observer —

@@ -98,6 +98,34 @@ func TestModesThreewayCorpusSweep(t *testing.T) {
 	}
 }
 
+// TestParallelVsSequentialCorpusSweep runs the full benchmark corpus —
+// every Table 1 logic program and every Table 3 functional program —
+// through the parallel_vs_sequential oracle: parallel evaluation must
+// reproduce the sequential answers, call patterns, and evaluation
+// counters exactly on real programs, not just generated ones.
+func TestParallelVsSequentialCorpusSweep(t *testing.T) {
+	c, ok := CheckByName("parallel_vs_sequential")
+	if !ok {
+		t.Fatal("parallel_vs_sequential not registered")
+	}
+	for _, p := range corpus.LogicPrograms() {
+		p := p
+		t.Run("prolog/"+p.Name, func(t *testing.T) {
+			if err := c.Run(Meta{Shape: randgen.Mixed}, p.Source); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	for _, p := range corpus.FuncPrograms() {
+		p := p
+		t.Run("fl/"+p.Name, func(t *testing.T) {
+			if err := c.Run(Meta{Shape: randgen.FLFirstOrder}, p.Source); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
 // TestProvenanceSoundCorpusSweep runs the full benchmark corpus through
 // the provenance_sound oracle: on every real program, recording
 // justifications must not perturb the analysis, and every recorded

@@ -37,10 +37,10 @@ func (m *Machine) throwErr(err error) {
 	panic(engineError{err})
 }
 
-// ctxCheckInterval is how many solveG steps pass between context polls.
-// Each step is well under a microsecond, so 256 keeps cancellation
-// latency far below any realistic deadline while keeping ctx.Err() off
-// the per-step hot path.
+// ctxCheckInterval is how many solve steps (solveG entries plus answer
+// derivations) pass between context polls. Each step is well under a
+// microsecond, so 256 keeps cancellation latency far below any
+// realistic deadline while keeping ctx.Err() off the per-step hot path.
 const ctxCheckInterval = 256
 
 // SetContext installs ctx for cooperative cancellation: the solve loop

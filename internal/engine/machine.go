@@ -13,7 +13,10 @@
 // answer tables, possibly with more recomputation. Iteration counts are
 // exposed in Stats so the cost of that substitution is visible.
 //
-// The Machine is not safe for concurrent use.
+// The Machine is not safe for concurrent use. Intra-query parallelism
+// goes through SolveAll (parallel.go), which forks shard machines over
+// the shared immutable program and merges their tables back — callers
+// never touch a machine from two goroutines.
 package engine
 
 import (
@@ -67,6 +70,11 @@ type Limits struct {
 	// Past the budget answers still get a record of their producing
 	// clause, but premises are dropped and the record marked Truncated.
 	MaxProvNodes int
+	// MaxParallel bounds intra-query concurrency in SolveAll (see
+	// parallel.go): independent goal groups evaluate on up to
+	// MaxParallel machine shards. 0 or 1 evaluates sequentially. Under
+	// a parallel run the other limits apply per shard, not globally.
+	MaxParallel int
 }
 
 func (l Limits) maxDepth() int {
@@ -262,6 +270,7 @@ type Machine struct {
 	complStack []*subgoal // completion stack
 	nextDfn    int
 	stats      Stats
+	parStats   ParStats // SolveAll scheduling counters (parallel.go)
 	depth      int
 
 	// premises is the provenance premise stack (see provenance.go):
@@ -312,6 +321,7 @@ func (m *Machine) ResetTables() {
 	m.complStack = nil
 	m.nextDfn = 0
 	m.stats = Stats{}
+	m.parStats = ParStats{}
 	m.premises = nil
 	m.provNodes = 0
 }

@@ -379,6 +379,15 @@ func (m *Machine) addAnswer(sg *subgoal, inst term.Term, cl *Clause) {
 	if m.AnswerAbstraction != nil {
 		inst = m.AnswerAbstraction(term.Resolve(inst))
 	}
+	// Count answer derivations toward the context poll. Producers
+	// re-derive every recorded answer on each pass without re-entering
+	// solveG, and per-answer cost grows with answer size, so polling on
+	// solveG entries alone lets cancellation latency grow without bound
+	// on divergent programs.
+	if m.steps++; m.steps >= ctxCheckInterval {
+		m.steps = 0
+		m.checkCtx()
+	}
 	// Dedup through the table index: a trie walk (allocation-free on the
 	// duplicate path, the hottest case — producers re-derive every
 	// answer on each pass) or a canonical-string map probe.

@@ -40,18 +40,23 @@ const (
 	// EvCompile: the predicate was translated to closure code
 	// (ModeClosure); n is the compile time in nanoseconds.
 	EvCompile
+	// EvParallelGroup: SolveAll scheduled one independent goal group
+	// onto a machine shard; n is the number of goals in the group. The
+	// pred field carries the scheduler label, not an indicator.
+	EvParallelGroup
 )
 
 var kindNames = [...]string{
-	EvSubgoalNew:   "subgoal_new",
-	EvAnswerNew:    "answer_new",
-	EvAnswerDup:    "answer_dup",
-	EvProducerRun:  "producer_run",
-	EvProducerPass: "producer_pass",
-	EvComplete:     "complete",
-	EvResolutions:  "resolutions",
-	EvTableNodes:   "table_nodes",
-	EvCompile:      "compile",
+	EvSubgoalNew:    "subgoal_new",
+	EvAnswerNew:     "answer_new",
+	EvAnswerDup:     "answer_dup",
+	EvProducerRun:   "producer_run",
+	EvProducerPass:  "producer_pass",
+	EvComplete:      "complete",
+	EvResolutions:   "resolutions",
+	EvTableNodes:    "table_nodes",
+	EvCompile:       "compile",
+	EvParallelGroup: "parallel_group",
 }
 
 func (k EventKind) String() string {
@@ -93,6 +98,7 @@ type PredCounters struct {
 	TableBytes     int    `json:"table_bytes"`
 	TableNodes     int    `json:"table_nodes"`
 	CompileNs      int64  `json:"compile_ns,omitempty"`
+	ParallelGroups int    `json:"parallel_groups,omitempty"`
 }
 
 // Trace is an EngineTracer that records events into a bounded ring
@@ -154,6 +160,8 @@ func (t *Trace) Emit(kind EventKind, pred string, n int) {
 		return // counter-only, keep the ring for structural events
 	case EvCompile:
 		pc.CompileNs += int64(n)
+	case EvParallelGroup:
+		pc.ParallelGroups++
 	}
 	ev := Event{At: time.Since(t.t0), Kind: kind, Pred: pred, N: n}
 	t.total++

@@ -2,6 +2,7 @@ package prop
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -41,6 +42,11 @@ type Options struct {
 	PureIff bool
 	// Limits are passed to the engine.
 	Limits engine.Limits
+	// Parallel bounds intra-query concurrency during the solve phase
+	// (engine.Limits.MaxParallel): independent analysis goals evaluate
+	// on concurrent machine shards. 0 or 1 solves sequentially. Results
+	// and engine stats are identical either way.
+	Parallel int
 	// Ctx, when non-nil, cancels the analysis: the engine polls it
 	// during evaluation and the run fails with engine.ErrCanceled or
 	// engine.ErrDeadline once it is done.
@@ -255,6 +261,7 @@ func analyzeClauses(clauses []term.Term, clausePos map[term.Term]prolog.Pos, opt
 	m.Mode = opts.Mode
 	m.Tables = opts.Tables
 	m.Limits = opts.Limits
+	m.Limits.MaxParallel = opts.Parallel
 	m.Provenance = opts.Provenance
 	m.SetContext(opts.Ctx)
 	m.SetTracer(opts.Tracer)
@@ -292,6 +299,7 @@ func analyzeClauses(clauses []term.Term, clausePos map[term.Term]prolog.Pos, opt
 	tl.Start("solve")
 	t1 := time.Now()
 	if len(opts.Entry) > 0 {
+		goals := make([]term.Term, 0, len(opts.Entry))
 		for _, e := range opts.Entry {
 			goal, _, err := prolog.ParseTerm(e)
 			if err != nil {
@@ -301,26 +309,35 @@ func analyzeClauses(clauses []term.Term, clausePos map[term.Term]prolog.Pos, opt
 			if err != nil {
 				return nil, err
 			}
-			if err := m.Solve(absGoal, func() bool { return false }); err != nil {
-				return nil, err
-			}
+			goals = append(goals, absGoal)
+		}
+		if err := m.SolveAll(goals); err != nil {
+			return nil, err
 		}
 	} else {
 		// Solve in sorted indicator order. Results are a fixpoint and do
 		// not depend on it, but the evaluation trajectory (resolution and
 		// producer-pass counts) does; a map-order walk here made those
 		// counters differ from run to run on the same input, which the
-		// tables_trie_vs_stringmap oracle compares exactly.
+		// tables_trie_vs_stringmap oracle compares exactly. SolveAll
+		// preserves this order (and its stats) even when opts.Parallel
+		// splits the goals across machine shards.
 		inds := make([]string, 0, len(tf.Preds))
 		for ind := range tf.Preds {
 			inds = append(inds, ind)
 		}
 		sort.Strings(inds)
-		for _, ind := range inds {
-			goal := openCall(tf.Preds[ind])
-			if err := m.Solve(goal, func() bool { return false }); err != nil {
-				return nil, fmt.Errorf("prop: analyzing %s: %w", ind, err)
+		goals := make([]term.Term, len(inds))
+		for i, ind := range inds {
+			goals[i] = openCall(tf.Preds[ind])
+		}
+		if err := m.SolveAll(goals); err != nil {
+			ind := "?"
+			var ge *engine.GoalError
+			if errors.As(err, &ge) {
+				ind = inds[ge.Index]
 			}
+			return nil, fmt.Errorf("prop: analyzing %s: %w", ind, err)
 		}
 	}
 	a.AnalysisTime = time.Since(t1)

@@ -33,6 +33,8 @@ type apiError struct {
 //	POST /v1/query           raw tabled query (options.goal required)
 //	POST /v1/explain         answer provenance: justification DAG of a
 //	                         predicate's answers (options.pred, options.lang)
+//	POST /v1/batch           many programs in one request; items run
+//	                         concurrently and fail independently
 //	GET  /v1/stats           counters; ?format=text for a rendered table
 //	GET  /debug/tables       live per-predicate table state of executing runs
 //	GET  /metrics            Prometheus text exposition
@@ -47,6 +49,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/lint", s.timed("POST /v1/lint", s.handleLint))
 	mux.HandleFunc("POST /v1/query", s.timed("POST /v1/query", s.handleQuery))
 	mux.HandleFunc("POST /v1/explain", s.timed("POST /v1/explain", s.handleExplain))
+	mux.HandleFunc("POST /v1/batch", s.timed("POST /v1/batch", s.handleBatch))
 	mux.HandleFunc("GET /v1/stats", s.timed("GET /v1/stats", s.handleStats))
 	mux.HandleFunc("GET /debug/tables", s.timed("GET /debug/tables", s.handleDebugTables))
 	mux.HandleFunc("GET /metrics", s.timed("GET /metrics", s.handleMetrics))
@@ -170,6 +173,8 @@ func statsTable(st Stats) *harness.Table {
 				st.UptimeSeconds, st.PeakInFlight, st.PeakQueueDepth),
 			fmt.Sprintf("lint: %d requests, %d diagnostics",
 				st.LintRequests, st.LintDiagnostics),
+			fmt.Sprintf("batch: %d batches, %d items, %d item errors; %d parallel-eligible runs",
+				st.Batches, st.BatchItems, st.BatchItemErrors, st.ParallelRuns),
 			fmt.Sprintf("engine: %d resolutions, %d subgoals, %d answers, %d producer runs, %d table bytes",
 				st.Engine.Resolutions, st.Engine.Subgoals, st.Engine.Answers,
 				st.Engine.ProducerRuns, st.Engine.TableBytes),

@@ -17,6 +17,7 @@ var routePatterns = []string{
 	"POST /v1/lint",
 	"POST /v1/query",
 	"POST /v1/explain",
+	"POST /v1/batch",
 	"GET /v1/stats",
 	"GET /debug/tables",
 	"GET /metrics",
@@ -57,6 +58,11 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pw.Counter("xlpd_shed_total", "Requests shed with 429 + Retry-After, by reason.",
 		float64(st.ShedRate), "reason", "rate")
 	pw.Counter("xlpd_streams_total", "Responses delivered incrementally (JSON lines or SSE).", float64(st.Streams))
+	pw.Counter("xlpd_batch_requests_total", "Accepted /v1/batch requests.", float64(st.Batches))
+	pw.Counter("xlpd_batch_items_total", "Programs submitted through /v1/batch.", float64(st.BatchItems))
+	pw.Counter("xlpd_batch_item_errors_total", "Batch items that failed (batches themselves never fail on item errors).", float64(st.BatchItemErrors))
+	pw.Counter("xlpd_parallel_runs_total", "Executed analyses eligible for intra-query parallel evaluation (effective parallelism > 1).", float64(st.ParallelRuns))
+	pw.Gauge("xlpd_parallel_default", "Server-wide default intra-query parallelism (xlpd -parallel).", float64(s.cfg.DefaultParallel))
 	if st.Store != nil {
 		pw.Counter("xlpd_store_hits_total", "Requests served from the disk-backed result store.", float64(st.Store.Hits))
 		pw.Counter("xlpd_store_misses_total", "Disk store lookups that found no usable entry.", float64(st.Store.Misses))

@@ -80,6 +80,11 @@ type Config struct {
 	// MaxClients bounds the admission controller's per-client state
 	// (least-recently-seen clients are evicted). Default 1024.
 	MaxClients int
+	// DefaultParallel is the intra-query concurrency applied to tabled
+	// analysis requests that leave options.parallel unset (xlpd
+	// -parallel). 0 or 1 evaluates sequentially. Results are identical
+	// at every setting.
+	DefaultParallel int
 }
 
 func (c Config) withDefaults() Config {
@@ -153,6 +158,17 @@ type Stats struct {
 	// Streams counts responses delivered incrementally (NDJSON or SSE).
 	Streams uint64 `json:"streams"`
 
+	// Batch counters: /v1/batch requests accepted, the items they
+	// carried, and the items that failed (per-item errors never fail
+	// the batch).
+	Batches         uint64 `json:"batches"`
+	BatchItems      uint64 `json:"batch_items"`
+	BatchItemErrors uint64 `json:"batch_item_errors"`
+	// ParallelRuns counts executed analyses whose solve phase was
+	// eligible for intra-query parallelism (effective parallelism > 1,
+	// from options.parallel or the server default).
+	ParallelRuns uint64 `json:"parallel_runs"`
+
 	// Store snapshots the disk-backed result store's counters; nil when
 	// the store is disabled.
 	Store *store.Stats `json:"store,omitempty"`
@@ -211,6 +227,7 @@ type Service struct {
 	requests, hits, misses, deduped, executed, failures atomic.Uint64
 	lintRequests, lintDiagnostics                       atomic.Uint64
 	shedQueue, shedRate, streams                        atomic.Uint64
+	batches, batchItems, batchItemErrors, parallelRuns  atomic.Uint64
 	inFlightN                                           atomic.Int64
 	peakInFlight, peakQueueDepth                        atomic.Int64
 	preprocUs, analysisUs, collectionUs                 atomic.Int64
@@ -292,6 +309,10 @@ func (s *Service) Stats() Stats {
 		ShedQueue:       s.shedQueue.Load(),
 		ShedRate:        s.shedRate.Load(),
 		Streams:         s.streams.Load(),
+		Batches:         s.batches.Load(),
+		BatchItems:      s.batchItems.Load(),
+		BatchItemErrors: s.batchItemErrors.Load(),
+		ParallelRuns:    s.parallelRuns.Load(),
 		Store:           diskStats,
 		QueueDepth:      len(s.jobs),
 		InFlight:        int(s.inFlightN.Load()),
@@ -573,9 +594,20 @@ func (s *Service) run(j *job) (*Response, error) {
 		tracer = watch
 		defer s.debug.finish(watch)
 	}
-	s.logger.Info("executing", "req", reqID, "kind", j.req.Kind)
+	req := j.req
+	if req.Options.Parallel == 0 && s.cfg.DefaultParallel > 0 && kindRunsEngine(req.Kind) {
+		// Apply the server-wide parallelism default on a copy: the
+		// caller's request (and its cache key) must not change.
+		r2 := *req
+		r2.Options.Parallel = s.cfg.DefaultParallel
+		req = &r2
+	}
+	if req.Options.Parallel > 1 && kindRunsEngine(req.Kind) {
+		s.parallelRuns.Add(1)
+	}
+	s.logger.Info("executing", "req", reqID, "kind", req.Kind, "parallel", req.Options.Parallel)
 	t0 := time.Now()
-	resp, err := execute(j.ctx, j.req, tracer)
+	resp, err := execute(j.ctx, req, tracer)
 	if err != nil {
 		s.failures.Add(1)
 		s.logger.Warn("execution failed",
@@ -621,13 +653,14 @@ func execute(ctx context.Context, req *Request, tracer obs.EngineTracer) (*Respo
 	switch req.Kind {
 	case KindGroundness:
 		a, err := prop.Analyze(req.Source, prop.Options{
-			Mode:   o.engineMode(),
-			Tables: o.engineTables(),
-			Entry:  o.Entry,
-			Slice:  o.Slice,
-			Limits: o.engineLimits(),
-			Ctx:    ctx,
-			Tracer: tracer,
+			Mode:     o.engineMode(),
+			Tables:   o.engineTables(),
+			Entry:    o.Entry,
+			Slice:    o.Slice,
+			Limits:   o.engineLimits(),
+			Parallel: o.Parallel,
+			Ctx:      ctx,
+			Tracer:   tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -652,6 +685,7 @@ func execute(ctx context.Context, req *Request, tracer obs.EngineTracer) (*Respo
 			Entry:           o.Entry,
 			Slice:           o.Slice,
 			Limits:          o.engineLimits(),
+			Parallel:        o.Parallel,
 			NoSupplementary: o.NoSupplementary,
 			Ctx:             ctx,
 			Tracer:          tracer,
@@ -668,6 +702,7 @@ func execute(ctx context.Context, req *Request, tracer obs.EngineTracer) (*Respo
 			Entry:           o.Entry,
 			Slice:           o.Slice,
 			Limits:          o.engineLimits(),
+			Parallel:        o.Parallel,
 			NoSupplementary: o.NoSupplementary,
 			Ctx:             ctx,
 			Tracer:          tracer,

@@ -295,28 +295,32 @@ func TestQueueFull(t *testing.T) {
 		}
 	}
 	var wg sync.WaitGroup
-	// Occupy the worker and the one queue slot.
-	for i := 0; i < 2; i++ {
+	// Occupy the worker, then the one queue slot — strictly in that
+	// order. Submitting both concurrently races the second request
+	// against the worker's dequeue of the first: if it loses, it bounces
+	// off the still-full queue and the pool never saturates.
+	await := func(cond func(Stats) bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond(s.Stats()) {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("pool never reached %s", what)
+	}
+	occupy := func(i int) {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
 			s.Do(ctx, unique(i)) //nolint:errcheck // canceled by the test
-		}(i)
+		}()
 	}
-	// Wait until both are owned by the pool (one running, one queued).
-	deadline := time.Now().Add(5 * time.Second)
-	saturated := false
-	for time.Now().Before(deadline) {
-		st := s.Stats()
-		if st.InFlight == 1 && st.QueueDepth == 1 {
-			saturated = true
-			break
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
-	if !saturated {
-		t.Fatal("pool never reached one running + one queued request")
-	}
+	occupy(0)
+	await(func(st Stats) bool { return st.InFlight == 1 && st.QueueDepth == 0 }, "one running request")
+	occupy(1)
+	await(func(st Stats) bool { return st.InFlight == 1 && st.QueueDepth == 1 }, "one running + one queued request")
 	_, err := s.Do(context.Background(), unique(2))
 	if !errors.Is(err, ErrQueueFull) {
 		t.Errorf("want ErrQueueFull, got %v", err)

@@ -109,6 +109,12 @@ type Options struct {
 	MaxDepth    int `json:"max_depth,omitempty"`
 	MaxAnswers  int `json:"max_answers,omitempty"`
 	MaxSubgoals int `json:"max_subgoals,omitempty"`
+	// Parallel bounds intra-query concurrency for the tabled analyzers
+	// (engine SolveAll shards): 0 uses the server default (xlpd
+	// -parallel), 1 forces sequential evaluation. Results, engine
+	// counters, and provenance are identical at every setting, so the
+	// field never splits the cache.
+	Parallel int `json:"parallel,omitempty"`
 }
 
 // Request is one unit of work for the service.
@@ -153,6 +159,9 @@ func (r *Request) Validate() error {
 	}
 	if r.Options.MaxNodes < 0 {
 		return fmt.Errorf("%w: negative max_nodes", ErrBadRequest)
+	}
+	if r.Options.Parallel < 0 {
+		return fmt.Errorf("%w: negative parallel", ErrBadRequest)
 	}
 	return nil
 }
@@ -217,6 +226,11 @@ func (r *Request) canonicalOptions() Options {
 	// Streaming is a transport choice: a streamed and a buffered request
 	// for the same analysis share one cache entry.
 	o.Stream = false
+	// Parallel changes only how the solve phase is scheduled, never the
+	// answers or the engine counters (the parallel_vs_sequential oracle
+	// holds the engine to that), so parallel and sequential runs of the
+	// same request share one cache entry.
+	o.Parallel = 0
 	return o
 }
 
@@ -264,6 +278,7 @@ func (o Options) engineLimits() engine.Limits {
 		MaxDepth:    o.MaxDepth,
 		MaxAnswers:  o.MaxAnswers,
 		MaxSubgoals: o.MaxSubgoals,
+		MaxParallel: o.Parallel,
 	}
 }
 

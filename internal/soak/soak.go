@@ -160,9 +160,25 @@ type probe struct {
 	kind   service.Kind
 	path   string
 	body   apiBody
-	class  string // "ok", "limit", "deadline"
+	class  string // "ok", "limit", "deadline", "batch"
 	stream bool
 	warm   bool // replayed in the warm phase when it succeeded
+
+	// batch items (class "batch"); sent as {"items": ..., "parallel": ...}
+	// instead of body.
+	batch         []batchProbeItem
+	batchParallel int
+}
+
+// batchProbeItem is one /v1/batch item template. expectErr marks items
+// that must fail (their failure is the probe's point); it is not
+// marshaled.
+type batchProbeItem struct {
+	Kind    service.Kind    `json:"kind"`
+	Source  string          `json:"source"`
+	Options service.Options `json:"options"`
+
+	expectErr bool
 }
 
 // key is the probe's service-side content address. Distinct probes can
@@ -260,7 +276,70 @@ func buildProbes() []probe {
 			body: apiBody{Source: divergentSrc, Options: service.Options{Goal: "slow"}, TimeoutMs: 25},
 		},
 	)
+	// Parallel evaluation probes: the same analyses with intra-query
+	// parallelism requested. options.parallel never splits the cache
+	// key, so these race their sequential twins above for one shared
+	// cache entry — exercising key neutrality under load.
+	for seed := int64(0); seed < 2; seed++ {
+		p := analyzeReq(randgen.Mixed, seed, randgen.Config{})
+		p.name = "par-" + p.name
+		p.body.Options.Parallel = 4
+		ps = append(ps, p)
+	}
+	// Batch probes: several programs per request, items running
+	// concurrently through the worker pool; the partial variant carries
+	// known-bad items whose failure must stay contained to their slots.
+	batchItems := []batchProbeItem{
+		{Kind: service.KindGroundness, Options: service.Options{Parallel: 2}, Source: ":- table anc/2.\n" +
+			"par(a,b). par(b,c). par(c,d).\nanc(X,Y) :- par(X,Y).\nanc(X,Y) :- par(X,Z), anc(Z,Y)."},
+		{Kind: service.KindQuery, Source: "d(1). d(2). d(3).", Options: service.Options{Goal: "d(X)"}},
+		{Kind: service.KindLint, Source: "ap([], L, L).\nap([H|T], L, [H|R]) :- ap(T, L, R)."},
+	}
+	ps = append(ps,
+		probe{name: "batch-mixed", path: "/v1/batch", class: "batch",
+			batch: batchItems, batchParallel: 2},
+		probe{name: "batch-partial", path: "/v1/batch", class: "batch",
+			batch: append(batchItems[:2:2],
+				batchProbeItem{Kind: service.KindGroundness, Source: "p(", expectErr: true},
+				batchProbeItem{Kind: service.Kind("nosuch"), Source: "a.", expectErr: true})},
+	)
 	return ps
+}
+
+// auditBatch validates a /v1/batch 200: every item answered in its
+// slot, known-bad items failed, and good items either succeeded or were
+// shed by the bounded queue — the only sentinel item failure under soak
+// concurrency (a request holds the restart read lock for its whole
+// round trip, so items never race a shutdown).
+func auditBatch(p probe, body []byte) string {
+	var br struct {
+		Items   int `json:"items"`
+		Results []struct {
+			Index int    `json:"index"`
+			Error string `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &br); err != nil {
+		return fmt.Sprintf("undecodable batch body: %v", err)
+	}
+	if br.Items != len(p.batch) || len(br.Results) != len(p.batch) {
+		return fmt.Sprintf("batch answered %d/%d items", len(br.Results), len(p.batch))
+	}
+	for i, r := range br.Results {
+		if r.Index != i {
+			return fmt.Sprintf("item %d answered out of order (index %d)", i, r.Index)
+		}
+		if p.batch[i].expectErr {
+			if r.Error == "" {
+				return fmt.Sprintf("item %d (known-bad) succeeded", i)
+			}
+			continue
+		}
+		if r.Error != "" && !strings.Contains(r.Error, "queue full") {
+			return fmt.Sprintf("item %d: non-sentinel error %q", i, r.Error)
+		}
+	}
+	return ""
 }
 
 // daemon wraps one service + HTTP server generation. Requests hold the
@@ -314,7 +393,16 @@ func (d *daemon) do(p probe, client string, cancelAfter time.Duration) outcome {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 
-	buf, err := json.Marshal(p.body)
+	var buf []byte
+	var err error
+	if len(p.batch) > 0 {
+		buf, err = json.Marshal(struct {
+			Items    []batchProbeItem `json:"items"`
+			Parallel int              `json:"parallel,omitempty"`
+		}{p.batch, p.batchParallel})
+	} else {
+		buf, err = json.Marshal(p.body)
+	}
 	if err != nil {
 		return outcome{err: err}
 	}
@@ -445,6 +533,20 @@ func Run(cfg Config) (*Result, error) {
 		switch o.status {
 		case http.StatusOK:
 			ok.Add(1)
+			if p.class == "batch" {
+				// An injected cancel can truncate the item results the
+				// server managed to flush; audit only clean runs.
+				if !injected {
+					if msg := auditBatch(p, o.body); msg != "" {
+						unexpected("%s: %s", p.name, msg)
+						return
+					}
+				}
+				mu.Lock()
+				durations = append(durations, o.dur)
+				mu.Unlock()
+				return
+			}
 			if p.stream && !o.streamDone && !injected {
 				unexpected("%s: stream ended without its done trailer", p.name)
 				return

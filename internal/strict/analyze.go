@@ -2,6 +2,7 @@ package strict
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -76,6 +77,11 @@ type Options struct {
 	// (default) or canonical-string maps (engine.TablesStringMap).
 	Tables engine.TablesImpl
 	Limits engine.Limits
+	// Parallel bounds intra-query concurrency during the solve phase
+	// (engine.Limits.MaxParallel): independent sp goals evaluate on
+	// concurrent machine shards. 0 or 1 solves sequentially. Results
+	// and engine stats are identical either way.
+	Parallel int
 	// Entry restricts the analysis to the given functions ("f/n", or
 	// bare "f" matching every arity): only their sp predicates are
 	// demanded, so evaluation explores exactly their call-graph cone.
@@ -255,6 +261,7 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 	m.Mode = opts.Mode
 	m.Tables = opts.Tables
 	m.Limits = opts.Limits
+	m.Limits.MaxParallel = opts.Parallel
 	m.Provenance = opts.Provenance
 	m.SetContext(opts.Ctx)
 	m.SetTracer(opts.Tracer)
@@ -292,17 +299,25 @@ func Analyze(src string, opts Options) (*Analysis, error) {
 		inds = append(inds, ind)
 	}
 	sort.Strings(inds)
+	var goals []term.Term
+	var goalInds []string
 	for _, ind := range inds {
 		sp := tf.SpPreds[ind]
 		if !entryMatch(opts.Entry, ind) {
 			continue
 		}
 		for _, d := range []term.Term{DemandE, DemandD} {
-			goal := spCall(sp, d)
-			if err := m.Solve(goal, func() bool { return false }); err != nil {
-				return nil, fmt.Errorf("strict: analyzing %s: %w", ind, err)
-			}
+			goals = append(goals, spCall(sp, d))
+			goalInds = append(goalInds, ind)
 		}
+	}
+	if err := m.SolveAll(goals); err != nil {
+		ind := "?"
+		var ge *engine.GoalError
+		if errors.As(err, &ge) {
+			ind = goalInds[ge.Index]
+		}
+		return nil, fmt.Errorf("strict: analyzing %s: %w", ind, err)
 	}
 	a.AnalysisTime = time.Since(t1)
 
